@@ -1,0 +1,72 @@
+// Command benchdiff compares two `go test -bench` output files and reports
+// per-benchmark changes, flagging regressions — keep a committed baseline
+// (e.g. bench_output.txt) and run it in CI.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.10] [-unit ns/op] old.txt new.txt
+//
+// Exit status 1 when any benchmark regressed beyond the threshold.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"molq/internal/benchfmt"
+	"molq/internal/stats"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 0.10, "relative slowdown that counts as a regression")
+		unit      = flag.String("unit", "ns/op", "metric unit to gate on")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] [-unit ns/op] old.txt new.txt")
+		os.Exit(2)
+	}
+	oldRun, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRun, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	deltas := benchfmt.Compare(oldRun, newRun)
+	tb := stats.NewTable(fmt.Sprintf("benchmark deltas (%s)", *unit),
+		"benchmark", "old", "new", "ratio")
+	for _, d := range deltas {
+		if d.Unit != *unit {
+			continue
+		}
+		tb.AddRow(d.Name,
+			fmt.Sprintf("%.4g", d.Old),
+			fmt.Sprintf("%.4g", d.New),
+			fmt.Sprintf("%.3f", d.Ratio))
+	}
+	tb.Render(os.Stdout)
+	regs := benchfmt.Regressions(deltas, *unit, *threshold)
+	if len(regs) > 0 {
+		fmt.Printf("\n%d regression(s) beyond %.0f%%:\n", len(regs), *threshold*100)
+		for _, d := range regs {
+			fmt.Printf("  %s: %.4g -> %.4g %s (%.2fx)\n", d.Name, d.Old, d.New, d.Unit, d.Ratio)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\nno regressions beyond %.0f%%\n", *threshold*100)
+}
+
+func parseFile(path string) ([]benchfmt.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return benchfmt.Parse(f)
+}

@@ -1,0 +1,293 @@
+// Command molq evaluates one Multi-Criteria Optimal Location Query over CSV
+// point-of-interest files.
+//
+// Usage:
+//
+//	molq [-method ssc|rrb|mbrb] [-epsilon 1e-3]
+//	     [-bounds minX,minY,maxX,maxY] file1.csv file2.csv ...
+//
+// Each CSV file is one object type, with rows "x,y[,type_weight[,obj_weight]]"
+// (missing weights default to 1; '#' starts a comment). The search space
+// defaults to the bounding box of all objects. The program prints the optimal
+// location, its cost, and per-phase statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"molq/internal/core"
+	"molq/internal/dataset"
+	"molq/internal/geojson"
+	"molq/internal/geom"
+	"molq/internal/query"
+	"molq/internal/raster"
+	"molq/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "molq:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		method   = flag.String("method", "rrb", "solution method: ssc, rrb or mbrb")
+		epsilon  = flag.Float64("epsilon", 1e-3, "relative error bound for iterative Fermat-Weber solves")
+		boundsF  = flag.String("bounds", "", "search space as minX,minY,maxX,maxY (default: bounding box of inputs)")
+		workers  = flag.Int("workers", 0, "parallel workers for VD generation and the optimizer (0 = sequential)")
+		prune    = flag.Bool("prune", false, "prune impossible combinations during the MOVD overlap")
+		accel    = flag.Float64("accel", 0, "Weiszfeld over-relaxation factor (1.2-1.3 recommended; 0 = plain iteration)")
+		spillDir = flag.String("spill", "", "directory for out-of-core evaluation of the final overlap (empty = in memory)")
+		geonames = flag.String("geonames", "", "GeoNames dump file; object types come from -codes (replaces per-type files)")
+		codes    = flag.String("codes", "STM,CH,SCH", "comma-separated GeoNames feature codes to use with -geonames")
+		outGJ    = flag.String("o", "", "write the result (optimum + POIs) as GeoJSON to this path")
+		validate = flag.Bool("validate", false, "cross-check the optimum against an independent grid scan of the cost field")
+	)
+	flag.Parse()
+	files := flag.Args()
+	if *geonames == "" && len(files) == 0 {
+		return fmt.Errorf("no input files (want one CSV/GeoJSON per object type, or -geonames)")
+	}
+	if *geonames != "" && len(files) > 0 {
+		return fmt.Errorf("-geonames and per-type files are mutually exclusive")
+	}
+
+	var m query.Method
+	switch strings.ToLower(*method) {
+	case "ssc":
+		m = query.SSC
+	case "rrb":
+		m = query.RRB
+	case "mbrb":
+		m = query.MBRB
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+
+	var sets [][]core.Object
+	var typeLabels []string
+	var err error
+	if *geonames != "" {
+		sets, typeLabels, err = loadGeoNames(*geonames, *codes)
+	} else {
+		sets, typeLabels, err = loadFiles(files)
+	}
+	if err != nil {
+		return err
+	}
+	ext := geom.EmptyRect()
+	for _, set := range sets {
+		for _, o := range set {
+			ext = ext.ExtendPoint(o.Loc)
+		}
+	}
+
+	bounds := ext
+	if *boundsF != "" {
+		parts := strings.Split(*boundsF, ",")
+		if len(parts) != 4 {
+			return fmt.Errorf("bad -bounds %q", *boundsF)
+		}
+		var vals [4]float64
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return fmt.Errorf("bad -bounds %q: %w", *boundsF, err)
+			}
+			vals[i] = v
+		}
+		bounds = geom.NewRect(geom.Pt(vals[0], vals[1]), geom.Pt(vals[2], vals[3]))
+	}
+	if bounds.Area() == 0 {
+		// Degenerate extent (e.g. a single object); give it some room.
+		bounds = geom.NewRect(bounds.Min.Sub(geom.Pt(1, 1)), bounds.Max.Add(geom.Pt(1, 1)))
+	}
+
+	res, err := query.Solve(query.Input{
+		Sets:         sets,
+		Bounds:       bounds,
+		Epsilon:      *epsilon,
+		Workers:      *workers,
+		PruneOverlap: *prune,
+		Acceleration: *accel,
+		SpillDir:     *spillDir,
+	}, m)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("optimal location: (%.6f, %.6f)\n", res.Loc.X, res.Loc.Y)
+	fmt.Printf("cost (MWGD):      %.6f\n", res.Cost)
+	fmt.Printf("method:           %s\n\n", res.Method)
+
+	tb := stats.NewTable("evaluation statistics", "phase/metric", "value")
+	tb.AddRow("types", fmt.Sprintf("%d", len(sets)))
+	for ti, set := range sets {
+		tb.AddRow(fmt.Sprintf("  |P_%d| (%s)", ti+1, typeLabels[ti]), fmt.Sprintf("%d", len(set)))
+	}
+	if m == query.SSC {
+		tb.AddRow("combinations", fmt.Sprintf("%d", res.Stats.Combinations))
+	} else {
+		tb.AddRow("VD generation", stats.Dur(res.Stats.VDTime))
+		tb.AddRow("MOVD overlap", stats.Dur(res.Stats.OverlapTime))
+		tb.AddRow("OVRs", fmt.Sprintf("%d", res.Stats.OVRs))
+		tb.AddRow("points managed", fmt.Sprintf("%d", res.Stats.PointsManaged))
+	}
+	tb.AddRow("optimizer", stats.Dur(res.Stats.OptimizeTime))
+	tb.AddRow("Fermat-Weber problems", fmt.Sprintf("%d", res.Stats.Groups))
+	tb.AddRow("  exact fast paths", fmt.Sprintf("%d", res.Stats.Fermat.ExactSolves))
+	tb.AddRow("  prefiltered", fmt.Sprintf("%d", res.Stats.Fermat.Prefiltered))
+	tb.AddRow("  pruned mid-iteration", fmt.Sprintf("%d", res.Stats.Fermat.PrunedGroups))
+	tb.AddRow("  Weiszfeld iterations", fmt.Sprintf("%d", res.Stats.Fermat.TotalIters))
+	tb.AddRow("total time", stats.Dur(res.Stats.TotalTime))
+	tb.Render(os.Stdout)
+
+	if *validate {
+		field := func(p geom.Point) float64 {
+			total := 0.0
+			for _, set := range sets {
+				best := -1.0
+				for _, o := range set {
+					v := o.TypeWeight * o.ObjWeight * p.Dist(o.Loc)
+					if best < 0 || v < best {
+						best = v
+					}
+				}
+				total += best
+			}
+			return total
+		}
+		_, gridCost := raster.Minimize(field, bounds, 48, 7)
+		rel := (res.Cost - gridCost) / gridCost
+		fmt.Printf("\nvalidation: grid scan found cost %.6f (solver %.6f, rel diff %+.2e)\n",
+			gridCost, res.Cost, rel)
+		if rel > 1e-3 {
+			return fmt.Errorf("validation failed: grid scan beat the solver by %.2f%%", 100*rel)
+		}
+		fmt.Println("validation: OK (solver matches the independent grid scan)")
+	}
+
+	if *outGJ != "" {
+		fc := geojson.NewFeatureCollection()
+		fc.Add(geojson.PointFeature(res.Loc, map[string]any{
+			"role": "optimum",
+			"cost": res.Cost,
+		}))
+		for ti, set := range sets {
+			for _, o := range set {
+				fc.Add(geojson.PointFeature(o.Loc, map[string]any{
+					"role":        "poi",
+					"type":        typeLabels[ti],
+					"type_weight": o.TypeWeight,
+					"obj_weight":  o.ObjWeight,
+				}))
+			}
+		}
+		raw, err := fc.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outGJ, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", *outGJ)
+	}
+	return nil
+}
+
+// loadFiles reads one object set per path: ".geojson"/".json" files as
+// GeoJSON Point collections, everything else as x,y[,w^t[,w^o]] CSV.
+func loadFiles(files []string) ([][]core.Object, []string, error) {
+	sets := make([][]core.Object, len(files))
+	labels := make([]string, len(files))
+	for ti, path := range files {
+		labels[ti] = filepath.Base(path)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		ext := strings.ToLower(filepath.Ext(path))
+		var set []core.Object
+		if ext == ".geojson" || ext == ".json" {
+			fc, err := geojson.Unmarshal(data)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", path, err)
+			}
+			set, err = fc.Objects(ti)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", path, err)
+			}
+		} else {
+			recs, err := dataset.ReadRecords(strings.NewReader(string(data)))
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", path, err)
+			}
+			set = make([]core.Object, len(recs))
+			for i, r := range recs {
+				set[i] = core.Object{
+					ID: i, Type: ti,
+					Loc:        geom.Pt(r.X, r.Y),
+					TypeWeight: r.TypeWeight,
+					ObjWeight:  r.ObjWeight,
+				}
+			}
+		}
+		if len(set) == 0 {
+			return nil, nil, fmt.Errorf("%s: no objects", path)
+		}
+		sets[ti] = set
+	}
+	return sets, labels, nil
+}
+
+// loadGeoNames reads a GeoNames dump, keeps the requested feature codes,
+// projects lat/lon to planar kilometres about the data centroid, and builds
+// one object set per code (in the order given).
+func loadGeoNames(path, codeList string) ([][]core.Object, []string, error) {
+	labels := strings.Split(codeList, ",")
+	for i := range labels {
+		labels[i] = strings.TrimSpace(labels[i])
+	}
+	keep := make(map[string]bool, len(labels))
+	for _, c := range labels {
+		if c == "" {
+			return nil, nil, fmt.Errorf("empty feature code in -codes %q", codeList)
+		}
+		keep[c] = true
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	recs, err := dataset.ReadGeoNames(f, keep)
+	if err != nil {
+		return nil, nil, err
+	}
+	proj := dataset.ProjectionFor(recs)
+	groups := dataset.GroupByFeatureCode(recs)
+	sets := make([][]core.Object, len(labels))
+	for ti, code := range labels {
+		rows := groups[code]
+		if len(rows) == 0 {
+			return nil, nil, fmt.Errorf("%s: no records with feature code %q", path, code)
+		}
+		set := make([]core.Object, len(rows))
+		for i, r := range rows {
+			set[i] = core.Object{
+				ID: i, Type: ti,
+				Loc:        proj.Project(r.Lat, r.Lon),
+				TypeWeight: 1, ObjWeight: 1,
+			}
+		}
+		sets[ti] = set
+	}
+	return sets, labels, nil
+}

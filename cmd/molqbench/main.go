@@ -1,0 +1,110 @@
+// Command molqbench regenerates the paper's evaluation figures (Figs 8–14)
+// as aligned text tables.
+//
+// Usage:
+//
+//	molqbench [-experiment fig8|fig9|fig10|fig11|fig12|fig13|fig14|all]
+//	          [-quick] [-seed N] [-v]
+//
+// Full mode uses paper-scale parameters (the two-diagram overlap sweep goes
+// to 160,000 objects per side) and can take several minutes; -quick shrinks
+// every workload to run in seconds.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"molq/internal/experiments"
+	"molq/internal/stats"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "figure id to run ("+strings.Join(experiments.IDs(), ", ")+" or all)")
+		quick      = flag.Bool("quick", false, "scaled-down workloads (seconds instead of minutes)")
+		seed       = flag.Int64("seed", 1, "random seed for datasets and weights")
+		verbose    = flag.Bool("v", false, "print progress while running")
+		format     = flag.String("format", "text", "output format: text, json or csv")
+	)
+	flag.Parse()
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fmt.Fprintf(os.Stderr, "molqbench: unknown -format %q\n", *format)
+		os.Exit(2)
+	}
+
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+	opt := experiments.Options{Quick: *quick, Seed: *seed, Out: progress}
+
+	var figs []experiments.Figure
+	if *experiment == "all" {
+		figs = experiments.All()
+	} else {
+		fig, ok := experiments.ByID(*experiment)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "molqbench: unknown experiment %q (known: %s)\n",
+				*experiment, strings.Join(experiments.IDs(), ", "))
+			os.Exit(2)
+		}
+		figs = []experiments.Figure{fig}
+	}
+
+	type jsonExperiment struct {
+		ID     string         `json:"id"`
+		Title  string         `json:"title"`
+		Millis int64          `json:"elapsed_ms"`
+		Tables []*stats.Table `json:"tables"`
+	}
+	var jsonOut []jsonExperiment
+	for _, fig := range figs {
+		if *format == "text" {
+			fmt.Printf("# %s — %s\n", fig.ID, fig.Title)
+		}
+		start := time.Now()
+		tables, err := fig.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "molqbench: %s: %v\n", fig.ID, err)
+			os.Exit(1)
+		}
+		elapsed := time.Since(start)
+		switch *format {
+		case "json":
+			jsonOut = append(jsonOut, jsonExperiment{
+				ID: fig.ID, Title: fig.Title,
+				Millis: elapsed.Milliseconds(), Tables: tables,
+			})
+		case "csv":
+			for _, tb := range tables {
+				if err := tb.RenderCSV(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "molqbench: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Println()
+			}
+		default:
+			for _, tb := range tables {
+				tb.Render(os.Stdout)
+				fmt.Println()
+			}
+			fmt.Printf("(%s completed in %v)\n\n", fig.ID, elapsed.Round(time.Millisecond))
+		}
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "molqbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

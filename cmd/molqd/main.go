@@ -1,0 +1,40 @@
+// Command molqd serves MOLQ evaluation over HTTP (see internal/httpapi for
+// the endpoint reference).
+//
+// Usage:
+//
+//	molqd [-addr :8080]
+//
+// Example session:
+//
+//	curl -s localhost:8080/v1/healthz
+//	curl -s -X POST localhost:8080/v1/solve -d '{
+//	  "method": "rrb",
+//	  "types": [
+//	    {"name": "school", "objects": [{"x":20,"y":30,"type_weight":2},{"x":80,"y":40,"type_weight":2}]},
+//	    {"name": "market", "objects": [{"x":10,"y":80},{"x":60,"y":20}]}
+//	  ]}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"molq/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.New(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("molqd listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package molq_test
+
+import (
+	"fmt"
+
+	"molq"
+)
+
+// The basic flow: register object sets, pick a strategy, solve.
+func Example() {
+	q := molq.NewQuery(molq.NewRect(molq.Pt(0, 0), molq.Pt(100, 100)))
+	q.AddType("school",
+		molq.POI(molq.Pt(20, 30), 2, 1),
+		molq.POI(molq.Pt(80, 40), 2, 1),
+	)
+	q.AddType("market",
+		molq.POI(molq.Pt(10, 80), 1, 1),
+		molq.POI(molq.Pt(60, 20), 1, 1),
+	)
+	q.SetEpsilon(1e-9)
+	res, err := q.Solve(molq.RRB)
+	if err != nil {
+		panic(err)
+	}
+	// The optimum sits on the heavier-weighted school at (80,40); the cost
+	// is the distance to the nearest market, √800.
+	fmt.Printf("optimum (%.0f, %.0f) cost %.2f\n", res.Location.X, res.Location.Y, res.Cost)
+	// Output: optimum (80, 40) cost 28.28
+}
+
+// Scoring fixed candidate sites with the same criteria as the query.
+func ExampleQuery_MWGD() {
+	q := molq.NewQuery(molq.NewRect(molq.Pt(0, 0), molq.Pt(10, 10)))
+	q.AddType("a", molq.POI(molq.Pt(0, 0), 1, 1))
+	q.AddType("b", molq.POI(molq.Pt(10, 0), 1, 1))
+	fmt.Printf("%.0f\n", q.MWGD(molq.Pt(5, 0)))
+	// Output: 10
+}
+
+// A prepared Engine evaluates many type-weight scenarios against one
+// precomputed overlapped Voronoi diagram.
+func ExampleQuery_Prepare() {
+	q := molq.NewQuery(molq.NewRect(molq.Pt(0, 0), molq.Pt(100, 100)))
+	q.AddType("school",
+		molq.POI(molq.Pt(10, 10), 1, 1),
+		molq.POI(molq.Pt(90, 90), 1, 1),
+	)
+	q.AddType("market",
+		molq.POI(molq.Pt(90, 10), 1, 1),
+	)
+	q.SetEpsilon(1e-9)
+	eng, err := q.Prepare(molq.RRB)
+	if err != nil {
+		panic(err)
+	}
+	for _, weights := range [][]float64{{1, 1}, {10, 1}} {
+		res, err := eng.Solve(weights)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("weights %v -> (%.0f, %.0f)\n", weights, res.Location.X, res.Location.Y)
+	}
+	// With schools weighted 10x, the optimum snaps to a school.
+	// Output:
+	// weights [1 1] -> (90, 10)
+	// weights [10 1] -> (10, 10)
+}
+
+// The weighted Fermat-Weber solver is exposed directly.
+func ExampleFermatWeber() {
+	loc, cost, err := molq.FermatWeber(
+		[]molq.Point{molq.Pt(0, 0), molq.Pt(4, 0), molq.Pt(4, 0)},
+		[]float64{1, 1, 1}, 1e-9)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("(%.0f, %.0f) cost %.0f\n", loc.X, loc.Y, cost)
+	// Output: (4, 0) cost 4
+}

@@ -1,0 +1,49 @@
+// Quickstart: the smallest useful MOLQ — three POI types, a handful of
+// objects, solved with all three strategies to show they agree.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"molq"
+)
+
+func main() {
+	// A 100×100 city. Type weights encode priorities: bus stops matter
+	// most (weight 3 per unit distance), then schools (2), then markets.
+	q := molq.NewQuery(molq.NewRect(molq.Pt(0, 0), molq.Pt(100, 100)))
+	q.AddType("school",
+		molq.POI(molq.Pt(20, 30), 2, 1),
+		molq.POI(molq.Pt(80, 40), 2, 1),
+		molq.POI(molq.Pt(50, 75), 2, 1),
+	)
+	q.AddType("market",
+		molq.POI(molq.Pt(10, 80), 1, 1),
+		molq.POI(molq.Pt(60, 20), 1, 1),
+	)
+	q.AddType("busstop",
+		molq.POI(molq.Pt(40, 50), 3, 1),
+		molq.POI(molq.Pt(90, 90), 3, 1),
+	)
+	q.SetEpsilon(1e-6)
+
+	for _, m := range []molq.Method{molq.SSC, molq.RRB, molq.MBRB} {
+		res, err := q.Solve(m)
+		if err != nil {
+			log.Fatalf("%v: %v", m, err)
+		}
+		fmt.Printf("%-4v optimum at (%.3f, %.3f), cost %.4f", m, res.Location.X, res.Location.Y, res.Cost)
+		if m != molq.SSC {
+			fmt.Printf("  [%d OVRs, %d Fermat-Weber problems]", res.Stats.OVRs, res.Stats.Groups)
+		}
+		fmt.Println()
+	}
+
+	// MWGD lets you score any candidate site against the same criteria.
+	for _, cand := range []molq.Point{molq.Pt(50, 50), molq.Pt(30, 40)} {
+		fmt.Printf("candidate (%.0f,%.0f) costs %.4f\n", cand.X, cand.Y, q.MWGD(cand))
+	}
+}

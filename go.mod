@@ -1,0 +1,3 @@
+module molq
+
+go 1.22

@@ -1,0 +1,143 @@
+// Package benchfmt parses `go test -bench` output lines and compares two
+// runs, flagging regressions — the tooling behind cmd/benchdiff. Only the
+// standard benchmark line format is understood:
+//
+//	BenchmarkName-8  	 1000	 1234567 ns/op	 456 B/op	 7 allocs/op	 3.14 extra/op
+//
+// Custom metrics reported via b.ReportMetric are carried through verbatim.
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string // with the -GOMAXPROCS suffix stripped
+	Iterations int64
+	// Metrics maps unit → value ("ns/op", "B/op", "allocs/op", custom units).
+	Metrics map[string]float64
+}
+
+// Parse reads benchmark lines from r, ignoring everything else (test output,
+// pkg headers, PASS/ok trailers). Duplicate names keep the later result.
+func Parse(r io.Reader) ([]Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var out []Result
+	index := make(map[string]int)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := fields[0]
+		// Strip the -N GOMAXPROCS suffix.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // header line like "BenchmarkX   \t" without data
+		}
+		res := Result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+		// Remaining fields come in (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchfmt: bad value %q in %q", fields[i], line)
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		if j, dup := index[name]; dup {
+			out[j] = res
+		} else {
+			index[name] = len(out)
+			out = append(out, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Delta is the comparison of one benchmark across two runs.
+type Delta struct {
+	Name     string
+	Unit     string
+	Old, New float64
+	// Ratio is New/Old (1 = unchanged, >1 = slower/bigger).
+	Ratio float64
+}
+
+// Compare joins two parsed runs on benchmark name and reports the per-metric
+// ratios for every benchmark present in both, sorted by descending ns/op
+// ratio (worst regression first).
+func Compare(old, new []Result) []Delta {
+	oldBy := make(map[string]Result, len(old))
+	for _, r := range old {
+		oldBy[r.Name] = r
+	}
+	var out []Delta
+	for _, n := range new {
+		o, ok := oldBy[n.Name]
+		if !ok {
+			continue
+		}
+		for unit, nv := range n.Metrics {
+			ov, ok := o.Metrics[unit]
+			if !ok || ov == 0 {
+				continue
+			}
+			out = append(out, Delta{
+				Name: n.Name, Unit: unit,
+				Old: ov, New: nv, Ratio: nv / ov,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			// Group by worst ns/op regression per name.
+			return worstFor(out, out[i].Name) > worstFor(out, out[j].Name)
+		}
+		return out[i].Unit < out[j].Unit
+	})
+	return out
+}
+
+func worstFor(ds []Delta, name string) float64 {
+	worst := 0.0
+	for _, d := range ds {
+		if d.Name == name && d.Unit == "ns/op" && d.Ratio > worst {
+			worst = d.Ratio
+		}
+	}
+	return worst
+}
+
+// Regressions filters deltas whose ratio exceeds 1+threshold for the given
+// unit (default ns/op when unit is empty).
+func Regressions(ds []Delta, unit string, threshold float64) []Delta {
+	if unit == "" {
+		unit = "ns/op"
+	}
+	var out []Delta
+	for _, d := range ds {
+		if d.Unit == unit && d.Ratio > 1+threshold {
+			out = append(out, d)
+		}
+	}
+	return out
+}

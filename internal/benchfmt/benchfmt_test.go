@@ -1,0 +1,95 @@
+package benchfmt
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleRun = `
+goos: linux
+goarch: amd64
+pkg: molq
+BenchmarkFig8/SSC/n=16-8         	    1652	    715032 ns/op	  327848 B/op	    4098 allocs/op
+BenchmarkFig8/RRB/n=16-8         	    1420	    843000 ns/op	  388360 B/op	    3433 allocs/op
+BenchmarkOverlap/RRB             	      40	  28094116 ns/op	      7454 OVRs	14244744 B/op	   88918 allocs/op
+some stray test log line
+PASS
+ok  	molq	92.4s
+`
+
+func TestParse(t *testing.T) {
+	res, err := Parse(strings.NewReader(sampleRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("parsed %d results", len(res))
+	}
+	r := res[0]
+	if r.Name != "BenchmarkFig8/SSC/n=16" {
+		t.Fatalf("name %q (GOMAXPROCS suffix must be stripped)", r.Name)
+	}
+	if r.Iterations != 1652 || r.Metrics["ns/op"] != 715032 || r.Metrics["allocs/op"] != 4098 {
+		t.Fatalf("metrics %+v", r)
+	}
+	// Custom metric carried through.
+	if res[2].Metrics["OVRs"] != 7454 {
+		t.Fatalf("custom metric lost: %+v", res[2])
+	}
+}
+
+func TestParseDuplicateKeepsLatest(t *testing.T) {
+	in := `
+BenchmarkX-4 	 10	 100 ns/op
+BenchmarkX-4 	 10	 200 ns/op
+`
+	res, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Metrics["ns/op"] != 200 {
+		t.Fatalf("duplicate handling: %+v", res)
+	}
+}
+
+func TestParseBadValue(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX-4 \t 10 \t zork ns/op\n")); err == nil {
+		t.Fatal("bad value accepted")
+	}
+}
+
+func TestCompareAndRegressions(t *testing.T) {
+	oldRun, err := Parse(strings.NewReader(`
+BenchmarkA-8 	 100	 1000 ns/op	 50 B/op
+BenchmarkB-8 	 100	 2000 ns/op
+BenchmarkGone-8 	 10	 99 ns/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRun, err := Parse(strings.NewReader(`
+BenchmarkA-8 	 100	 1500 ns/op	 25 B/op
+BenchmarkB-8 	 100	 1900 ns/op
+BenchmarkNew-8 	 10	 7 ns/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := Compare(oldRun, newRun)
+	// A has 2 units, B has 1; Gone/New are unmatched.
+	if len(deltas) != 3 {
+		t.Fatalf("deltas: %+v", deltas)
+	}
+	// Worst ns/op regression first: A (1.5x) before B (0.95x).
+	if deltas[0].Name != "BenchmarkA" {
+		t.Fatalf("order: %+v", deltas)
+	}
+	regs := Regressions(deltas, "", 0.10)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkA" || math.Abs(regs[0].Ratio-1.5) > 1e-12 {
+		t.Fatalf("regressions: %+v", regs)
+	}
+	if got := Regressions(deltas, "B/op", 0.10); len(got) != 0 {
+		t.Fatalf("B/op improved, not regressed: %+v", got)
+	}
+}

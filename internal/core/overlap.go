@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"molq/internal/geom"
+	"molq/internal/interval"
+	"molq/internal/polyclip"
+)
+
+// OverlapStats counts the work performed by one ⊕ evaluation; the Fig 11–14
+// experiments report these alongside wall-clock time.
+type OverlapStats struct {
+	Events         int // start+end events processed
+	CandidatePairs int // OVR pairs whose x-ranges overlapped (Alg 3/4 line 4)
+	RegionTests    int // exact region intersections computed (RRB only)
+	OutputOVRs     int // OVRs appended to the result
+	OutputPoints   int // boundary points emitted (PointsManaged of the result)
+	PrunedOVRs     int // OVRs discarded by a PruneFunc (OverlapPruned only)
+}
+
+// PruneFunc decides, from an OVR's bounding box and its (possibly partial)
+// object combination, whether the OVR can be discarded during overlap. It
+// implements the paper's future-work idea (Sec 8) of "filtering out the
+// impossible POI combinations during the MOVD overlapping": a sound
+// implementation returns true only when no location inside mbr can be the
+// query answer (e.g. when a lower bound of WGD over mbr already exceeds a
+// known upper bound of the optimum). Pruned OVRs do not propagate into
+// later overlaps, cutting both the sweep fan-out and the Fermat-Weber load.
+type PruneFunc func(mbr geom.Rect, pois []Object) bool
+
+// Overlap evaluates MOVD(E_i) ⊕ MOVD(E_j) = MOVD(E_i ∪ E_j) (Eq 22) with the
+// plane-sweep procedure of Algorithm 2. The boundary handler is chosen by the
+// operands' mode: RRB intersects real convex regions (Algorithm 3), MBRB
+// intersects bounding rectangles only (Algorithm 4).
+func Overlap(a, b *MOVD) (*MOVD, error) {
+	res, _, err := OverlapWithStats(a, b)
+	return res, err
+}
+
+// event is a start or end of an OVR's y-projection (Sec 5.2).
+type event struct {
+	y    float64
+	kind uint8 // 0 = start (max y), 1 = end (min y)
+	side uint8 // 0 = first operand, 1 = second operand
+	idx  int32 // OVR index within its operand
+}
+
+// OverlapWithStats is Overlap returning sweep statistics.
+func OverlapWithStats(a, b *MOVD) (*MOVD, OverlapStats, error) {
+	return OverlapPruned(a, b, nil)
+}
+
+// OverlapPruned is Overlap with an optional PruneFunc applied to every OVR
+// before it is appended to the result (nil disables pruning).
+func OverlapPruned(a, b *MOVD, prune PruneFunc) (*MOVD, OverlapStats, error) {
+	result := &MOVD{
+		Types:  typesUnion(a.Types, b.Types),
+		Bounds: a.Bounds,
+		Mode:   a.Mode,
+	}
+	stats, err := OverlapStream(a, b, prune, func(o *OVR) error {
+		result.OVRs = append(result.OVRs, *o)
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	return result, stats, nil
+}
+
+// OverlapStream runs the ⊕ plane sweep emitting each surviving OVR through
+// emit instead of materialising the result MOVD — the disk-based pipeline
+// (Sec 8 future work) spills the emitted OVRs straight to a file so the
+// output, which can dwarf both operands, never has to fit in memory. The
+// emitted pointer is only valid during the call; emit must copy what it
+// keeps.
+func OverlapStream(a, b *MOVD, prune PruneFunc, emit func(*OVR) error) (OverlapStats, error) {
+	var stats OverlapStats
+	if a.Mode != b.Mode {
+		return stats, ErrModeMismatch
+	}
+	if a.Bounds != b.Bounds {
+		return stats, fmt.Errorf("core: operand bounds differ: %v vs %v", a.Bounds, b.Bounds)
+	}
+	mode := a.Mode
+	operands := [2]*MOVD{a, b}
+	events := make([]event, 0, 2*(len(a.OVRs)+len(b.OVRs)))
+	for side, m := range operands {
+		for i := range m.OVRs {
+			r := m.OVRs[i].MBR
+			events = append(events,
+				event{y: r.Max.Y, kind: 0, side: uint8(side), idx: int32(i)},
+				event{y: r.Min.Y, kind: 1, side: uint8(side), idx: int32(i)},
+			)
+		}
+	}
+	// Descending y; at equal y, starts precede ends so regions touching
+	// along a horizontal line are still paired (their intersection is
+	// degenerate and RRB drops it).
+	sort.Slice(events, func(i, j int) bool {
+		ei, ej := events[i], events[j]
+		if ei.y != ej.y {
+			return ei.y > ej.y
+		}
+		if ei.kind != ej.kind {
+			return ei.kind < ej.kind
+		}
+		if ei.side != ej.side {
+			return ei.side < ej.side
+		}
+		return ei.idx < ej.idx
+	})
+	var status [2]interval.Tree[int32]
+	var emitErr error
+	for _, e := range events {
+		if emitErr != nil {
+			break
+		}
+		stats.Events++
+		m := operands[e.side]
+		ovr := &m.OVRs[e.idx]
+		if e.kind == 1 {
+			status[e.side].Delete(ovr.MBR.Min.X, int(e.idx))
+			continue
+		}
+		status[e.side].Insert(ovr.MBR.Min.X, ovr.MBR.Max.X, int(e.idx), e.idx)
+		otherMOVD := operands[1-e.side]
+		status[1-e.side].Overlapping(ovr.MBR.Min.X, ovr.MBR.Max.X,
+			func(_, _ float64, _ int, j int32) bool {
+				stats.CandidatePairs++
+				other := &otherMOVD.OVRs[j]
+				var out OVR
+				if mode == RRB {
+					stats.RegionTests++
+					region := polyclip.ConvexIntersect(ovr.Region, other.Region)
+					if region == nil {
+						return true
+					}
+					out = OVR{Region: region, MBR: region.Bounds()}
+				} else {
+					mbr := ovr.MBR.Intersect(other.MBR)
+					if mbr.IsEmpty() {
+						return true
+					}
+					out = OVR{MBR: mbr}
+				}
+				out.POIs = mergePOIs(ovr.POIs, other.POIs)
+				if prune != nil && prune(out.MBR, out.POIs) {
+					stats.PrunedOVRs++
+					return true
+				}
+				stats.OutputOVRs++
+				if mode == RRB {
+					stats.OutputPoints += len(out.Region)
+				} else {
+					stats.OutputPoints += 2
+				}
+				if err := emit(&out); err != nil {
+					emitErr = err
+					return false
+				}
+				return true
+			})
+	}
+	return stats, emitErr
+}
+
+// mergePOIs unions two POI lists, deduplicating objects that appear in both
+// (which happens when the operands' generator sets are not disjoint, e.g.
+// under the idempotent law of Property 9).
+func mergePOIs(a, b []Object) []Object {
+	out := make([]Object, 0, len(a)+len(b))
+	out = append(out, a...)
+	for _, o := range b {
+		dup := false
+		for _, p := range a {
+			if p.Type == o.Type && p.ID == o.ID {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// SequentialOverlap folds ⊕ across the operands left to right (Eq 27). With
+// no operands it returns the identity MOVD(∅) for the given bounds and mode.
+func SequentialOverlap(bounds geom.Rect, mode Mode, movds ...*MOVD) (*MOVD, error) {
+	acc := Identity(bounds, mode)
+	for _, m := range movds {
+		next, err := Overlap(acc, m)
+		if err != nil {
+			return nil, err
+		}
+		acc = next
+	}
+	return acc, nil
+}

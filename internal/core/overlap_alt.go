@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"molq/internal/polyclip"
+	"molq/internal/rtree"
+)
+
+// This file holds alternative implementations of the ⊕ candidate-detection
+// stage. The paper's Algorithm 2 uses a plane sweep with balanced-tree
+// status structures; OverlapNaive and OverlapRTree trade that for an O(n·m)
+// pair scan and an R-tree probe respectively. All variants must produce the
+// same OVR multiset — the ablation benchmark compares their costs and the
+// tests cross-check their outputs, which also guards the sweep's
+// correctness.
+
+// intersectPair evaluates one candidate OVR pair under the diagram mode,
+// returning ok=false when the pair does not really overlap.
+func intersectPair(mode Mode, x, y *OVR) (OVR, bool) {
+	if mode == RRB {
+		region := polyclip.ConvexIntersect(x.Region, y.Region)
+		if region == nil {
+			return OVR{}, false
+		}
+		return OVR{Region: region, MBR: region.Bounds(), POIs: mergePOIs(x.POIs, y.POIs)}, true
+	}
+	mbr := x.MBR.Intersect(y.MBR)
+	if mbr.IsEmpty() {
+		return OVR{}, false
+	}
+	return OVR{MBR: mbr, POIs: mergePOIs(x.POIs, y.POIs)}, true
+}
+
+func overlapPrelude(a, b *MOVD) (*MOVD, error) {
+	if a.Mode != b.Mode {
+		return nil, ErrModeMismatch
+	}
+	if a.Bounds != b.Bounds {
+		return nil, fmt.Errorf("core: operand bounds differ: %v vs %v", a.Bounds, b.Bounds)
+	}
+	return &MOVD{
+		Types:  typesUnion(a.Types, b.Types),
+		Bounds: a.Bounds,
+		Mode:   a.Mode,
+	}, nil
+}
+
+// OverlapNaive computes a ⊕ b by testing every OVR pair — the quadratic
+// baseline the plane sweep improves on.
+func OverlapNaive(a, b *MOVD) (*MOVD, OverlapStats, error) {
+	var stats OverlapStats
+	result, err := overlapPrelude(a, b)
+	if err != nil {
+		return nil, stats, err
+	}
+	for i := range a.OVRs {
+		x := &a.OVRs[i]
+		for j := range b.OVRs {
+			y := &b.OVRs[j]
+			stats.CandidatePairs++
+			if !x.MBR.Intersects(y.MBR) {
+				continue
+			}
+			if result.Mode == RRB {
+				stats.RegionTests++
+			}
+			if out, ok := intersectPair(result.Mode, x, y); ok {
+				result.OVRs = append(result.OVRs, out)
+			}
+		}
+	}
+	stats.OutputOVRs = len(result.OVRs)
+	return result, stats, nil
+}
+
+// OverlapRTree computes a ⊕ b by bulk-loading an STR R-tree over b's OVR
+// boxes and probing it with every OVR of a — the index-based alternative to
+// the sweep's status structures (and the natural shape for the paper's
+// disk-based future work, where b would be a stored diagram).
+func OverlapRTree(a, b *MOVD) (*MOVD, OverlapStats, error) {
+	var stats OverlapStats
+	result, err := overlapPrelude(a, b)
+	if err != nil {
+		return nil, stats, err
+	}
+	entries := make([]rtree.Entry, len(b.OVRs))
+	for j := range b.OVRs {
+		entries[j] = rtree.Entry{Box: b.OVRs[j].MBR, ID: int32(j)}
+	}
+	idx := rtree.Bulk(entries, 0)
+	for i := range a.OVRs {
+		x := &a.OVRs[i]
+		idx.Search(x.MBR, func(e rtree.Entry) bool {
+			stats.CandidatePairs++
+			y := &b.OVRs[e.ID]
+			if result.Mode == RRB {
+				stats.RegionTests++
+			}
+			if out, ok := intersectPair(result.Mode, x, y); ok {
+				result.OVRs = append(result.OVRs, out)
+			}
+			return true
+		})
+	}
+	stats.OutputOVRs = len(result.OVRs)
+	return result, stats, nil
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestOverlapVariantsAgree cross-checks the three candidate-detection
+// strategies: plane sweep, naive pair scan, and R-tree probing must produce
+// identical OVR multisets (same combination → same total area/boxes).
+func TestOverlapVariantsAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for _, mode := range []Mode{RRB, MBRB} {
+		for trial := 0; trial < 4; trial++ {
+			a := basicMOVD(t, makeSet(r, 0, 8+r.Intn(20)), mode)
+			b := basicMOVD(t, makeSet(r, 1, 8+r.Intn(20)), mode)
+			sweep, sweepStats, err := OverlapWithStats(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			naive, naiveStats, err := OverlapNaive(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt, rtStats, err := OverlapRTree(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if naive.Len() != sweep.Len() || rt.Len() != sweep.Len() {
+				t.Fatalf("mode %v trial %d: OVR counts differ sweep=%d naive=%d rtree=%d",
+					mode, trial, sweep.Len(), naive.Len(), rt.Len())
+			}
+			sig := movdBoxSignature(sweep)
+			if !boxSignaturesEqual(sig, movdBoxSignature(naive)) {
+				t.Fatalf("mode %v trial %d: naive result differs", mode, trial)
+			}
+			if !boxSignaturesEqual(sig, movdBoxSignature(rt)) {
+				t.Fatalf("mode %v trial %d: rtree result differs", mode, trial)
+			}
+			// The naive scan must consider at least as many candidate pairs
+			// as the filtered strategies.
+			if naiveStats.CandidatePairs < sweepStats.CandidatePairs ||
+				naiveStats.CandidatePairs < rtStats.CandidatePairs {
+				t.Fatalf("mode %v: naive pairs %d below sweep %d / rtree %d",
+					mode, naiveStats.CandidatePairs, sweepStats.CandidatePairs, rtStats.CandidatePairs)
+			}
+		}
+	}
+}
+
+// movdBoxSignature maps combination key → summed MBR extents, an
+// order-insensitive equality proxy that works for both modes.
+func movdBoxSignature(m *MOVD) map[string][4]float64 {
+	sig := make(map[string][4]float64, len(m.OVRs))
+	for i := range m.OVRs {
+		k := m.OVRs[i].Key()
+		s := sig[k]
+		b := m.OVRs[i].MBR
+		s[0] += b.Min.X
+		s[1] += b.Min.Y
+		s[2] += b.Max.X
+		s[3] += b.Max.Y
+		sig[k] = s
+	}
+	return sig
+}
+
+func boxSignaturesEqual(a, b map[string][4]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok {
+			return false
+		}
+		for i := range va {
+			d := va[i] - vb[i]
+			if d < -1e-6 || d > 1e-6 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestOverlapAltModeMismatch(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	a := basicMOVD(t, makeSet(r, 0, 5), RRB)
+	b := basicMOVD(t, makeSet(r, 1, 5), MBRB)
+	if _, _, err := OverlapNaive(a, b); err != ErrModeMismatch {
+		t.Fatalf("naive: want ErrModeMismatch, got %v", err)
+	}
+	if _, _, err := OverlapRTree(a, b); err != ErrModeMismatch {
+		t.Fatalf("rtree: want ErrModeMismatch, got %v", err)
+	}
+}

@@ -1,0 +1,138 @@
+// Package experiments reproduces the evaluation section of the paper
+// (Sec 6): one driver per figure, each regenerating the series the paper
+// plots as an aligned text table. The drivers are shared by cmd/molqbench and
+// the repository's testing.B benchmarks.
+//
+// Absolute times differ from the paper's 2014 testbed; EXPERIMENTS.md
+// compares the shapes (who wins, by what factor, where the crossovers fall).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"molq/internal/core"
+	"molq/internal/dataset"
+	"molq/internal/query"
+	"molq/internal/stats"
+	"molq/internal/voronoi"
+)
+
+// Options configure an experiment run.
+type Options struct {
+	// Quick shrinks the workloads by roughly two orders of magnitude so the
+	// whole suite runs in seconds (used by tests and benches).
+	Quick bool
+	// Seed drives dataset generation and weight sampling.
+	Seed int64
+	// Out receives progress lines; nil discards them.
+	Out io.Writer
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Out != nil {
+		fmt.Fprintf(o.Out, format+"\n", args...)
+	}
+}
+
+// Figure is one reproducible experiment.
+type Figure struct {
+	ID    string
+	Title string
+	Run   func(opt Options) ([]*stats.Table, error)
+}
+
+// All returns the paper-figure registry in paper order, followed by the
+// ablation extensions (ext1–ext4).
+func All() []Figure {
+	figs := []Figure{
+		{ID: "fig8", Title: "MOLQ with three object types (SSC vs RRB vs MBRB)", Run: RunFig8},
+		{ID: "fig9", Title: "MOLQ with four object types (SSC vs RRB vs MBRB)", Run: RunFig9},
+		{ID: "fig10", Title: "Cost-bound vs original Fermat-Weber batch", Run: RunFig10},
+		{ID: "fig11", Title: "Overlapping two Voronoi diagrams: execution time", Run: RunFig11},
+		{ID: "fig12", Title: "Overlapping two Voronoi diagrams: number of OVRs", Run: RunFig12},
+		{ID: "fig13", Title: "Overlapping two Voronoi diagrams: memory", Run: RunFig13},
+		{ID: "fig14", Title: "Overlapping multiple Voronoi diagrams (availability, time, OVRs, memory)", Run: RunFig14},
+	}
+	return append(figs, Ablations()...)
+}
+
+// ByID finds a figure driver.
+func ByID(id string) (Figure, bool) {
+	for _, f := range All() {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return Figure{}, false
+}
+
+// IDs lists the registered figure ids.
+func IDs() []string {
+	var out []string
+	for _, f := range All() {
+		out = append(out, f.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// searchBounds is the synthetic search space shared by all experiments.
+var searchBounds = dataset.DefaultBounds
+
+// molqInput assembles a query.Input with n objects for each named type,
+// with per-type weights drawn in (0, 10] as in Sec 6.1.
+func molqInput(types []string, n int, seed int64) query.Input {
+	cfg := dataset.Config{Seed: seed, Bounds: searchBounds}
+	sets := make([][]core.Object, len(types))
+	for ti, name := range types {
+		pts := dataset.Generate(cfg, name, n)
+		tw := typeWeight(seed, ti)
+		set := make([]core.Object, n)
+		for i, p := range pts {
+			set[i] = core.Object{
+				ID:         i,
+				Type:       ti,
+				Loc:        p,
+				TypeWeight: tw,
+				ObjWeight:  1,
+			}
+		}
+		sets[ti] = set
+	}
+	return query.Input{Sets: sets, Bounds: searchBounds, Epsilon: 1e-3}
+}
+
+// typeWeight deterministically draws w^t in (0.5, 10] per (seed, type).
+func typeWeight(seed int64, ti int) float64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(ti+1)*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	return 0.5 + 9.5*float64(x%1000)/999
+}
+
+// buildBasic builds one basic MOVD (a Voronoi diagram of n sampled objects)
+// for overlap experiments.
+func buildBasic(name string, n int, ti int, seed int64, mode core.Mode) (*core.MOVD, error) {
+	cfg := dataset.Config{Seed: seed, Bounds: searchBounds}
+	pts := dataset.Generate(cfg, name, n)
+	objs := make([]core.Object, n)
+	for i, p := range pts {
+		objs[i] = core.Object{ID: i, Type: ti, Loc: p, TypeWeight: 1, ObjWeight: 1}
+	}
+	d, err := voronoi.Compute(pts, searchBounds)
+	if err != nil {
+		return nil, err
+	}
+	return core.FromVoronoi(d, objs, ti, mode)
+}
+
+// sizesFor picks a sweep, scaled down under Quick.
+func sizesFor(full, quick []int, o Options) []int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}

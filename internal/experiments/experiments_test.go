@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func runQuick(t *testing.T, id string) []string {
+	t.Helper()
+	fig, ok := ByID(id)
+	if !ok {
+		t.Fatalf("figure %s not registered", id)
+	}
+	tables, err := fig.Run(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tables) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	var outs []string
+	for _, tb := range tables {
+		if tb.Rows() == 0 {
+			t.Fatalf("%s produced an empty table", id)
+		}
+		outs = append(outs, tb.String())
+	}
+	return outs
+}
+
+func TestRegistry(t *testing.T) {
+	if len(All()) != 12 { // 7 paper figures + 5 ablations
+		t.Fatalf("expected 12 experiments, got %d", len(All()))
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown id resolved")
+	}
+	if len(IDs()) != 12 {
+		t.Fatal("IDs() incomplete")
+	}
+	for _, id := range []string{"fig8", "fig14", "ext1", "ext4"} {
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("%s missing from registry", id)
+		}
+	}
+}
+
+func TestExt1Quick(t *testing.T) {
+	out := runQuick(t, "ext1")[0]
+	if strings.Contains(out, "NO (") {
+		t.Fatalf("pruning changed results:\n%s", out)
+	}
+}
+
+func TestExt2Quick(t *testing.T) {
+	out := runQuick(t, "ext2")[0]
+	if !strings.Contains(out, "both (Alg 5)") {
+		t.Fatalf("missing variants:\n%s", out)
+	}
+}
+
+func TestExt3Quick(t *testing.T) {
+	runQuick(t, "ext3")
+}
+
+func TestExt4Quick(t *testing.T) {
+	runQuick(t, "ext4")
+}
+
+func TestExt5Quick(t *testing.T) {
+	outs := runQuick(t, "ext5")
+	if len(outs) != 2 {
+		t.Fatalf("ext5 should emit 2 tables, got %d", len(outs))
+	}
+	if strings.Contains(outs[0], "NO (") {
+		t.Fatalf("generators disagreed:\n%s", outs[0])
+	}
+}
+
+func TestFig8Quick(t *testing.T) {
+	out := runQuick(t, "fig8")[0]
+	if strings.Contains(out, "NO (") {
+		t.Fatalf("methods disagreed:\n%s", out)
+	}
+	if !strings.Contains(out, "SSC") || !strings.Contains(out, "MBRB") {
+		t.Fatalf("missing columns:\n%s", out)
+	}
+}
+
+func TestFig9Quick(t *testing.T) {
+	out := runQuick(t, "fig9")[0]
+	if strings.Contains(out, "NO (") {
+		t.Fatalf("methods disagreed:\n%s", out)
+	}
+}
+
+func TestFig10Quick(t *testing.T) {
+	outs := runQuick(t, "fig10")
+	if len(outs) != 2 {
+		t.Fatalf("fig10 should emit two tables, got %d", len(outs))
+	}
+	for _, out := range outs {
+		if strings.Contains(out, "NO (") {
+			t.Fatalf("CB and Original disagreed:\n%s", out)
+		}
+	}
+	// CB must be at least as fast as Original in every row (speedup ≥ 1 is
+	// not guaranteed at tiny sizes, but iterations must shrink).
+	out := outs[0]
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for _, line := range lines[3:] {
+		fields := strings.Fields(line)
+		if len(fields) < 6 {
+			continue
+		}
+		orig, err1 := strconv.Atoi(fields[4])
+		cb, err2 := strconv.Atoi(fields[5])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if cb > orig {
+			t.Fatalf("CB iterated more than Original (%d > %d):\n%s", cb, orig, out)
+		}
+	}
+}
+
+func TestFig11Quick(t *testing.T) {
+	out := runQuick(t, "fig11")[0]
+	if !strings.Contains(out, "MBRB speedup") {
+		t.Fatalf("unexpected table:\n%s", out)
+	}
+}
+
+func TestFig12Quick(t *testing.T) {
+	out := runQuick(t, "fig12")[0]
+	// MBRB should never produce fewer OVRs than RRB.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for _, line := range lines[3:] {
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		rrb, _ := strconv.Atoi(fields[1])
+		mbrb, _ := strconv.Atoi(fields[2])
+		if mbrb < rrb {
+			t.Fatalf("MBRB OVRs %d < RRB OVRs %d:\n%s", mbrb, rrb, out)
+		}
+	}
+}
+
+func TestFig13Quick(t *testing.T) {
+	out := runQuick(t, "fig13")[0]
+	// Two-diagram overlap: MBRB manages fewer boundary points than RRB.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for _, line := range lines[3:] {
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		ratio, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			continue
+		}
+		if ratio >= 1 {
+			t.Fatalf("MBRB/RRB points ratio %v should be < 1 for two diagrams:\n%s", ratio, out)
+		}
+	}
+}
+
+func TestFig14Quick(t *testing.T) {
+	outs := runQuick(t, "fig14")
+	if len(outs) != 4 {
+		t.Fatalf("fig14 should emit 4 tables (a-d), got %d", len(outs))
+	}
+	for i, want := range []string{"availability", "execution time", "OVRs", "points managed"} {
+		if !strings.Contains(outs[i], want) {
+			t.Fatalf("table %d missing %q:\n%s", i, want, outs[i])
+		}
+	}
+}
+
+func TestTypeWeightRange(t *testing.T) {
+	for ti := 0; ti < 10; ti++ {
+		w := typeWeight(42, ti)
+		if w <= 0 || w > 10 {
+			t.Fatalf("type weight %v out of (0,10]", w)
+		}
+	}
+	if typeWeight(1, 0) == typeWeight(1, 1) {
+		t.Fatal("type weights should differ per type")
+	}
+}
+
+func TestQuickSuiteRuntime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	start := time.Now()
+	for _, f := range All() {
+		if _, err := f.Run(Options{Quick: true, Seed: 2}); err != nil {
+			t.Fatalf("%s: %v", f.ID, err)
+		}
+	}
+	if d := time.Since(start); d > 2*time.Minute {
+		t.Fatalf("quick suite took %v — too slow for CI", d)
+	}
+}

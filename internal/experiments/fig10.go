@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"molq/internal/fermat"
+	"molq/internal/geom"
+	"molq/internal/stats"
+)
+
+// RunFig10 reproduces Fig 10: the basic (Original) vs cost-bound (CB)
+// Fermat-Weber batch approaches, varying (a) the number of problems at fixed
+// ε and (b) the error bound ε at a fixed problem count. Each problem has 5
+// points with random coordinates and type weights in (0, 10], as in Sec 6.2.
+func RunFig10(o Options) ([]*stats.Table, error) {
+	problemSweep := sizesFor([]int{1000, 2000, 4000, 8000, 16000}, []int{200, 400}, o)
+	epsSweep := []float64{1e-2, 1e-3, 1e-4, 1e-5}
+	if o.Quick {
+		epsSweep = []float64{1e-2, 1e-4}
+	}
+	fixedEps := 1e-3
+	fixedProblems := problemSweep[len(problemSweep)/2]
+
+	tbA := stats.NewTable("Fig 10a: varying number of Fermat-Weber problems (ε = 0.001)",
+		"problems", "Original", "CB", "speedup", "orig iters", "CB iters", "prefiltered", "pruned", "cost agree")
+	for _, n := range problemSweep {
+		row, err := fig10Row(n, fixedEps, o.Seed+int64(n))
+		if err != nil {
+			return nil, err
+		}
+		tbA.AddRow(row...)
+		o.logf("fig10a: %d problems done", n)
+	}
+
+	tbB := stats.NewTable(fmt.Sprintf("Fig 10b: varying error bound ε (%d problems)", fixedProblems),
+		"epsilon", "Original", "CB", "speedup", "orig iters", "CB iters", "prefiltered", "pruned", "cost agree")
+	for _, eps := range epsSweep {
+		row, err := fig10Row(fixedProblems, eps, o.Seed+int64(1/eps))
+		if err != nil {
+			return nil, err
+		}
+		row[0] = fmt.Sprintf("%g", eps)
+		tbB.AddRow(row...)
+		o.logf("fig10b: eps=%g done", eps)
+	}
+	return []*stats.Table{tbA, tbB}, nil
+}
+
+func fig10Row(problems int, eps float64, seed int64) ([]string, error) {
+	groups := fig10Groups(problems, seed)
+	opt := fermat.Options{Epsilon: eps}
+
+	startOrig := time.Now()
+	orig, err := fermat.SequentialBatch(groups, opt)
+	if err != nil {
+		return nil, err
+	}
+	dOrig := time.Since(startOrig)
+
+	startCB := time.Now()
+	cb, err := fermat.CostBoundBatch(groups, opt)
+	if err != nil {
+		return nil, err
+	}
+	dCB := time.Since(startCB)
+
+	agree := "yes"
+	if math.Abs(cb.Cost-orig.Cost) > 1e-2*math.Max(orig.Cost, 1) {
+		agree = fmt.Sprintf("NO (%.5g vs %.5g)", cb.Cost, orig.Cost)
+	}
+	return []string{
+		fmt.Sprintf("%d", problems),
+		stats.Dur(dOrig),
+		stats.Dur(dCB),
+		stats.Speedup(dOrig, dCB),
+		fmt.Sprintf("%d", orig.Stats.TotalIters),
+		fmt.Sprintf("%d", cb.Stats.TotalIters),
+		fmt.Sprintf("%d", cb.Stats.Prefiltered),
+		fmt.Sprintf("%d", cb.Stats.PrunedGroups),
+		agree,
+	}, nil
+}
+
+// fig10Groups builds the synthetic batch: 5 points per problem, coordinates
+// in the search space, weights in (0, 10].
+func fig10Groups(problems int, seed int64) []fermat.Group {
+	r := rand.New(rand.NewSource(seed))
+	groups := make([]fermat.Group, problems)
+	for gi := range groups {
+		g := make(fermat.Group, 5)
+		for i := range g {
+			g[i] = fermat.WeightedPoint{
+				P: geom.Pt(
+					searchBounds.Min.X+r.Float64()*searchBounds.Width(),
+					searchBounds.Min.Y+r.Float64()*searchBounds.Height(),
+				),
+				W: 0.1 + 9.9*r.Float64(),
+			}
+		}
+		groups[gi] = g
+	}
+	return groups
+}

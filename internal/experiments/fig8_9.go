@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"molq/internal/dataset"
+	"molq/internal/query"
+	"molq/internal/stats"
+)
+
+// RunFig8 reproduces Fig 8: MOLQ execution time with three object types
+// (𝔼 = {STM, CH, SCH}), comparing SSC, RRB and MBRB with the cost-bound
+// optimizer enabled in all three, across object counts per type.
+func RunFig8(o Options) ([]*stats.Table, error) {
+	types := []string{dataset.STM, dataset.CH, dataset.SCH}
+	sizes := sizesFor([]int{16, 32, 64, 128}, []int{8, 16}, o)
+	return runMOLQComparison("Fig 8: three object types", types, sizes, o)
+}
+
+// RunFig9 reproduces Fig 9: MOLQ execution time with four object types
+// (𝔼 = {STM, CH, SCH, PPL}), ε = 0.001.
+func RunFig9(o Options) ([]*stats.Table, error) {
+	types := []string{dataset.STM, dataset.CH, dataset.SCH, dataset.PPL}
+	sizes := sizesFor([]int{8, 16, 24, 32}, []int{4, 8}, o)
+	return runMOLQComparison("Fig 9: four object types", types, sizes, o)
+}
+
+func runMOLQComparison(title string, types []string, sizes []int, o Options) ([]*stats.Table, error) {
+	tb := stats.NewTable(title,
+		"objects/type", "SSC", "RRB", "MBRB",
+		"RRB speedup", "MBRB speedup", "RRB OVRs", "MBRB OVRs", "cost agree")
+	for _, n := range sizes {
+		in := molqInput(types, n, o.Seed+int64(n))
+		var times [3]time.Duration
+		var results [3]query.Result
+		for mi, m := range []query.Method{query.SSC, query.RRB, query.MBRB} {
+			start := time.Now()
+			res, err := query.Solve(in, m)
+			if err != nil {
+				return nil, fmt.Errorf("%s n=%d %s: %w", title, n, m, err)
+			}
+			times[mi] = time.Since(start)
+			results[mi] = res
+		}
+		agree := "yes"
+		base := results[0].Cost
+		for _, r := range results[1:] {
+			if math.Abs(r.Cost-base) > 5e-3*math.Max(base, 1) {
+				agree = fmt.Sprintf("NO (%.4g vs %.4g)", r.Cost, base)
+			}
+		}
+		tb.AddRow(
+			fmt.Sprintf("%d", n),
+			stats.Dur(times[0]),
+			stats.Dur(times[1]),
+			stats.Dur(times[2]),
+			stats.Speedup(times[0], times[1]),
+			stats.Speedup(times[0], times[2]),
+			fmt.Sprintf("%d", results[1].Stats.OVRs),
+			fmt.Sprintf("%d", results[2].Stats.OVRs),
+			agree,
+		)
+		o.logf("%s: n=%d done (SSC %v, RRB %v, MBRB %v)", title, n, times[0], times[1], times[2])
+	}
+	return []*stats.Table{tb}, nil
+}

@@ -1,0 +1,100 @@
+package fermat
+
+import (
+	"errors"
+
+	"molq/internal/geom"
+)
+
+// Group is one Fermat-Weber problem inside a batch (the point set associated
+// with one OVR in the MOLQ optimizer).
+type Group []WeightedPoint
+
+// BatchStats records how much work a batch solve performed; the Fig 10 and
+// Fig 8/9 experiments report these counters.
+type BatchStats struct {
+	Problems     int // groups examined
+	ExactSolves  int // handled by a 1/2/3-point or collinear fast path
+	Prefiltered  int // skipped by the two-point upper-bound prefilter
+	PrunedGroups int // abandoned mid-iteration by the global cost bound
+	TotalIters   int // Weiszfeld iterations across all groups
+}
+
+// BatchResult is the best location across a batch of Fermat-Weber problems.
+type BatchResult struct {
+	Loc        geom.Point
+	Cost       float64
+	GroupIndex int // index into the input slice of the winning group
+	Stats      BatchStats
+}
+
+// CostBoundBatch implements Algorithm 5: it scans the groups keeping a global
+// cost bound, skips groups whose two-point relaxation already exceeds the
+// bound, and aborts Weiszfeld iterations as soon as the Eq-10 lower bound
+// certifies the group cannot win.
+func CostBoundBatch(groups []Group, opt Options) (BatchResult, error) {
+	return batch(groups, nil, opt, true)
+}
+
+// SequentialBatch is the "Original" baseline of Fig 10: every group is solved
+// to the ε stopping rule with no pruning, then the best is selected.
+func SequentialBatch(groups []Group, opt Options) (BatchResult, error) {
+	return batch(groups, nil, opt, false)
+}
+
+// CostBoundBatchOffsets is CostBoundBatch for objectives of the form
+// Σ w_i·d(q, p_i) + offsets[g]: each group carries a constant cost offset.
+// Additively weighted MOLQ optimizers produce exactly this shape — with the
+// additive object weight function, WD = w^t·d + w^t·w^o and the second term
+// is constant per combination. Offsets must be non-negative (they shift the
+// comparison against the global bound) and len(offsets) must equal
+// len(groups); a nil offsets slice means all zeros.
+func CostBoundBatchOffsets(groups []Group, offsets []float64, opt Options) (BatchResult, error) {
+	return batch(groups, offsets, opt, true)
+}
+
+// SequentialBatchOffsets is SequentialBatch with per-group constant offsets.
+func SequentialBatchOffsets(groups []Group, offsets []float64, opt Options) (BatchResult, error) {
+	return batch(groups, offsets, opt, false)
+}
+
+// ErrBadOffsets reports a malformed offsets slice.
+var ErrBadOffsets = errors.New("fermat: offsets length does not match groups")
+
+// CostBoundBatchVariant runs the batch with Algorithm 5's two pruning
+// mechanisms toggled independently (see NewStreamerVariant). With both true
+// it equals CostBoundBatch; with both false, SequentialBatch.
+func CostBoundBatchVariant(groups []Group, opt Options, prefilter, iterBound bool) (BatchResult, error) {
+	if len(groups) == 0 {
+		return BatchResult{}, ErrNoPoints
+	}
+	s := NewStreamerVariant(opt, prefilter, iterBound)
+	for _, g := range groups {
+		if err := s.Offer(g, 0); err != nil {
+			res, _ := s.Result()
+			return res, err
+		}
+	}
+	return s.Result()
+}
+
+func batch(groups []Group, offsets []float64, opt Options, useBound bool) (BatchResult, error) {
+	if len(groups) == 0 {
+		return BatchResult{}, ErrNoPoints
+	}
+	if offsets != nil && len(offsets) != len(groups) {
+		return BatchResult{}, ErrBadOffsets
+	}
+	s := NewStreamer(opt, useBound)
+	for gi, g := range groups {
+		off := 0.0
+		if offsets != nil {
+			off = offsets[gi]
+		}
+		if err := s.Offer(g, off); err != nil {
+			res, _ := s.Result()
+			return res, err
+		}
+	}
+	return s.Result()
+}

@@ -1,0 +1,157 @@
+package fermat
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// atomicMin maintains a shared monotonically decreasing float64 (the global
+// cost bound of Algorithm 5) with lock-free reads and CAS updates. Values
+// are stored as math.Float64bits; all stored values are non-negative, for
+// which the bits ordering matches the float ordering.
+type atomicMin struct {
+	bits atomic.Uint64
+}
+
+func newAtomicMin() *atomicMin {
+	m := &atomicMin{}
+	m.bits.Store(math.Float64bits(math.Inf(1)))
+	return m
+}
+
+func (m *atomicMin) load() float64 { return math.Float64frombits(m.bits.Load()) }
+
+// update lowers the bound to v if v is smaller; reports whether it did.
+func (m *atomicMin) update(v float64) bool {
+	nb := math.Float64bits(v)
+	for {
+		ob := m.bits.Load()
+		if math.Float64frombits(ob) <= v {
+			return false
+		}
+		if m.bits.CompareAndSwap(ob, nb) {
+			return true
+		}
+	}
+}
+
+// CostBoundBatchParallel is CostBoundBatchOffsets distributed over `workers`
+// goroutines (≤0 means GOMAXPROCS). All workers share the global cost bound
+// through an atomic, so a good early optimum found by one worker prunes the
+// others' iterations — the same contract as Algorithm 5, evaluated in
+// parallel. The returned optimum is identical to the sequential solver's (a
+// group is only ever pruned when the bound certifies it cannot win); the
+// pruning statistics depend on scheduling and are therefore not
+// reproducible run to run.
+func CostBoundBatchParallel(groups []Group, offsets []float64, opt Options, workers int) (BatchResult, error) {
+	if len(groups) == 0 {
+		return BatchResult{}, ErrNoPoints
+	}
+	if offsets != nil && len(offsets) != len(groups) {
+		return BatchResult{}, ErrBadOffsets
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 {
+		return batch(groups, offsets, opt, true)
+	}
+	opt = opt.norm()
+
+	bound := newAtomicMin()
+	var next atomic.Int64
+	var mu sync.Mutex
+	best := BatchResult{Cost: math.Inf(1), GroupIndex: -1}
+	var firstErr error
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := BatchResult{Cost: math.Inf(1), GroupIndex: -1}
+			for {
+				gi := int(next.Add(1) - 1)
+				if gi >= len(groups) {
+					break
+				}
+				g := groups[gi]
+				if len(g) == 0 {
+					continue
+				}
+				off := 0.0
+				if offsets != nil {
+					off = offsets[gi]
+				}
+				local.Stats.Problems++
+				var res Result
+				var err error
+				fast := len(g) <= 3
+				if !fast {
+					if _, ok := collinear(g); ok {
+						fast = true
+					}
+				}
+				if fast {
+					res, err = Solve(g, opt)
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					local.Stats.ExactSolves++
+				} else {
+					cb := bound.load()
+					if !math.IsInf(cb, 1) {
+						two := solve2(g[:2])
+						if two.Cost+off > cb {
+							local.Stats.Prefiltered++
+							continue
+						}
+					}
+					res = weiszfeldDynamic(g, opt, func() float64 { return bound.load() - off })
+					local.Stats.TotalIters += res.Iters
+					if res.Pruned {
+						local.Stats.PrunedGroups++
+						continue
+					}
+				}
+				total := res.Cost + off
+				bound.update(total)
+				if total < local.Cost {
+					local.Cost = total
+					local.Loc = res.Loc
+					local.GroupIndex = gi
+				}
+			}
+			mu.Lock()
+			best.Stats.Problems += local.Stats.Problems
+			best.Stats.ExactSolves += local.Stats.ExactSolves
+			best.Stats.Prefiltered += local.Stats.Prefiltered
+			best.Stats.PrunedGroups += local.Stats.PrunedGroups
+			best.Stats.TotalIters += local.Stats.TotalIters
+			if local.GroupIndex >= 0 && local.Cost < best.Cost {
+				best.Cost = local.Cost
+				best.Loc = local.Loc
+				best.GroupIndex = local.GroupIndex
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return best, firstErr
+	}
+	if best.GroupIndex < 0 {
+		return best, ErrNoPoints
+	}
+	return best, nil
+}

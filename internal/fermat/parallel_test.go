@@ -1,0 +1,90 @@
+package fermat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	groups := randomGroups(77, 200, 5)
+	opt := Options{Epsilon: 1e-5}
+	seq, err := CostBoundBatch(groups, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := CostBoundBatchParallel(groups, nil, opt, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rel := math.Abs(par.Cost-seq.Cost) / seq.Cost; rel > 1e-6 {
+			t.Fatalf("workers=%d: cost %v vs sequential %v", workers, par.Cost, seq.Cost)
+		}
+		if par.GroupIndex != seq.GroupIndex {
+			t.Fatalf("workers=%d: winner %d vs %d", workers, par.GroupIndex, seq.GroupIndex)
+		}
+		if par.Stats.Problems != len(groups) {
+			t.Fatalf("workers=%d: examined %d of %d", workers, par.Stats.Problems, len(groups))
+		}
+	}
+}
+
+func TestParallelWithOffsets(t *testing.T) {
+	groups := randomGroups(88, 150, 5)
+	r := rand.New(rand.NewSource(89))
+	offsets := make([]float64, len(groups))
+	for i := range offsets {
+		offsets[i] = r.Float64() * 300
+	}
+	opt := Options{Epsilon: 1e-5}
+	seq, err := CostBoundBatchOffsets(groups, offsets, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := CostBoundBatchParallel(groups, offsets, opt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(par.Cost-seq.Cost) / seq.Cost; rel > 1e-6 {
+		t.Fatalf("cost %v vs %v", par.Cost, seq.Cost)
+	}
+}
+
+func TestParallelEdgeCases(t *testing.T) {
+	if _, err := CostBoundBatchParallel(nil, nil, Options{}, 4); err != ErrNoPoints {
+		t.Fatalf("want ErrNoPoints, got %v", err)
+	}
+	groups := randomGroups(9, 3, 5)
+	if _, err := CostBoundBatchParallel(groups, []float64{1}, Options{}, 4); err != ErrBadOffsets {
+		t.Fatalf("want ErrBadOffsets, got %v", err)
+	}
+	// workers > groups and workers <= 0 both still work.
+	a, err := CostBoundBatchParallel(groups, nil, Options{}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CostBoundBatchParallel(groups, nil, Options{}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Cost-b.Cost) > 1e-9 {
+		t.Fatalf("worker-count variants disagree: %v vs %v", a.Cost, b.Cost)
+	}
+}
+
+func TestAtomicMin(t *testing.T) {
+	m := newAtomicMin()
+	if !math.IsInf(m.load(), 1) {
+		t.Fatal("fresh bound should be +Inf")
+	}
+	if !m.update(5) {
+		t.Fatal("lowering from Inf should succeed")
+	}
+	if m.update(7) {
+		t.Fatal("raising should be refused")
+	}
+	if !m.update(3) || m.load() != 3 {
+		t.Fatalf("bound = %v, want 3", m.load())
+	}
+}

@@ -1,0 +1,99 @@
+package fermat
+
+import "math"
+
+// Streamer evaluates Algorithm 5 incrementally: groups are offered one at a
+// time and the global cost bound is maintained across offers. It backs both
+// the in-memory batch solvers and the disk-based pipeline, which streams
+// OVR combinations from a spill file without materialising them.
+type Streamer struct {
+	opt       Options
+	prefilter bool // Alg 5 lines 9-12: two-point upper-bound skip
+	iterBound bool // Alg 5 line 16: per-iteration lower-bound abort
+	cbound    float64
+	best      BatchResult
+	count     int
+}
+
+// NewStreamer returns a streaming solver. useBound selects Algorithm 5
+// pruning (true) or the "Original" exhaustive behaviour (false).
+func NewStreamer(opt Options, useBound bool) *Streamer {
+	return NewStreamerVariant(opt, useBound, useBound)
+}
+
+// NewStreamerVariant enables Algorithm 5's two pruning mechanisms
+// independently — the two-point prefilter and the in-iteration lower-bound
+// abort — so the ablation experiment can attribute the speedup.
+func NewStreamerVariant(opt Options, prefilter, iterBound bool) *Streamer {
+	return &Streamer{
+		opt:       opt.norm(),
+		prefilter: prefilter,
+		iterBound: iterBound,
+		cbound:    math.Inf(1),
+		best:      BatchResult{Cost: math.Inf(1), GroupIndex: -1},
+	}
+}
+
+// Offer processes one Fermat-Weber problem with constant cost offset off.
+// Empty groups are ignored.
+func (s *Streamer) Offer(g Group, off float64) error {
+	gi := s.count
+	s.count++
+	if len(g) == 0 {
+		return nil
+	}
+	s.best.Stats.Problems++
+	var res Result
+	var err error
+	fast := len(g) <= 3
+	if !fast {
+		if _, ok := collinear(g); ok {
+			fast = true
+		}
+	}
+	switch {
+	case fast:
+		res, err = Solve(g, s.opt)
+		if err != nil {
+			return err
+		}
+		s.best.Stats.ExactSolves++
+	default:
+		if s.prefilter && !math.IsInf(s.cbound, 1) {
+			two := solve2(g[:2])
+			if two.Cost+off > s.cbound {
+				s.best.Stats.Prefiltered++
+				return nil
+			}
+		}
+		bound := math.Inf(1)
+		if s.iterBound {
+			bound = s.cbound - off
+		}
+		res = weiszfeld(g, s.opt, bound)
+		s.best.Stats.TotalIters += res.Iters
+		if res.Pruned {
+			s.best.Stats.PrunedGroups++
+			return nil
+		}
+	}
+	if total := res.Cost + off; total < s.cbound {
+		s.cbound = total
+		s.best.Loc = res.Loc
+		s.best.Cost = total
+		s.best.GroupIndex = gi
+	}
+	return nil
+}
+
+// Bound returns the current global cost bound (+Inf before any solution).
+func (s *Streamer) Bound() float64 { return s.cbound }
+
+// Result finalises the stream. It returns ErrNoPoints when no non-empty
+// group was offered.
+func (s *Streamer) Result() (BatchResult, error) {
+	if s.best.GroupIndex < 0 {
+		return s.best, ErrNoPoints
+	}
+	return s.best, nil
+}

@@ -1,0 +1,131 @@
+// Package grid implements a uniform-grid nearest-neighbor index. The MOLQ
+// pipeline itself never needs point NN queries (the MOVD encodes them), but
+// the index provides an independent ground truth: validation code and the
+// experiment harness use it to evaluate MWGD at arbitrary locations in
+// near-constant time, cross-checking Property 5 and the end-to-end results
+// at scales where brute force is too slow.
+package grid
+
+import (
+	"math"
+
+	"molq/internal/geom"
+)
+
+// Index is a bucketed point set supporting nearest-neighbor queries.
+type Index struct {
+	pts      []geom.Point
+	bounds   geom.Rect
+	nx, ny   int
+	cellW    float64
+	cellH    float64
+	cells    [][]int32
+	diagonal float64
+}
+
+// New builds an index over pts. The grid resolution targets ~2 points per
+// occupied cell. The index keeps a reference to pts; the caller must not
+// mutate it afterwards.
+func New(pts []geom.Point, bounds geom.Rect) *Index {
+	n := len(pts)
+	if n == 0 {
+		return &Index{bounds: bounds}
+	}
+	for _, p := range pts {
+		bounds = bounds.ExtendPoint(p)
+	}
+	side := int(math.Max(1, math.Sqrt(float64(n)/2)))
+	idx := &Index{
+		pts:    pts,
+		bounds: bounds,
+		nx:     side,
+		ny:     side,
+	}
+	idx.cellW = bounds.Width() / float64(idx.nx)
+	idx.cellH = bounds.Height() / float64(idx.ny)
+	if idx.cellW == 0 {
+		idx.cellW = 1
+	}
+	if idx.cellH == 0 {
+		idx.cellH = 1
+	}
+	idx.diagonal = math.Hypot(bounds.Width(), bounds.Height())
+	idx.cells = make([][]int32, idx.nx*idx.ny)
+	for i, p := range pts {
+		c := idx.cellOf(p)
+		idx.cells[c] = append(idx.cells[c], int32(i))
+	}
+	return idx
+}
+
+// Len returns the number of indexed points.
+func (idx *Index) Len() int { return len(idx.pts) }
+
+func (idx *Index) cellOf(p geom.Point) int {
+	cx := int((p.X - idx.bounds.Min.X) / idx.cellW)
+	cy := int((p.Y - idx.bounds.Min.Y) / idx.cellH)
+	cx = clampInt(cx, 0, idx.nx-1)
+	cy = clampInt(cy, 0, idx.ny-1)
+	return cy*idx.nx + cx
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Nearest returns the index and distance of the point closest to q. It
+// expands square rings of grid cells around q until the best candidate is
+// provably closer than any unexplored cell. Returns (-1, +Inf) for an empty
+// index.
+func (idx *Index) Nearest(q geom.Point) (int, float64) {
+	if len(idx.pts) == 0 {
+		return -1, math.Inf(1)
+	}
+	qcx := clampInt(int((q.X-idx.bounds.Min.X)/idx.cellW), 0, idx.nx-1)
+	qcy := clampInt(int((q.Y-idx.bounds.Min.Y)/idx.cellH), 0, idx.ny-1)
+	best := -1
+	bestD2 := math.Inf(1)
+	maxRing := idx.nx + idx.ny
+	for ring := 0; ring <= maxRing; ring++ {
+		// Once a candidate is found, stop when the ring's nearest possible
+		// distance exceeds it.
+		if best >= 0 {
+			ringDist := (float64(ring-1) * math.Min(idx.cellW, idx.cellH))
+			if ring > 0 && ringDist*ringDist > bestD2 {
+				break
+			}
+		}
+		for cy := qcy - ring; cy <= qcy+ring; cy++ {
+			if cy < 0 || cy >= idx.ny {
+				continue
+			}
+			for cx := qcx - ring; cx <= qcx+ring; cx++ {
+				if cx < 0 || cx >= idx.nx {
+					continue
+				}
+				// Only the ring boundary is new.
+				if ring > 0 && cx != qcx-ring && cx != qcx+ring && cy != qcy-ring && cy != qcy+ring {
+					continue
+				}
+				for _, pi := range idx.cells[cy*idx.nx+cx] {
+					if d2 := q.Dist2(idx.pts[pi]); d2 < bestD2 {
+						best, bestD2 = int(pi), d2
+					}
+				}
+			}
+		}
+	}
+	return best, math.Sqrt(bestD2)
+}
+
+// NearestDist returns only the distance to the nearest point.
+func (idx *Index) NearestDist(q geom.Point) float64 {
+	_, d := idx.Nearest(q)
+	return d
+}

@@ -1,0 +1,84 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"molq/internal/geom"
+)
+
+func brute(pts []geom.Point, q geom.Point) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	for i, p := range pts {
+		if d := q.Dist(p); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+func TestEmptyIndex(t *testing.T) {
+	idx := New(nil, geom.NewRect(geom.Pt(0, 0), geom.Pt(1, 1)))
+	if i, d := idx.Nearest(geom.Pt(0.5, 0.5)); i != -1 || !math.IsInf(d, 1) {
+		t.Fatalf("empty index returned %d, %v", i, d)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	pts := []geom.Point{geom.Pt(3, 4)}
+	idx := New(pts, geom.NewRect(geom.Pt(0, 0), geom.Pt(10, 10)))
+	i, d := idx.Nearest(geom.Pt(0, 0))
+	if i != 0 || math.Abs(d-5) > 1e-12 {
+		t.Fatalf("got %d, %v", i, d)
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(1000, 600))
+	pts := make([]geom.Point, 3000)
+	for i := range pts {
+		pts[i] = geom.Pt(r.Float64()*1000, r.Float64()*600)
+	}
+	idx := New(pts, bounds)
+	for trial := 0; trial < 1000; trial++ {
+		// Include queries outside the bounds.
+		q := geom.Pt(r.Float64()*1400-200, r.Float64()*1000-200)
+		wi, wd := brute(pts, q)
+		gi, gd := idx.Nearest(q)
+		if math.Abs(gd-wd) > 1e-9 {
+			t.Fatalf("query %v: got %d@%v want %d@%v", q, gi, gd, wi, wd)
+		}
+	}
+}
+
+func TestClusteredPoints(t *testing.T) {
+	// Highly skewed distribution stresses the ring expansion.
+	r := rand.New(rand.NewSource(3))
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(1000, 1000))
+	pts := make([]geom.Point, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		pts = append(pts, geom.Pt(500+r.NormFloat64()*5, 500+r.NormFloat64()*5))
+	}
+	idx := New(pts, bounds)
+	for trial := 0; trial < 200; trial++ {
+		q := geom.Pt(r.Float64()*1000, r.Float64()*1000)
+		_, wd := brute(pts, q)
+		_, gd := idx.Nearest(q)
+		if math.Abs(gd-wd) > 1e-9 {
+			t.Fatalf("query %v: %v != %v", q, gd, wd)
+		}
+	}
+	if idx.Len() != 2000 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+}
+
+func TestNearestDist(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)}
+	idx := New(pts, geom.NewRect(geom.Pt(0, 0), geom.Pt(10, 10)))
+	if d := idx.NearestDist(geom.Pt(4, 0)); math.Abs(d-4) > 1e-12 {
+		t.Fatalf("NearestDist = %v", d)
+	}
+}

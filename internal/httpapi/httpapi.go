@@ -1,0 +1,444 @@
+// Package httpapi exposes MOLQ evaluation over HTTP with a small JSON API,
+// turning the library into a location-selection service. Endpoints:
+//
+//	POST /v1/solve    — evaluate one query (object sets inline)
+//	POST /v1/engines  — prepare a reusable engine from object sets
+//	GET  /v1/engines  — list prepared engines
+//	POST /v1/engines/{name}/query — solve against a prepared engine with
+//	                                 fresh type weights
+//	POST /v1/score    — MWGD of candidate locations against inline sets
+//	GET  /v1/healthz  — liveness
+//
+// All handlers are safe for concurrent use; prepared engines are immutable
+// after creation and stored under a read-write mutex.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"molq/internal/core"
+	"molq/internal/geom"
+	"molq/internal/query"
+)
+
+// PointJSON is a location in request/response bodies.
+type PointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// ObjectJSON is one POI.
+type ObjectJSON struct {
+	X          float64 `json:"x"`
+	Y          float64 `json:"y"`
+	TypeWeight float64 `json:"type_weight,omitempty"` // default 1
+	ObjWeight  float64 `json:"obj_weight,omitempty"`  // default 1
+}
+
+// TypeJSON is one object set.
+type TypeJSON struct {
+	Name string `json:"name,omitempty"`
+	// Kind selects ς^o: "multiplicative" (default) or "additive".
+	Kind    string       `json:"kind,omitempty"`
+	Objects []ObjectJSON `json:"objects"`
+}
+
+// SolveRequest is the body of POST /v1/solve.
+type SolveRequest struct {
+	// Method: "ssc", "rrb" (default) or "mbrb".
+	Method string `json:"method,omitempty"`
+	// Bounds of the search space; omitted means the bounding box of the
+	// objects.
+	Bounds *[4]float64 `json:"bounds,omitempty"` // minX, minY, maxX, maxY
+	Types  []TypeJSON  `json:"types"`
+	// Epsilon for the iterative solver (default 1e-3).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Workers and PruneOverlap mirror the library options.
+	Workers      int  `json:"workers,omitempty"`
+	PruneOverlap bool `json:"prune_overlap,omitempty"`
+	// TopK > 1 additionally returns the next best distinct locations in the
+	// response's "alternatives" (RRB/MBRB only).
+	TopK int `json:"top_k,omitempty"`
+}
+
+// AlternativeJSON is one ranked runner-up location.
+type AlternativeJSON struct {
+	Location PointJSON `json:"location"`
+	Cost     float64   `json:"cost"`
+}
+
+// SolveResponse reports the optimum.
+type SolveResponse struct {
+	Location PointJSON `json:"location"`
+	Cost     float64   `json:"cost"`
+	Method   string    `json:"method"`
+	OVRs     int       `json:"ovrs,omitempty"`
+	Groups   int       `json:"fermat_weber_problems,omitempty"`
+	Micros   int64     `json:"elapsed_us"`
+	// Alternatives holds ranked runner-up locations when TopK was
+	// requested (excluding the optimum itself).
+	Alternatives []AlternativeJSON `json:"alternatives,omitempty"`
+}
+
+// EngineRequest is the body of POST /v1/engines.
+type EngineRequest struct {
+	Name   string      `json:"name"`
+	Method string      `json:"method,omitempty"` // rrb (default) or mbrb
+	Bounds *[4]float64 `json:"bounds,omitempty"`
+	Types  []TypeJSON  `json:"types"`
+	// Epsilon default 1e-3.
+	Epsilon float64 `json:"epsilon,omitempty"`
+}
+
+// EngineInfo describes a prepared engine.
+type EngineInfo struct {
+	Name         string   `json:"name"`
+	Method       string   `json:"method"`
+	Types        []string `json:"types"`
+	OVRs         int      `json:"ovrs"`
+	Combinations int      `json:"combinations"`
+	PrepMicros   int64    `json:"prepare_us"`
+}
+
+// EngineQueryRequest is the body of POST /v1/engines/{name}/query.
+type EngineQueryRequest struct {
+	TypeWeights []float64 `json:"type_weights"`
+}
+
+// ScoreRequest is the body of POST /v1/score.
+type ScoreRequest struct {
+	Types      []TypeJSON  `json:"types"`
+	Candidates []PointJSON `json:"candidates"`
+}
+
+// ScoreResponse lists the MWGD of each candidate.
+type ScoreResponse struct {
+	Costs []float64 `json:"costs"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type preparedEngine struct {
+	info EngineInfo
+	eng  *query.Engine
+}
+
+// Server implements http.Handler.
+type Server struct {
+	mux sync.RWMutex
+	eng map[string]*preparedEngine
+	h   *http.ServeMux
+}
+
+// New returns a ready-to-serve API server.
+func New() *Server {
+	s := &Server{eng: make(map[string]*preparedEngine), h: http.NewServeMux()}
+	s.h.HandleFunc("GET /v1/healthz", s.handleHealth)
+	s.h.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.h.HandleFunc("POST /v1/engines", s.handleEngineCreate)
+	s.h.HandleFunc("GET /v1/engines", s.handleEngineList)
+	s.h.HandleFunc("DELETE /v1/engines/{name}", s.handleEngineDelete)
+	s.h.HandleFunc("POST /v1/engines/{name}/query", s.handleEngineQuery)
+	s.h.HandleFunc("POST /v1/score", s.handleScore)
+	return s
+}
+
+// MaxBodyBytes caps request bodies (64 MiB covers hundreds of thousands of
+// POIs; anything larger should arrive via the CLI's file loaders).
+const MaxBodyBytes = 64 << 20
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	}
+	s.h.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// buildInput converts request types into a query.Input.
+func buildInput(types []TypeJSON, bounds *[4]float64, epsilon float64) (query.Input, error) {
+	var in query.Input
+	if len(types) == 0 {
+		return in, fmt.Errorf("no object types")
+	}
+	ext := geom.EmptyRect()
+	in.Sets = make([][]core.Object, len(types))
+	in.ObjKinds = make([]query.WeightKind, len(types))
+	for ti, tj := range types {
+		switch strings.ToLower(tj.Kind) {
+		case "", "multiplicative":
+			in.ObjKinds[ti] = query.MultiplicativeObjWeights
+		case "additive":
+			in.ObjKinds[ti] = query.AdditiveObjWeights
+		default:
+			return in, fmt.Errorf("type %d: unknown kind %q", ti, tj.Kind)
+		}
+		if len(tj.Objects) == 0 {
+			return in, fmt.Errorf("type %d (%s): no objects", ti, tj.Name)
+		}
+		set := make([]core.Object, len(tj.Objects))
+		for i, o := range tj.Objects {
+			tw, ow := o.TypeWeight, o.ObjWeight
+			if tw == 0 {
+				tw = 1
+			}
+			if ow == 0 {
+				ow = 1
+			}
+			set[i] = core.Object{
+				ID: i, Type: ti,
+				Loc:        geom.Pt(o.X, o.Y),
+				TypeWeight: tw, ObjWeight: ow,
+			}
+			ext = ext.ExtendPoint(set[i].Loc)
+		}
+		in.Sets[ti] = set
+	}
+	if bounds != nil {
+		in.Bounds = geom.NewRect(geom.Pt(bounds[0], bounds[1]), geom.Pt(bounds[2], bounds[3]))
+	} else {
+		in.Bounds = ext
+	}
+	if in.Bounds.Area() == 0 {
+		in.Bounds = geom.Rect{
+			Min: in.Bounds.Min.Sub(geom.Pt(1, 1)),
+			Max: in.Bounds.Max.Add(geom.Pt(1, 1)),
+		}
+	}
+	in.Epsilon = epsilon
+	return in, nil
+}
+
+func parseMethod(m string, allowSSC bool) (query.Method, error) {
+	switch strings.ToLower(m) {
+	case "", "rrb":
+		return query.RRB, nil
+	case "mbrb":
+		return query.MBRB, nil
+	case "ssc":
+		if allowSSC {
+			return query.SSC, nil
+		}
+		return 0, fmt.Errorf("method ssc not supported here")
+	default:
+		return 0, fmt.Errorf("unknown method %q", m)
+	}
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	m, err := parseMethod(req.Method, true)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	in, err := buildInput(req.Types, req.Bounds, req.Epsilon)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	in.Workers = req.Workers
+	in.PruneOverlap = req.PruneOverlap
+	res, err := query.Solve(in, m)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	out := SolveResponse{
+		Location: PointJSON{X: res.Loc.X, Y: res.Loc.Y},
+		Cost:     res.Cost,
+		Method:   res.Method.String(),
+		OVRs:     res.Stats.OVRs,
+		Groups:   res.Stats.Groups,
+		Micros:   res.Stats.TotalTime.Microseconds(),
+	}
+	if req.TopK > 1 {
+		cands, err := query.TopK(in, m, req.TopK)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "top_k: %v", err)
+			return
+		}
+		for _, c := range cands[1:] {
+			out.Alternatives = append(out.Alternatives, AlternativeJSON{
+				Location: PointJSON{X: c.Loc.X, Y: c.Loc.Y},
+				Cost:     c.Cost,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleEngineCreate(w http.ResponseWriter, r *http.Request) {
+	var req EngineRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Name == "" {
+		writeErr(w, http.StatusBadRequest, "engine name required")
+		return
+	}
+	m, err := parseMethod(req.Method, false)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	in, err := buildInput(req.Types, req.Bounds, req.Epsilon)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	eng, err := query.NewEngine(in, m)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	names := make([]string, len(req.Types))
+	for i, tj := range req.Types {
+		names[i] = tj.Name
+	}
+	info := EngineInfo{
+		Name:         req.Name,
+		Method:       m.String(),
+		Types:        names,
+		OVRs:         eng.OVRs(),
+		Combinations: eng.Combinations(),
+		PrepMicros:   eng.PrepTime().Microseconds(),
+	}
+	s.mux.Lock()
+	_, exists := s.eng[req.Name]
+	if !exists {
+		s.eng[req.Name] = &preparedEngine{info: info, eng: eng}
+	}
+	s.mux.Unlock()
+	if exists {
+		writeErr(w, http.StatusConflict, "engine %q already exists", req.Name)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleEngineList(w http.ResponseWriter, _ *http.Request) {
+	s.mux.RLock()
+	infos := make([]EngineInfo, 0, len(s.eng))
+	for _, pe := range s.eng {
+		infos = append(infos, pe.info)
+	}
+	s.mux.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleEngineDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mux.Lock()
+	_, ok := s.eng[name]
+	delete(s.eng, name)
+	s.mux.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "engine %q not found", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func (s *Server) handleEngineQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mux.RLock()
+	pe := s.eng[name]
+	s.mux.RUnlock()
+	if pe == nil {
+		writeErr(w, http.StatusNotFound, "engine %q not found", name)
+		return
+	}
+	var req EngineQueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	res, err := pe.eng.Query(req.TypeWeights)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SolveResponse{
+		Location: PointJSON{X: res.Loc.X, Y: res.Loc.Y},
+		Cost:     res.Cost,
+		Method:   res.Method.String(),
+		OVRs:     res.Stats.OVRs,
+		Groups:   res.Stats.Groups,
+		Micros:   res.Stats.TotalTime.Microseconds(),
+	})
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	var req ScoreRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	in, err := buildInput(req.Types, nil, 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Candidates) == 0 {
+		writeErr(w, http.StatusBadRequest, "no candidate locations")
+		return
+	}
+	costs := make([]float64, len(req.Candidates))
+	for i, c := range req.Candidates {
+		costs[i] = mwgdOf(&in, geom.Pt(c.X, c.Y))
+	}
+	writeJSON(w, http.StatusOK, ScoreResponse{Costs: costs})
+}
+
+// mwgdOf evaluates the objective respecting per-type kinds.
+func mwgdOf(in *query.Input, q geom.Point) float64 {
+	total := 0.0
+	for ti, set := range in.Sets {
+		additive := ti < len(in.ObjKinds) && in.ObjKinds[ti] == query.AdditiveObjWeights
+		best := -1.0
+		for _, o := range set {
+			var v float64
+			if additive {
+				v = o.TypeWeight * (q.Dist(o.Loc) + o.ObjWeight)
+			} else {
+				v = o.TypeWeight * o.ObjWeight * q.Dist(o.Loc)
+			}
+			if best < 0 || v < best {
+				best = v
+			}
+		}
+		if best >= 0 {
+			total += best
+		}
+	}
+	return total
+}

@@ -1,0 +1,340 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func sampleTypes() []TypeJSON {
+	return []TypeJSON{
+		{Name: "school", Objects: []ObjectJSON{
+			{X: 20, Y: 30, TypeWeight: 2}, {X: 80, Y: 40, TypeWeight: 2},
+		}},
+		{Name: "market", Objects: []ObjectJSON{
+			{X: 10, Y: 80}, {X: 60, Y: 20},
+		}},
+	}
+}
+
+func TestHealth(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestSolveEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	for _, method := range []string{"ssc", "rrb", "mbrb"} {
+		req := SolveRequest{
+			Method:  method,
+			Bounds:  &[4]float64{0, 0, 100, 100},
+			Types:   sampleTypes(),
+			Epsilon: 1e-9,
+		}
+		resp, body := postJSON(t, ts.URL+"/v1/solve", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", method, resp.StatusCode, body)
+		}
+		var out SolveResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		// Same instance as the package example: optimum at (80,40), √800.
+		if math.Abs(out.Cost-math.Sqrt(800)) > 1e-6 {
+			t.Fatalf("%s: cost %v, want %v", method, out.Cost, math.Sqrt(800))
+		}
+		if out.Location.X != 80 || out.Location.Y != 40 {
+			t.Fatalf("%s: location %+v", method, out.Location)
+		}
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []SolveRequest{
+		{},                                   // no types
+		{Method: "warp"},                     // bad method
+		{Types: []TypeJSON{{Name: "empty"}}}, // empty set
+		{Types: sampleTypes(), Method: "rrb", Epsilon: 0,
+			Bounds: &[4]float64{0, 0, 100, 100},
+		},
+	}
+	for i, req := range cases[:3] {
+		resp, _ := postJSON(t, ts.URL+"/v1/solve", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("case %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d", resp.StatusCode)
+	}
+}
+
+func TestAdditiveKind(t *testing.T) {
+	ts := newTestServer(t)
+	req := SolveRequest{
+		Method: "mbrb",
+		Bounds: &[4]float64{0, 0, 100, 100},
+		Types: []TypeJSON{
+			{Name: "cafe", Kind: "additive", Objects: []ObjectJSON{
+				{X: 10, Y: 10, ObjWeight: 5}, {X: 90, Y: 90, ObjWeight: 1},
+			}},
+		},
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out SolveResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Single additive type: best is sitting on the low-penalty object.
+	if out.Location.X != 90 || math.Abs(out.Cost-1) > 1e-9 {
+		t.Fatalf("additive solve: %+v", out)
+	}
+	// Unknown kind rejected.
+	req.Types[0].Kind = "exotic"
+	resp, _ = postJSON(t, ts.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown kind: status %d", resp.StatusCode)
+	}
+}
+
+func TestEngineLifecycle(t *testing.T) {
+	ts := newTestServer(t)
+	create := EngineRequest{
+		Name:   "city",
+		Method: "rrb",
+		Bounds: &[4]float64{0, 0, 100, 100},
+		Types:  sampleTypes(),
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/engines", create)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", resp.StatusCode, body)
+	}
+	var info EngineInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.OVRs == 0 || info.Combinations == 0 {
+		t.Fatalf("engine info empty: %+v", info)
+	}
+	// Duplicate name conflicts.
+	resp, _ = postJSON(t, ts.URL+"/v1/engines", create)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate: status %d", resp.StatusCode)
+	}
+	// List.
+	lresp, err := http.Get(ts.URL + "/v1/engines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []EngineInfo
+	if err := json.NewDecoder(lresp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	if len(infos) != 1 || infos[0].Name != "city" {
+		t.Fatalf("list: %+v", infos)
+	}
+	// Query with two different weight vectors.
+	q1 := EngineQueryRequest{TypeWeights: []float64{1, 1}}
+	resp, body = postJSON(t, ts.URL+"/v1/engines/city/query", q1)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: status %d: %s", resp.StatusCode, body)
+	}
+	var r1 SolveResponse
+	if err := json.Unmarshal(body, &r1); err != nil {
+		t.Fatal(err)
+	}
+	q2 := EngineQueryRequest{TypeWeights: []float64{50, 1}}
+	_, body = postJSON(t, ts.URL+"/v1/engines/city/query", q2)
+	var r2 SolveResponse
+	if err := json.Unmarshal(body, &r2); err != nil {
+		t.Fatal(err)
+	}
+	// With schools weighted 50x, the optimum must sit on a school.
+	onSchool := (r2.Location.X == 20 && r2.Location.Y == 30) ||
+		(r2.Location.X == 80 && r2.Location.Y == 40)
+	if !onSchool {
+		t.Fatalf("heavy school weights should pin the optimum to a school, got %+v", r2.Location)
+	}
+	// Bad weights.
+	resp, _ = postJSON(t, ts.URL+"/v1/engines/city/query", EngineQueryRequest{TypeWeights: []float64{1}})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad weights: status %d", resp.StatusCode)
+	}
+	// Unknown engine.
+	resp, _ = postJSON(t, ts.URL+"/v1/engines/ghost/query", q1)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost engine: status %d", resp.StatusCode)
+	}
+	// Delete, then the engine is gone.
+	delReq, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/engines/city", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", dresp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/engines/city/query", q1)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted engine still answers: status %d", resp.StatusCode)
+	}
+	dresp2, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp2.Body.Close()
+	if dresp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("double delete: status %d", dresp2.StatusCode)
+	}
+}
+
+func TestSolveTopK(t *testing.T) {
+	ts := newTestServer(t)
+	req := SolveRequest{
+		Method:  "rrb",
+		Bounds:  &[4]float64{0, 0, 100, 100},
+		Types:   sampleTypes(),
+		Epsilon: 1e-9,
+		TopK:    3,
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out SolveResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Alternatives) == 0 {
+		t.Fatal("no alternatives returned")
+	}
+	prev := out.Cost
+	for _, a := range out.Alternatives {
+		if a.Cost < prev-1e-9 {
+			t.Fatalf("alternatives not ascending: %v", out.Alternatives)
+		}
+		prev = a.Cost
+	}
+	// TopK with SSC is rejected.
+	req.Method = "ssc"
+	resp, _ = postJSON(t, ts.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("ssc top_k: status %d", resp.StatusCode)
+	}
+}
+
+func TestScoreEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	req := ScoreRequest{
+		Types: []TypeJSON{
+			{Objects: []ObjectJSON{{X: 0, Y: 0}}},
+			{Objects: []ObjectJSON{{X: 10, Y: 0}}},
+		},
+		Candidates: []PointJSON{{X: 5, Y: 0}, {X: 0, Y: 0}},
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/score", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out ScoreResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Costs) != 2 || math.Abs(out.Costs[0]-10) > 1e-9 || math.Abs(out.Costs[1]-10) > 1e-9 {
+		t.Fatalf("costs %v", out.Costs)
+	}
+	// No candidates.
+	req.Candidates = nil
+	resp, _ = postJSON(t, ts.URL+"/v1/score", req)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("no candidates: status %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentEngineUse(t *testing.T) {
+	ts := newTestServer(t)
+	create := EngineRequest{
+		Name:   "conc",
+		Bounds: &[4]float64{0, 0, 100, 100},
+		Types:  sampleTypes(),
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/engines", create); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create failed: %s", body)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := EngineQueryRequest{TypeWeights: []float64{1 + float64(i%5), 1}}
+			raw, _ := json.Marshal(q)
+			resp, err := http.Post(ts.URL+"/v1/engines/conc/query", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+package interval
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkInsertDelete(b *testing.B) {
+	r := rand.New(rand.NewSource(31))
+	los := make([]float64, 4096)
+	for i := range los {
+		los[i] = r.Float64() * 1e6
+	}
+	b.ResetTimer()
+	var tr Tree[int]
+	for i := 0; i < b.N; i++ {
+		lo := los[i%len(los)]
+		tr.Insert(lo, lo+100, i, i)
+		if tr.Len() > 2048 {
+			old := i - 2048
+			tr.Delete(los[old%len(los)], old)
+		}
+	}
+}
+
+func BenchmarkOverlapping(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		r := rand.New(rand.NewSource(32))
+		var tr Tree[int]
+		for i := 0; i < n; i++ {
+			lo := r.Float64() * 1e6
+			tr.Insert(lo, lo+1e6/float64(n)*4, i, i)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			hits := 0
+			for i := 0; i < b.N; i++ {
+				q := float64(i%1000) * 1e3
+				tr.Overlapping(q, q+500, func(_, _ float64, _ int, _ int) bool {
+					hits++
+					return true
+				})
+			}
+			_ = hits
+		})
+	}
+}

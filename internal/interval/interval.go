@@ -1,0 +1,229 @@
+// Package interval implements an augmented balanced search tree over
+// one-dimensional closed intervals. It is the status structure used by the
+// plane-sweep overlap operation (Algorithms 2–4 in the paper): OVRs that
+// currently intersect the sweep line are stored keyed by the start of their
+// x-projection, and candidate detection asks for every stored interval whose
+// x-range overlaps the incoming OVR's x-range.
+//
+// The tree is a treap (randomized BST) augmented with the subtree maximum of
+// the interval end points, giving O(log n) expected insert/delete and
+// O(log n + k) stabbing queries for k reported intervals.
+package interval
+
+// Tree is an interval tree mapping [Lo, Hi] intervals to values of type V.
+// Entries are identified by (Lo, ID); the caller chooses IDs that are unique
+// per stored entry. The zero value is an empty tree ready for use.
+type Tree[V any] struct {
+	root *node[V]
+	size int
+	rng  uint64
+}
+
+type node[V any] struct {
+	lo, hi float64
+	id     int
+	val    V
+	prio   uint64
+	maxHi  float64
+	left   *node[V]
+	right  *node[V]
+}
+
+// Len returns the number of stored intervals.
+func (t *Tree[V]) Len() int { return t.size }
+
+// nextPrio produces treap priorities from a xorshift64* generator so the tree
+// stays balanced in expectation without importing math/rand.
+func (t *Tree[V]) nextPrio() uint64 {
+	if t.rng == 0 {
+		t.rng = 0x9E3779B97F4A7C15
+	}
+	x := t.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	t.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// less orders entries by (lo, id).
+func less[V any](aLo float64, aID int, b *node[V]) bool {
+	if aLo != b.lo {
+		return aLo < b.lo
+	}
+	return aID < b.id
+}
+
+func (n *node[V]) update() {
+	n.maxHi = n.hi
+	if n.left != nil && n.left.maxHi > n.maxHi {
+		n.maxHi = n.left.maxHi
+	}
+	if n.right != nil && n.right.maxHi > n.maxHi {
+		n.maxHi = n.right.maxHi
+	}
+}
+
+func rotateRight[V any](n *node[V]) *node[V] {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.update()
+	l.update()
+	return l
+}
+
+func rotateLeft[V any](n *node[V]) *node[V] {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.update()
+	r.update()
+	return r
+}
+
+// Insert adds the interval [lo, hi] with identity id and payload val.
+// Inserting an entry with a (lo, id) pair already present replaces its value.
+func (t *Tree[V]) Insert(lo, hi float64, id int, val V) {
+	inserted := false
+	t.root, inserted = t.insert(t.root, lo, hi, id, val)
+	if inserted {
+		t.size++
+	}
+}
+
+func (t *Tree[V]) insert(n *node[V], lo, hi float64, id int, val V) (*node[V], bool) {
+	if n == nil {
+		nn := &node[V]{lo: lo, hi: hi, id: id, val: val, prio: t.nextPrio()}
+		nn.update()
+		return nn, true
+	}
+	var inserted bool
+	switch {
+	case lo == n.lo && id == n.id:
+		n.hi = hi
+		n.val = val
+		n.update()
+		return n, false
+	case less(lo, id, n):
+		n.left, inserted = t.insert(n.left, lo, hi, id, val)
+		if n.left.prio > n.prio {
+			n = rotateRight(n)
+		} else {
+			n.update()
+		}
+	default:
+		n.right, inserted = t.insert(n.right, lo, hi, id, val)
+		if n.right.prio > n.prio {
+			n = rotateLeft(n)
+		} else {
+			n.update()
+		}
+	}
+	return n, inserted
+}
+
+// Delete removes the entry with start lo and identity id, reporting whether
+// it was present.
+func (t *Tree[V]) Delete(lo float64, id int) bool {
+	deleted := false
+	t.root, deleted = deleteNode(t.root, lo, id)
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+func deleteNode[V any](n *node[V], lo float64, id int) (*node[V], bool) {
+	if n == nil {
+		return nil, false
+	}
+	var deleted bool
+	switch {
+	case lo == n.lo && id == n.id:
+		return merge(n.left, n.right), true
+	case less(lo, id, n):
+		n.left, deleted = deleteNode(n.left, lo, id)
+	default:
+		n.right, deleted = deleteNode(n.right, lo, id)
+	}
+	n.update()
+	return n, deleted
+}
+
+// merge joins two treaps where every key in a precedes every key in b.
+func merge[V any](a, b *node[V]) *node[V] {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case a.prio > b.prio:
+		a.right = merge(a.right, b)
+		a.update()
+		return a
+	default:
+		b.left = merge(a, b.left)
+		b.update()
+		return b
+	}
+}
+
+// Overlapping calls fn for every stored interval [lo, hi] that intersects the
+// closed query interval [qlo, qhi]. Iteration stops early if fn returns
+// false.
+func (t *Tree[V]) Overlapping(qlo, qhi float64, fn func(lo, hi float64, id int, val V) bool) {
+	overlapping(t.root, qlo, qhi, fn)
+}
+
+func overlapping[V any](n *node[V], qlo, qhi float64, fn func(lo, hi float64, id int, val V) bool) bool {
+	if n == nil || n.maxHi < qlo {
+		return true
+	}
+	if !overlapping(n.left, qlo, qhi, fn) {
+		return false
+	}
+	if n.lo <= qhi && n.hi >= qlo {
+		if !fn(n.lo, n.hi, n.id, n.val) {
+			return false
+		}
+	}
+	if n.lo > qhi {
+		// Every key in the right subtree starts even further right.
+		return true
+	}
+	return overlapping(n.right, qlo, qhi, fn)
+}
+
+// Walk visits every entry in key order.
+func (t *Tree[V]) Walk(fn func(lo, hi float64, id int, val V) bool) {
+	walk(t.root, fn)
+}
+
+func walk[V any](n *node[V], fn func(lo, hi float64, id int, val V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !walk(n.left, fn) {
+		return false
+	}
+	if !fn(n.lo, n.hi, n.id, n.val) {
+		return false
+	}
+	return walk(n.right, fn)
+}
+
+// Height returns the height of the underlying tree (0 for empty); exposed for
+// balance diagnostics in tests.
+func (t *Tree[V]) Height() int { return height(t.root) }
+
+func height[V any](n *node[V]) int {
+	if n == nil {
+		return 0
+	}
+	l, r := height(n.left), height(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

@@ -1,0 +1,194 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+type span struct {
+	lo, hi float64
+	id     int
+}
+
+func bruteOverlap(spans []span, qlo, qhi float64) []int {
+	var out []int
+	for _, s := range spans {
+		if s.lo <= qhi && s.hi >= qlo {
+			out = append(out, s.id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func collect(t *Tree[int], qlo, qhi float64) []int {
+	var out []int
+	t.Overlapping(qlo, qhi, func(_, _ float64, _ int, v int) bool {
+		out = append(out, v)
+		return true
+	})
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree[int]
+	if tr.Len() != 0 {
+		t.Fatal("new tree not empty")
+	}
+	if got := collect(&tr, 0, 100); len(got) != 0 {
+		t.Fatalf("query on empty tree returned %v", got)
+	}
+	if tr.Delete(1, 1) {
+		t.Fatal("delete on empty tree succeeded")
+	}
+}
+
+func TestInsertQueryDelete(t *testing.T) {
+	var tr Tree[int]
+	tr.Insert(0, 10, 1, 1)
+	tr.Insert(5, 15, 2, 2)
+	tr.Insert(20, 30, 3, 3)
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if got := collect(&tr, 8, 9); !equalInts(got, []int{1, 2}) {
+		t.Fatalf("query [8,9] = %v", got)
+	}
+	if got := collect(&tr, 16, 19); len(got) != 0 {
+		t.Fatalf("gap query returned %v", got)
+	}
+	if got := collect(&tr, 10, 20); !equalInts(got, []int{1, 2, 3}) {
+		t.Fatalf("touching query = %v (closed intervals should match)", got)
+	}
+	if !tr.Delete(5, 2) {
+		t.Fatal("delete failed")
+	}
+	if got := collect(&tr, 8, 9); !equalInts(got, []int{1}) {
+		t.Fatalf("after delete query = %v", got)
+	}
+}
+
+func TestReplaceSameKey(t *testing.T) {
+	var tr Tree[int]
+	tr.Insert(1, 5, 7, 100)
+	tr.Insert(1, 8, 7, 200)
+	if tr.Len() != 1 {
+		t.Fatalf("replace should not grow tree, Len = %d", tr.Len())
+	}
+	if got := collect(&tr, 7, 7); !equalInts(got, []int{200}) {
+		t.Fatalf("replaced entry not visible: %v", got)
+	}
+}
+
+func TestRandomAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	var tr Tree[int]
+	var spans []span
+	for i := 0; i < 500; i++ {
+		lo := r.Float64() * 1000
+		hi := lo + r.Float64()*100
+		spans = append(spans, span{lo, hi, i})
+		tr.Insert(lo, hi, i, i)
+	}
+	// Random deletes.
+	for k := 0; k < 150; k++ {
+		i := r.Intn(len(spans))
+		s := spans[i]
+		if tr.Delete(s.lo, s.id) {
+			spans = append(spans[:i], spans[i+1:]...)
+		}
+	}
+	if tr.Len() != len(spans) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(spans))
+	}
+	for q := 0; q < 300; q++ {
+		qlo := r.Float64() * 1100
+		qhi := qlo + r.Float64()*80
+		want := bruteOverlap(spans, qlo, qhi)
+		got := collect(&tr, qlo, qhi)
+		if !equalInts(got, want) {
+			t.Fatalf("query [%v,%v]: got %v want %v", qlo, qhi, got, want)
+		}
+	}
+}
+
+func TestQuickProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		var tr Tree[int]
+		var spans []span
+		for i := 0; i < int(n)+1; i++ {
+			lo := r.Float64() * 50
+			hi := lo + r.Float64()*10
+			spans = append(spans, span{lo, hi, i})
+			tr.Insert(lo, hi, i, i)
+		}
+		qlo := r.Float64() * 60
+		qhi := qlo + r.Float64()*20
+		return equalInts(collect(&tr, qlo, qhi), bruteOverlap(spans, qlo, qhi))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	var tr Tree[int]
+	for i := 0; i < 50; i++ {
+		tr.Insert(float64(i), float64(i)+100, i, i)
+	}
+	count := 0
+	tr.Overlapping(0, 200, func(_, _ float64, _ int, _ int) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d entries", count)
+	}
+}
+
+func TestWalkInOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	var tr Tree[int]
+	for i := 0; i < 200; i++ {
+		lo := r.Float64() * 100
+		tr.Insert(lo, lo+1, i, i)
+	}
+	prev := math.Inf(-1)
+	tr.Walk(func(lo, _ float64, _ int, _ int) bool {
+		if lo < prev {
+			t.Fatalf("walk out of order: %v after %v", lo, prev)
+		}
+		prev = lo
+		return true
+	})
+}
+
+func TestTreeStaysBalanced(t *testing.T) {
+	var tr Tree[int]
+	// Sorted insertion is the worst case for an unbalanced BST.
+	n := 1 << 14
+	for i := 0; i < n; i++ {
+		tr.Insert(float64(i), float64(i)+0.5, i, i)
+	}
+	// Expected treap height is O(log n); allow a generous constant.
+	if h := tr.Height(); h > 5*15 {
+		t.Fatalf("height %d too large for %d sorted inserts", h, n)
+	}
+}

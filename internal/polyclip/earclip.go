@@ -1,0 +1,180 @@
+package polyclip
+
+import (
+	"fmt"
+
+	"molq/internal/geom"
+)
+
+// Triangulate decomposes a simple polygon (CCW or CW, no self-intersections,
+// no holes) into triangles by ear clipping. It returns an error when the
+// input is degenerate (fewer than 3 effective vertices) or no ear can be
+// found (which indicates a self-intersecting input).
+//
+// The general (non-convex) intersection below runs on the triangulation, so
+// OVR regions that are not convex — e.g. user-supplied dominance regions —
+// can still flow through the RRB machinery exactly.
+func Triangulate(pg geom.Polygon) ([]geom.Polygon, error) {
+	poly := pg.Dedup().EnsureCCW()
+	n := len(poly)
+	if n < 3 {
+		return nil, fmt.Errorf("polyclip: cannot triangulate %d vertices", n)
+	}
+	if n == 3 {
+		return []geom.Polygon{poly.Clone()}, nil
+	}
+	// Index ring.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var out []geom.Polygon
+	guard := 0
+	for len(idx) > 3 {
+		guard++
+		if guard > 2*n*n {
+			return nil, fmt.Errorf("polyclip: no ear found (self-intersecting polygon?)")
+		}
+		// First look for an ear with no remaining vertex inside OR on its
+		// boundary: accepting an ear whose hypotenuse passes exactly
+		// through another vertex would pinch the remainder into a weakly
+		// simple ring and corrupt later ears. Only if no such ear exists
+		// (possible under extreme collinearity) fall back to the classic
+		// strict-interior test.
+		k := findEar(poly, idx, false)
+		if k < 0 {
+			k = findEar(poly, idx, true)
+		}
+		if k < 0 {
+			return nil, fmt.Errorf("polyclip: no ear found (self-intersecting polygon?)")
+		}
+		i0 := idx[(k+len(idx)-1)%len(idx)]
+		i1 := idx[k]
+		i2 := idx[(k+1)%len(idx)]
+		out = append(out, geom.Polygon{poly[i0], poly[i1], poly[i2]})
+		idx = append(idx[:k], idx[k+1:]...)
+	}
+	out = append(out, geom.Polygon{poly[idx[0]], poly[idx[1]], poly[idx[2]]})
+	return out, nil
+}
+
+// findEar returns the ring position of a clippable ear, or -1. With
+// strictOnly false, vertices on the candidate ear's boundary also block it.
+func findEar(poly geom.Polygon, idx []int, strictOnly bool) int {
+	for k := 0; k < len(idx); k++ {
+		i0 := idx[(k+len(idx)-1)%len(idx)]
+		i1 := idx[k]
+		i2 := idx[(k+1)%len(idx)]
+		a, b, c := poly[i0], poly[i1], poly[i2]
+		if geom.Orient(a, b, c) <= geom.Eps {
+			continue // reflex or collinear corner
+		}
+		ok := true
+		for _, j := range idx {
+			if j == i0 || j == i1 || j == i2 {
+				continue
+			}
+			if pointBlocksEar(poly[j], a, b, c, strictOnly) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return k
+		}
+	}
+	return -1
+}
+
+// pointBlocksEar reports whether p prevents abc from being clipped as an
+// ear. Strict mode only blocks on interior points; inclusive mode also
+// blocks on boundary points (within tolerance).
+func pointBlocksEar(p, a, b, c geom.Point, strictOnly bool) bool {
+	tol := geom.Eps
+	if !strictOnly {
+		// Scale-aware slack so "on the hypotenuse" is caught for large
+		// coordinates too.
+		tol = -1e-9 * (a.Dist(b) + b.Dist(c) + c.Dist(a))
+	}
+	return geom.Orient(a, b, p) > tol &&
+		geom.Orient(b, c, p) > tol &&
+		geom.Orient(c, a, p) > tol
+}
+
+// Region is a (possibly non-convex, possibly disconnected) area represented
+// as a union of disjoint convex pieces.
+type Region []geom.Polygon
+
+// Area returns the total area of the region. Pieces are disjoint by
+// construction, so areas add.
+func (r Region) Area() float64 {
+	total := 0.0
+	for _, p := range r {
+		total += p.Area()
+	}
+	return total
+}
+
+// IsEmpty reports whether the region has no pieces.
+func (r Region) IsEmpty() bool { return len(r) == 0 }
+
+// Bounds returns the bounding rectangle of the region.
+func (r Region) Bounds() geom.Rect {
+	b := geom.EmptyRect()
+	for _, p := range r {
+		b = b.Union(p.Bounds())
+	}
+	return b
+}
+
+// Contains reports whether q lies in any piece.
+func (r Region) Contains(q geom.Point) bool {
+	for _, p := range r {
+		if p.Contains(q) {
+			return true
+		}
+	}
+	return false
+}
+
+// GeneralIntersect intersects two simple polygons that need not be convex.
+// Both are triangulated and every triangle pair is intersected with the
+// exact convex clipper; the result is the union of the surviving pieces.
+// This trades piece count for robustness: unlike classic Greiner–Hormann it
+// has no special cases for shared vertices or partially overlapping edges.
+func GeneralIntersect(a, b geom.Polygon) (Region, error) {
+	if a.IsEmpty() || b.IsEmpty() {
+		return nil, nil
+	}
+	if !a.Bounds().Intersects(b.Bounds()) {
+		return nil, nil
+	}
+	if a.IsConvex() && b.IsConvex() {
+		out := ConvexIntersect(a, b)
+		if out == nil {
+			return nil, nil
+		}
+		return Region{out}, nil
+	}
+	ta, err := Triangulate(a)
+	if err != nil {
+		return nil, err
+	}
+	tb, err := Triangulate(b)
+	if err != nil {
+		return nil, err
+	}
+	var region Region
+	for _, x := range ta {
+		xb := x.Bounds()
+		for _, y := range tb {
+			if !xb.Intersects(y.Bounds()) {
+				continue
+			}
+			if piece := ConvexIntersect(x, y); piece != nil {
+				region = append(region, piece)
+			}
+		}
+	}
+	return region, nil
+}

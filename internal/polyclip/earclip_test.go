@@ -1,0 +1,220 @@
+package polyclip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"molq/internal/geom"
+)
+
+// lShape is a concave hexagon with area 3 (unit squares at (0,0),(1,0),(0,1)).
+func lShape() geom.Polygon {
+	return geom.NewPolygon(
+		geom.Pt(0, 0), geom.Pt(2, 0), geom.Pt(2, 1),
+		geom.Pt(1, 1), geom.Pt(1, 2), geom.Pt(0, 2),
+	)
+}
+
+func TestTriangulateConvex(t *testing.T) {
+	sq := square(0, 0, 4, 4)
+	tris, err := Triangulate(sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tris) != 2 {
+		t.Fatalf("square should give 2 triangles, got %d", len(tris))
+	}
+	total := 0.0
+	for _, tr := range tris {
+		if len(tr) != 3 {
+			t.Fatalf("non-triangle piece %v", tr)
+		}
+		if tr.SignedArea() <= 0 {
+			t.Fatalf("triangle not CCW: %v", tr)
+		}
+		total += tr.Area()
+	}
+	if math.Abs(total-16) > 1e-9 {
+		t.Fatalf("areas sum to %v, want 16", total)
+	}
+}
+
+func TestTriangulateConcave(t *testing.T) {
+	tris, err := Triangulate(lShape())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tris) != 4 { // n-2 triangles for a simple polygon
+		t.Fatalf("L-shape should give 4 triangles, got %d", len(tris))
+	}
+	total := 0.0
+	for _, tr := range tris {
+		total += tr.Area()
+	}
+	if math.Abs(total-3) > 1e-9 {
+		t.Fatalf("areas sum to %v, want 3", total)
+	}
+	// Triangles stay inside the polygon: centroids must be contained.
+	for _, tr := range tris {
+		if !lShape().Contains(tr.Centroid()) {
+			t.Fatalf("triangle %v escapes the polygon", tr)
+		}
+	}
+}
+
+func TestTriangulateClockwiseInput(t *testing.T) {
+	// A CW polygon must be normalised, not rejected.
+	cw := geom.NewPolygon(geom.Pt(0, 2), geom.Pt(2, 2), geom.Pt(2, 0), geom.Pt(0, 0))
+	tris, err := Triangulate(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, tr := range tris {
+		total += tr.Area()
+	}
+	if math.Abs(total-4) > 1e-9 {
+		t.Fatalf("areas sum to %v", total)
+	}
+}
+
+func TestTriangulateErrors(t *testing.T) {
+	if _, err := Triangulate(nil); err == nil {
+		t.Fatal("nil polygon should fail")
+	}
+	if _, err := Triangulate(geom.Polygon{geom.Pt(0, 0), geom.Pt(1, 1)}); err == nil {
+		t.Fatal("2-vertex polygon should fail")
+	}
+}
+
+// randomStar builds a star-shaped (hence simple) polygon around a center.
+func randomStar(r *rand.Rand, cx, cy float64) geom.Polygon {
+	n := 6 + r.Intn(10)
+	pg := make(geom.Polygon, n)
+	for i := range pg {
+		ang := 2 * math.Pi * (float64(i) + 0.3*r.Float64()) / float64(n)
+		rad := 2 + 8*r.Float64()
+		pg[i] = geom.Pt(cx+rad*math.Cos(ang), cy+rad*math.Sin(ang))
+	}
+	return pg
+}
+
+func TestTriangulateRandomStars(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		pg := randomStar(r, 0, 0)
+		tris, err := Triangulate(pg)
+		if err != nil {
+			t.Fatalf("trial %d: %v (polygon %v)", trial, err, pg)
+		}
+		total := 0.0
+		for _, tr := range tris {
+			total += tr.Area()
+		}
+		if math.Abs(total-pg.Area()) > 1e-6*pg.Area() {
+			t.Fatalf("trial %d: triangles cover %v of %v", trial, total, pg.Area())
+		}
+	}
+}
+
+func TestGeneralIntersectConvexFallback(t *testing.T) {
+	a := square(0, 0, 10, 10)
+	b := square(5, 5, 15, 15)
+	region, err := GeneralIntersect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(region.Area()-25) > 1e-9 {
+		t.Fatalf("area %v, want 25", region.Area())
+	}
+	if len(region) != 1 {
+		t.Fatalf("convex pair should give one piece, got %d", len(region))
+	}
+}
+
+func TestGeneralIntersectConcave(t *testing.T) {
+	// L-shape scaled ×2 (area 12, occupying [0,4]² minus [2,4]²) against a
+	// square covering its notch: the intersection misses the notch.
+	l := geom.NewPolygon(
+		geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 2),
+		geom.Pt(2, 2), geom.Pt(2, 4), geom.Pt(0, 4),
+	)
+	sq := square(1, 1, 3, 3)
+	region, err := GeneralIntersect(l, sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intersection = [1,3]² minus [2,3]² = 4 - 1 = 3.
+	if math.Abs(region.Area()-3) > 1e-9 {
+		t.Fatalf("area %v, want 3", region.Area())
+	}
+	if region.Contains(geom.Pt(2.5, 2.5)) {
+		t.Fatal("notch point should not be covered")
+	}
+	if !region.Contains(geom.Pt(1.5, 1.5)) {
+		t.Fatal("interior point missing")
+	}
+}
+
+func TestGeneralIntersectDisjoint(t *testing.T) {
+	region, err := GeneralIntersect(lShape(), square(10, 10, 12, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !region.IsEmpty() {
+		t.Fatalf("disjoint polygons gave %v", region)
+	}
+}
+
+// TestGeneralIntersectMonteCarlo validates random concave-concave
+// intersections by point sampling: a point is in the region iff it is in
+// both polygons.
+func TestGeneralIntersectMonteCarlo(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		a := randomStar(r, 0, 0)
+		b := randomStar(r, 3*r.Float64(), 3*r.Float64())
+		region, err := GeneralIntersect(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		box := a.Bounds().Union(b.Bounds())
+		for k := 0; k < 300; k++ {
+			p := geom.Pt(
+				box.Min.X+r.Float64()*box.Width(),
+				box.Min.Y+r.Float64()*box.Height(),
+			)
+			want := a.Contains(p) && b.Contains(p)
+			got := region.Contains(p)
+			if want != got {
+				// Boundary-adjacent samples can flip; tolerate points very
+				// close to either boundary by re-testing a nudged point.
+				if nearBoundary(a, p) || nearBoundary(b, p) {
+					continue
+				}
+				t.Fatalf("trial %d: point %v in-both=%v but region=%v", trial, p, want, got)
+			}
+		}
+	}
+}
+
+func nearBoundary(pg geom.Polygon, p geom.Point) bool {
+	n := len(pg)
+	for i := 0; i < n; i++ {
+		a, b := pg[i], pg[(i+1)%n]
+		// Distance from p to segment ab.
+		ab := b.Sub(a)
+		t := p.Sub(a).Dot(ab) / ab.Dot(ab)
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+		if p.Dist(geom.Lerp(a, b, t)) < 1e-3 {
+			return true
+		}
+	}
+	return false
+}

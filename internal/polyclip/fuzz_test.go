@@ -1,0 +1,55 @@
+package polyclip
+
+import (
+	"math"
+	"testing"
+
+	"molq/internal/geom"
+)
+
+// FuzzConvexIntersect feeds the clipping kernel quads built from arbitrary
+// floats and checks the invariants that must hold regardless of input shape:
+// no panic, result area never exceeds either operand, result inside the
+// intersection of bounding boxes.
+func FuzzConvexIntersect(f *testing.F) {
+	f.Add(0.0, 0.0, 10.0, 10.0, 5.0, 5.0, 15.0, 15.0)
+	f.Add(-1e9, -1e9, 1e9, 1e9, 0.0, 0.0, 1.0, 1.0)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(1.5, 2.5, 1.5, 2.5, 1.5, 2.5, 3.5, 4.5)
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, cx, cy, dx, dy float64) {
+		maxAbs := 0.0
+		for _, v := range []float64{ax, ay, bx, by, cx, cy, dx, dy} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				return
+			}
+			maxAbs = math.Max(maxAbs, math.Abs(v))
+		}
+		// Intersection vertices carry absolute error proportional to the
+		// operand magnitude (≈ maxAbs·ε per coordinate), so the invariant
+		// tolerances must scale with it.
+		tol := 1e-9 * (1 + maxAbs)
+		a := geom.RectPolygon(geom.NewRect(geom.Pt(ax, ay), geom.Pt(bx, by)))
+		b := geom.RectPolygon(geom.NewRect(geom.Pt(cx, cy), geom.Pt(dx, dy)))
+		out := ConvexIntersect(a, b)
+		if out == nil {
+			return
+		}
+		perim := 0.0
+		for i, p := range out {
+			perim += p.Dist(out[(i+1)%len(out)])
+		}
+		areaTol := tol * (1 + perim)
+		if out.Area() > a.Area()+areaTol || out.Area() > b.Area()+areaTol {
+			t.Fatalf("intersection area %v exceeds operands %v/%v (tol %v)",
+				out.Area(), a.Area(), b.Area(), areaTol)
+		}
+		box := a.Bounds().Intersect(b.Bounds())
+		slack := geom.Rect{
+			Min: geom.Pt(box.Min.X-tol, box.Min.Y-tol),
+			Max: geom.Pt(box.Max.X+tol, box.Max.Y+tol),
+		}
+		if !slack.ContainsRect(out.Bounds()) {
+			t.Fatalf("result %v escapes box %v", out.Bounds(), box)
+		}
+	})
+}

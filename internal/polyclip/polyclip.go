@@ -1,0 +1,127 @@
+// Package polyclip implements the polygon intersection routines the MOLQ
+// pipeline needs. It is a from-scratch replacement for the GPC library the
+// paper used: the overlapped Voronoi regions (OVRs) produced from ordinary
+// Voronoi diagrams are intersections of convex cells and therefore convex, so
+// convex–convex clipping (Sutherland–Hodgman against each halfplane of the
+// clip polygon) is exact for every region the RRB approach manipulates.
+package polyclip
+
+import (
+	"molq/internal/geom"
+)
+
+// clipEps is the tolerance used when classifying a vertex against a clipping
+// halfplane. It is scaled by edge length inside the clipper.
+const clipEps = 1e-9
+
+// ConvexIntersect returns the intersection of two convex polygons, both given
+// in counterclockwise order. The result is a convex counterclockwise polygon,
+// or an empty polygon when the inputs do not overlap (or overlap only in a
+// degenerate zero-area set).
+func ConvexIntersect(subject, clip geom.Polygon) geom.Polygon {
+	if subject.IsEmpty() || clip.IsEmpty() {
+		return nil
+	}
+	// A zero-area operand (degenerate sliver) cannot contribute a
+	// positive-area intersection, and its zero-length edges would otherwise
+	// be skipped by the halfplane clipper, leaving the subject
+	// under-constrained.
+	if subject.Area() <= clipEps || clip.Area() <= clipEps {
+		return nil
+	}
+	out := subject
+	n := len(clip)
+	for i := 0; i < n && !out.IsEmpty(); i++ {
+		a := clip[i]
+		b := clip[(i+1)%n]
+		out = clipHalfplane(out, a, b)
+	}
+	out = out.Dedup()
+	if out.IsEmpty() || out.Area() <= clipEps {
+		return nil
+	}
+	return out
+}
+
+// ClipToRect intersects a convex polygon with an axis-aligned rectangle.
+func ClipToRect(subject geom.Polygon, r geom.Rect) geom.Polygon {
+	return ConvexIntersect(subject, geom.RectPolygon(r))
+}
+
+// ClipHalfplane clips a convex polygon against the closed halfplane to the
+// left of the directed line a→b, returning nil when nothing (of positive
+// area) remains. It is used directly by the weighted-Voronoi MBR derivation.
+func ClipHalfplane(pg geom.Polygon, a, b geom.Point) geom.Polygon {
+	out := clipHalfplane(pg, a, b).Dedup()
+	if out.IsEmpty() || out.Area() <= clipEps {
+		return nil
+	}
+	return out
+}
+
+// clipHalfplane clips pg against the halfplane to the left of the directed
+// line a→b (the interior side for a counterclockwise clip polygon).
+func clipHalfplane(pg geom.Polygon, a, b geom.Point) geom.Polygon {
+	n := len(pg)
+	if n == 0 {
+		return nil
+	}
+	scale := a.Dist(b)
+	if scale < clipEps {
+		return pg
+	}
+	tol := clipEps * scale
+	out := make(geom.Polygon, 0, n+4)
+	prev := pg[n-1]
+	prevSide := geom.Orient(a, b, prev)
+	for i := 0; i < n; i++ {
+		cur := pg[i]
+		curSide := geom.Orient(a, b, cur)
+		switch {
+		case curSide >= -tol: // current inside (or on boundary)
+			if prevSide < -tol {
+				out = append(out, lineIntersect(a, b, prev, cur))
+			}
+			out = append(out, cur)
+		case prevSide >= -tol: // leaving the halfplane
+			out = append(out, lineIntersect(a, b, prev, cur))
+		}
+		prev, prevSide = cur, curSide
+	}
+	return out
+}
+
+// lineIntersect returns the intersection of the infinite line a→b with the
+// segment p→q. The caller guarantees p and q straddle the line.
+func lineIntersect(a, b, p, q geom.Point) geom.Point {
+	d := b.Sub(a)
+	e := q.Sub(p)
+	denom := d.Cross(e)
+	if denom == 0 {
+		return p
+	}
+	// Solve (p + t·e − a) × d = 0  ⇒  t = ((p−a) × d) / (d × e).
+	t := p.Sub(a).Cross(d) / denom
+	return geom.Lerp(p, q, clamp01(t))
+}
+
+func clamp01(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	if t > 1 {
+		return 1
+	}
+	return t
+}
+
+// VertexCount is a helper for memory accounting in the experiment harness: it
+// returns the total number of vertices held by the given polygons, matching
+// the paper's "points managed by RRB" metric (Fig 13).
+func VertexCount(pgs []geom.Polygon) int {
+	total := 0
+	for _, pg := range pgs {
+		total += len(pg)
+	}
+	return total
+}

@@ -1,0 +1,181 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"molq/internal/core"
+	"molq/internal/geom"
+)
+
+// additiveMWGD is the ground-truth objective for additive object weights:
+// per type, min over objects of w^t·(d + w^o).
+func additiveMWGD(q geom.Point, sets [][]core.Object, kinds []WeightKind) float64 {
+	total := 0.0
+	for ti, set := range sets {
+		best := math.Inf(1)
+		for _, o := range set {
+			var v float64
+			if ti < len(kinds) && kinds[ti] == AdditiveObjWeights {
+				v = o.TypeWeight * (q.Dist(o.Loc) + o.ObjWeight)
+			} else {
+				v = o.TypeWeight * o.ObjWeight * q.Dist(o.Loc)
+			}
+			if v < best {
+				best = v
+			}
+		}
+		total += best
+	}
+	return total
+}
+
+func additiveInput(r *rand.Rand, sizes []int) Input {
+	sets := make([][]core.Object, len(sizes))
+	kinds := make([]WeightKind, len(sizes))
+	for ti, n := range sizes {
+		kinds[ti] = AdditiveObjWeights
+		set := make([]core.Object, n)
+		for i := range set {
+			set[i] = core.Object{
+				ID:         i,
+				Type:       ti,
+				Loc:        geom.Pt(r.Float64()*1000, r.Float64()*1000),
+				TypeWeight: 0.5 + 4*r.Float64(),
+				ObjWeight:  50 * r.Float64(), // additive penalty in distance units
+			}
+		}
+		sets[ti] = set
+	}
+	return Input{Sets: sets, Bounds: testBounds, Epsilon: 1e-6, ObjKinds: kinds}
+}
+
+func TestAdditiveSSCMatchesGroundTruth(t *testing.T) {
+	r := rand.New(rand.NewSource(606))
+	in := additiveInput(r, []int{4, 4})
+	res, err := Solve(in, SSC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := additiveMWGD(res.Loc, in.Sets, in.ObjKinds); math.Abs(got-res.Cost) > 1e-6*res.Cost {
+		t.Fatalf("reported cost %v but additive MWGD(loc) = %v", res.Cost, got)
+	}
+	// Grid scan: no sampled location may beat the reported optimum
+	// (modulo tolerance).
+	for trial := 0; trial < 2000; trial++ {
+		p := geom.Pt(r.Float64()*1000, r.Float64()*1000)
+		if v := additiveMWGD(p, in.Sets, in.ObjKinds); v < res.Cost*(1-1e-3) {
+			t.Fatalf("location %v has cost %v < reported optimum %v", p, v, res.Cost)
+		}
+	}
+}
+
+func TestAdditiveMBRBMatchesSSC(t *testing.T) {
+	r := rand.New(rand.NewSource(707))
+	for trial := 0; trial < 6; trial++ {
+		in := additiveInput(r, []int{2 + r.Intn(4), 2 + r.Intn(4), 2 + r.Intn(3)})
+		ssc, err := Solve(in, SSC)
+		if err != nil {
+			t.Fatalf("trial %d SSC: %v", trial, err)
+		}
+		mbrb, err := Solve(in, MBRB)
+		if err != nil {
+			t.Fatalf("trial %d MBRB: %v", trial, err)
+		}
+		if math.Abs(mbrb.Cost-ssc.Cost) > 1e-3*math.Max(1, ssc.Cost) {
+			t.Fatalf("trial %d: additive MBRB cost %v vs SSC %v", trial, mbrb.Cost, ssc.Cost)
+		}
+	}
+}
+
+func TestAdditiveUniformWeightsAllMethods(t *testing.T) {
+	// Uniform additive weights keep ordinary Voronoi diagrams exact, so
+	// even RRB must work and agree.
+	r := rand.New(rand.NewSource(808))
+	sets := make([][]core.Object, 3)
+	kinds := make([]WeightKind, 3)
+	for ti := range sets {
+		kinds[ti] = AdditiveObjWeights
+		n := 3 + r.Intn(4)
+		set := make([]core.Object, n)
+		for i := range set {
+			set[i] = core.Object{
+				ID: i, Type: ti,
+				Loc:        geom.Pt(r.Float64()*1000, r.Float64()*1000),
+				TypeWeight: 1 + float64(ti),
+				ObjWeight:  25, // same for the whole type
+			}
+		}
+		sets[ti] = set
+	}
+	in := Input{Sets: sets, Bounds: testBounds, Epsilon: 1e-6, ObjKinds: kinds}
+	var costs []float64
+	for _, m := range []Method{SSC, RRB, MBRB} {
+		res, err := Solve(in, m)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		costs = append(costs, res.Cost)
+	}
+	for _, c := range costs[1:] {
+		if math.Abs(c-costs[0]) > 1e-3*costs[0] {
+			t.Fatalf("methods disagree on uniform additive input: %v", costs)
+		}
+	}
+}
+
+func TestMixedKindsAgree(t *testing.T) {
+	// One multiplicative type, one additive type in the same query.
+	r := rand.New(rand.NewSource(909))
+	multSet := make([]core.Object, 4)
+	for i := range multSet {
+		multSet[i] = core.Object{
+			ID: i, Type: 0,
+			Loc:        geom.Pt(r.Float64()*1000, r.Float64()*1000),
+			TypeWeight: 2, ObjWeight: 0.5 + r.Float64(),
+		}
+	}
+	addSet := make([]core.Object, 4)
+	for i := range addSet {
+		addSet[i] = core.Object{
+			ID: i, Type: 1,
+			Loc:        geom.Pt(r.Float64()*1000, r.Float64()*1000),
+			TypeWeight: 1, ObjWeight: 100 * r.Float64(),
+		}
+	}
+	in := Input{
+		Sets:     [][]core.Object{multSet, addSet},
+		Bounds:   testBounds,
+		Epsilon:  1e-6,
+		ObjKinds: []WeightKind{MultiplicativeObjWeights, AdditiveObjWeights},
+	}
+	ssc, err := Solve(in, SSC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbrb, err := Solve(in, MBRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mbrb.Cost-ssc.Cost) > 1e-3*math.Max(1, ssc.Cost) {
+		t.Fatalf("mixed kinds: MBRB %v vs SSC %v", mbrb.Cost, ssc.Cost)
+	}
+	if got := additiveMWGD(ssc.Loc, in.Sets, in.ObjKinds); math.Abs(got-ssc.Cost) > 1e-6*ssc.Cost {
+		t.Fatalf("cost %v but MWGD(loc) %v", ssc.Cost, got)
+	}
+}
+
+func TestObjKindsValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1010))
+	in := randomInput(r, []int{3}, false)
+	in.ObjKinds = []WeightKind{MultiplicativeObjWeights, AdditiveObjWeights}
+	if _, err := Solve(in, SSC); err == nil {
+		t.Fatal("too many ObjKinds should fail validation")
+	}
+	if MultiplicativeObjWeights.String() != "multiplicative" ||
+		AdditiveObjWeights.String() != "additive" ||
+		WeightKind(9).String() != "WeightKind(9)" {
+		t.Fatal("WeightKind.String wrong")
+	}
+}

@@ -1,0 +1,167 @@
+package query
+
+import (
+	"fmt"
+	"time"
+
+	"molq/internal/core"
+	"molq/internal/fermat"
+	"molq/internal/geom"
+)
+
+// Engine answers repeated MOLQs over a fixed set of POI data. The key
+// observation (from the model itself) is that the MOVD depends only on
+// object locations, object weights and the ς^o family — never on the type
+// weights w^t, which enter the objective only through the optimizer's
+// Fermat-Weber folding. Preparing an Engine therefore runs the VD Generator
+// and MOVD Overlapper once; each Query call re-runs just the optimizer with
+// fresh type weights, typically orders of magnitude cheaper.
+type Engine struct {
+	in     Input
+	mode   core.Mode
+	method Method
+	movd   *core.MOVD
+	combos [][]core.Object
+	// prep captures how long Prepare took, for reporting.
+	prepTime time.Duration
+}
+
+// NewEngine prepares an engine for the given input evaluating with method
+// (RRB or MBRB; SSC has no reusable state and is rejected). The TypeWeight
+// values in the input's objects are placeholders — every Query overrides
+// them — but object weights and ObjKinds are baked into the prepared MOVD.
+func NewEngine(in Input, method Method) (*Engine, error) {
+	if method != RRB && method != MBRB {
+		return nil, fmt.Errorf("query: engine requires RRB or MBRB, got %v", method)
+	}
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{in: in, method: method}
+	e.mode = core.RRB
+	if method == MBRB {
+		e.mode = core.MBRB
+	}
+	start := time.Now()
+	// Reuse the standard pipeline for modules 1-2 by running a solve with a
+	// captured MOVD would recompute the optimizer; instead build directly.
+	basics := make([]*core.MOVD, len(in.Sets))
+	for ti := range in.Sets {
+		set := in.Sets[ti]
+		var err error
+		if uniformWeights(set) {
+			basics[ti], err = ordinaryBasic(set, ti, in.Bounds, e.mode)
+		} else {
+			if method == RRB {
+				return nil, ErrWeightedRRB
+			}
+			basics[ti], err = weightedBasic(set, ti, in.Bounds, in.kind(ti))
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	acc := basics[0]
+	for _, m := range basics[1:] {
+		next, err := core.Overlap(acc, m)
+		if err != nil {
+			return nil, err
+		}
+		acc = next
+	}
+	e.movd = acc
+	e.combos = acc.Groups()
+	e.prepTime = time.Since(start)
+	return e, nil
+}
+
+// PrepTime reports how long Prepare (VD generation + overlap) took.
+func (e *Engine) PrepTime() time.Duration { return e.prepTime }
+
+// OVRs returns the size of the prepared MOVD.
+func (e *Engine) OVRs() int { return e.movd.Len() }
+
+// Combinations returns the number of candidate object combinations the
+// prepared MOVD admits.
+func (e *Engine) Combinations() int { return len(e.combos) }
+
+// Query answers the MOLQ with per-type weights w^t given in typeWeights
+// (len must equal the number of object sets; all entries positive). Object
+// weights and ς^o families are those baked in at preparation.
+func (e *Engine) Query(typeWeights []float64) (Result, error) {
+	if len(typeWeights) != len(e.in.Sets) {
+		return Result{}, fmt.Errorf("query: %d type weights for %d sets", len(typeWeights), len(e.in.Sets))
+	}
+	for ti, w := range typeWeights {
+		if w <= 0 {
+			return Result{}, fmt.Errorf("%w (type %d)", ErrBadWeight, ti)
+		}
+	}
+	res := Result{Method: e.method}
+	start := time.Now()
+	groups := make([]fermat.Group, len(e.combos))
+	offsets := make([]float64, len(e.combos))
+	for i, combo := range e.combos {
+		g := make(fermat.Group, len(combo))
+		off := 0.0
+		for j, o := range combo {
+			wt := typeWeights[o.Type]
+			if e.in.kind(o.Type) == AdditiveObjWeights {
+				g[j] = fermat.WeightedPoint{P: o.Loc, W: wt}
+				off += wt * o.ObjWeight
+			} else {
+				g[j] = fermat.WeightedPoint{P: o.Loc, W: wt * o.ObjWeight}
+			}
+		}
+		groups[i] = g
+		offsets[i] = off
+	}
+	var batch fermat.BatchResult
+	var err error
+	if e.in.Workers > 1 {
+		batch, err = fermat.CostBoundBatchParallel(groups, offsets, e.in.options(), e.in.Workers)
+	} else {
+		batch, err = fermat.CostBoundBatchOffsets(groups, offsets, e.in.options())
+	}
+	if err != nil {
+		return res, err
+	}
+	res.Loc = batch.Loc
+	res.Cost = batch.Cost
+	res.Stats.Groups = len(groups)
+	res.Stats.OVRs = e.movd.Len()
+	res.Stats.PointsManaged = e.movd.PointsManaged()
+	res.Stats.Fermat = batch.Stats
+	res.Stats.OptimizeTime = time.Since(start)
+	res.Stats.TotalTime = res.Stats.OptimizeTime
+	return res, nil
+}
+
+// MWGDAt scores an arbitrary candidate location under the given type
+// weights (linear scan of the stored sets).
+func (e *Engine) MWGDAt(q geom.Point, typeWeights []float64) float64 {
+	total := 0.0
+	for ti, set := range e.in.Sets {
+		additive := e.in.kind(ti) == AdditiveObjWeights
+		wt := 1.0
+		if ti < len(typeWeights) {
+			wt = typeWeights[ti]
+		}
+		best := -1.0
+		for _, o := range set {
+			var v float64
+			if additive {
+				v = wt * (q.Dist(o.Loc) + o.ObjWeight)
+			} else {
+				v = wt * o.ObjWeight * q.Dist(o.Loc)
+			}
+			if best < 0 || v < best {
+				best = v
+			}
+		}
+		if best >= 0 {
+			total += best
+		}
+	}
+	return total
+}

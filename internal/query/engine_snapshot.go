@@ -1,0 +1,83 @@
+package query
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"molq/internal/core"
+)
+
+// engineSnapshot is the serialised form of a prepared engine: the input it
+// was built from plus the prepared MOVD, so loading skips both Voronoi
+// generation and overlapping. Snapshots are same-library artifacts (gob
+// encoded); the portable interchange format for diagrams alone is
+// internal/store.
+type engineSnapshot struct {
+	Input  Input
+	Method Method
+	MOVD   *core.MOVD
+}
+
+// Save serialises the prepared engine.
+func (e *Engine) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(engineSnapshot{
+		Input:  e.in,
+		Method: e.method,
+		MOVD:   e.movd,
+	})
+}
+
+// SaveFile writes the prepared engine to path.
+func (e *Engine) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := e.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadEngine restores an engine saved with Save. The prepared diagram is
+// validated before use so a corrupted snapshot fails loudly instead of
+// producing wrong answers.
+func LoadEngine(r io.Reader) (*Engine, error) {
+	var snap engineSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("query: engine snapshot: %w", err)
+	}
+	if snap.MOVD == nil {
+		return nil, fmt.Errorf("query: engine snapshot has no diagram")
+	}
+	if err := snap.MOVD.Validate(); err != nil {
+		return nil, fmt.Errorf("query: engine snapshot invalid: %w", err)
+	}
+	if err := snap.Input.validate(); err != nil {
+		return nil, fmt.Errorf("query: engine snapshot invalid: %w", err)
+	}
+	e := &Engine{
+		in:     snap.Input,
+		method: snap.Method,
+		movd:   snap.MOVD,
+		combos: snap.MOVD.Groups(),
+	}
+	e.mode = core.RRB
+	if snap.Method == MBRB {
+		e.mode = core.MBRB
+	}
+	return e, nil
+}
+
+// LoadEngineFile restores an engine from path.
+func LoadEngineFile(path string) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadEngine(f)
+}

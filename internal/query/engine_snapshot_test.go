@@ -1,0 +1,76 @@
+package query
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func TestEngineSnapshotRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	in := randomInput(r, []int{8, 6, 7}, false)
+	eng, err := NewEngine(in, RRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.OVRs() != eng.OVRs() || loaded.Combinations() != eng.Combinations() {
+		t.Fatalf("loaded engine differs: %d/%d vs %d/%d",
+			loaded.OVRs(), loaded.Combinations(), eng.OVRs(), eng.Combinations())
+	}
+	weights := []float64{2, 1, 3}
+	a, err := eng.Query(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Query(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Cost-b.Cost) > 1e-12*a.Cost {
+		t.Fatalf("loaded engine answers differently: %v vs %v", b.Cost, a.Cost)
+	}
+}
+
+func TestEngineSnapshotFile(t *testing.T) {
+	r := rand.New(rand.NewSource(72))
+	in := additiveInput(r, []int{4, 4})
+	eng, err := NewEngine(in, MBRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "engine.gob")
+	if err := eng.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEngineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := eng.Query([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Query([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Cost-b.Cost) > 1e-12 {
+		t.Fatalf("additive snapshot mismatch: %v vs %v", b.Cost, a.Cost)
+	}
+}
+
+func TestLoadEngineRejectsGarbage(t *testing.T) {
+	if _, err := LoadEngine(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

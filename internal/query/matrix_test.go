@@ -1,0 +1,114 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"molq/internal/core"
+	"molq/internal/geom"
+)
+
+// TestCrossValidationMatrix is the heavyweight end-to-end property test: it
+// sweeps random instances across every configuration axis of the library —
+// object-set shapes, weight function families, uniform vs per-object
+// weights, pruning on/off, workers on/off — and asserts every solver path
+// agrees on the optimal cost. A disagreement anywhere in the matrix
+// localises a bug to the differing axis.
+func TestCrossValidationMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix test")
+	}
+	r := rand.New(rand.NewSource(20260706))
+	for trial := 0; trial < 12; trial++ {
+		nTypes := 2 + r.Intn(3)
+		sets := make([][]core.Object, nTypes)
+		kinds := make([]WeightKind, nTypes)
+		uniform := true
+		for ti := 0; ti < nTypes; ti++ {
+			if r.Intn(3) == 0 {
+				kinds[ti] = AdditiveObjWeights
+			}
+			n := 2 + r.Intn(4)
+			tw := 0.5 + 5*r.Float64()
+			perObject := r.Intn(2) == 0
+			if perObject {
+				uniform = false
+			}
+			set := make([]core.Object, n)
+			for i := range set {
+				ow := 1.0
+				if perObject {
+					if kinds[ti] == AdditiveObjWeights {
+						ow = 100 * r.Float64()
+					} else {
+						ow = 0.3 + 2*r.Float64()
+					}
+				}
+				set[i] = core.Object{
+					ID: i, Type: ti,
+					Loc:        geom.Pt(r.Float64()*1000, r.Float64()*1000),
+					TypeWeight: tw,
+					ObjWeight:  ow,
+				}
+			}
+			sets[ti] = set
+		}
+		base := Input{Sets: sets, Bounds: testBounds, Epsilon: 1e-7, ObjKinds: kinds}
+
+		type variant struct {
+			name string
+			in   Input
+			m    Method
+		}
+		variants := []variant{
+			{"ssc", base, SSC},
+			{"mbrb", base, MBRB},
+		}
+		{
+			in := base
+			in.PruneOverlap = true
+			variants = append(variants, variant{"mbrb+prune", in, MBRB})
+		}
+		{
+			in := base
+			in.Workers = 3
+			variants = append(variants, variant{"mbrb+workers", in, MBRB})
+		}
+		{
+			in := base
+			in.DisableCostBound = true
+			variants = append(variants, variant{"ssc-nobound", in, SSC})
+		}
+		if uniform {
+			variants = append(variants,
+				variant{"rrb", base, RRB},
+				variant{"rrb+prune", func() Input { in := base; in.PruneOverlap = true; return in }(), RRB},
+			)
+		}
+		var ref float64
+		for vi, v := range variants {
+			res, err := Solve(v.in, v.m)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, v.name, err)
+			}
+			if vi == 0 {
+				ref = res.Cost
+				continue
+			}
+			if rel := math.Abs(res.Cost-ref) / math.Max(ref, 1e-9); rel > 1e-3 {
+				t.Fatalf("trial %d: %s cost %v deviates from ssc %v (rel %g)\nconfig: %s",
+					trial, v.name, res.Cost, ref, rel, describe(sets, kinds))
+			}
+		}
+	}
+}
+
+func describe(sets [][]core.Object, kinds []WeightKind) string {
+	out := ""
+	for ti, set := range sets {
+		out += fmt.Sprintf("type %d: %d objs kind=%v tw=%.3f; ", ti, len(set), kinds[ti], set[0].TypeWeight)
+	}
+	return out
+}

@@ -1,0 +1,453 @@
+// Package query evaluates Multi-criteria Optimal Location Queries (MOLQ,
+// Eq 4). It provides the three solutions the paper compares:
+//
+//   - SSC — Sequential Scan Combinations (Algorithm 1), the baseline that
+//     enumerates every object combination with a two-point upper-bound
+//     filter;
+//   - RRB — the MOVD-based solution of Fig 3 with real region boundaries;
+//   - MBRB — the MOVD-based solution with minimum-bounding-rectangle
+//     boundaries.
+//
+// The optimizer stage follows Sec 5.4: it specialises to the
+// multiplicatively-based weight functions (the paper's default), folding
+// w^t·w^o into a single Fermat-Weber weight per object, and uses the
+// cost-bound batch solver (Algorithm 5) unless disabled.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"molq/internal/core"
+	"molq/internal/fermat"
+	"molq/internal/geom"
+	"molq/internal/voronoi"
+	"molq/internal/weighted"
+)
+
+// Method selects a MOLQ solution strategy.
+type Method int
+
+const (
+	// SSC is the Sequential Scan Combinations baseline (Algorithm 1).
+	SSC Method = iota
+	// RRB is the MOVD solution with Real Region as Boundary (Sec 5.2).
+	RRB
+	// MBRB is the MOVD solution with MBR as Boundary (Sec 5.3).
+	MBRB
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case SSC:
+		return "SSC"
+	case RRB:
+		return "RRB"
+	case MBRB:
+		return "MBRB"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// WeightKind selects the object weight function ς^o of a type (Sec 2.1).
+// The type weight function ς^t is always multiplicative, the paper's
+// optimizer setting (Sec 5.4).
+type WeightKind int
+
+const (
+	// MultiplicativeObjWeights is ς^o(d, w) = d·w (the default).
+	MultiplicativeObjWeights WeightKind = iota
+	// AdditiveObjWeights is ς^o(d, w) = d + w (the additively weighted
+	// Voronoi variant of Fig 5).
+	AdditiveObjWeights
+)
+
+// String implements fmt.Stringer.
+func (k WeightKind) String() string {
+	switch k {
+	case MultiplicativeObjWeights:
+		return "multiplicative"
+	case AdditiveObjWeights:
+		return "additive"
+	default:
+		return fmt.Sprintf("WeightKind(%d)", int(k))
+	}
+}
+
+// Input describes one MOLQ instance.
+type Input struct {
+	// Sets is 𝔼 = {P_1, …, P_n}: one slice of objects per type. Object.Type
+	// must equal the set's index.
+	Sets [][]core.Object
+	// Bounds is the search space ℝ.
+	Bounds geom.Rect
+	// Epsilon is the ε stopping bound for iterative Fermat-Weber solves
+	// (default fermat.DefaultEpsilon).
+	Epsilon float64
+	// DisableCostBound switches the optimizer to the "Original" sequential
+	// Fermat-Weber batch (used by the Fig 10 baseline); by default the
+	// Algorithm 5 cost-bound optimizer runs.
+	DisableCostBound bool
+	// ObjKinds gives the object weight function per type; nil or short means
+	// multiplicative for the missing entries.
+	ObjKinds []WeightKind
+	// Workers > 1 parallelises the VD Generator (one goroutine per type)
+	// and the cost-bound Optimizer (shared atomic bound). 0 or 1 runs
+	// sequentially; sequential evaluation is fully deterministic, parallel
+	// evaluation returns the same optimum with nondeterministic statistics.
+	Workers int
+	// PruneOverlap enables the Sec-8 future-work optimisation: combinations
+	// whose best possible cost (a box lower bound) exceeds a sampled upper
+	// bound of the optimum are dropped during the MOVD overlap itself, before
+	// they fan out into later overlaps or reach the optimizer. The result is
+	// unchanged; only work is saved.
+	PruneOverlap bool
+	// Acceleration is the Weiszfeld over-relaxation factor (see
+	// fermat.Options.Acceleration); 0 keeps the paper's plain iteration.
+	Acceleration float64
+	// SpillDir, when non-empty, runs the final ⊕ out of core: its OVRs are
+	// streamed to a temporary snapshot in this directory (removed after the
+	// solve) and the optimizer streams them back, so the final — largest —
+	// MOVD never resides in memory (the Sec-8 disk-based technique).
+	// Applies to RRB/MBRB with two or more object types.
+	SpillDir string
+}
+
+// kind returns the object weight function family of type ti.
+func (in *Input) kind(ti int) WeightKind {
+	if ti < len(in.ObjKinds) {
+		return in.ObjKinds[ti]
+	}
+	return MultiplicativeObjWeights
+}
+
+// Stats reports the work done by a solve, phase by phase (Fig 3 modules).
+type Stats struct {
+	VDTime       time.Duration // VD Generator
+	OverlapTime  time.Duration // MOVD Overlapper
+	OptimizeTime time.Duration // Optimizer
+	TotalTime    time.Duration
+
+	OVRs          int // |MOVD| after the final overlap (0 for SSC)
+	Groups        int // Fermat-Weber problems examined
+	PointsManaged int // boundary points held by the final MOVD
+	Combinations  int // combinations enumerated (SSC only)
+
+	Overlap core.OverlapStats // accumulated across sequential overlaps
+	Fermat  fermat.BatchStats
+}
+
+// Result is the answer to a MOLQ.
+type Result struct {
+	Loc    geom.Point
+	Cost   float64 // WGD of the winning combination at Loc (= MWGD(Loc))
+	Method Method
+	Stats  Stats
+}
+
+// Validation errors.
+var (
+	ErrNoSets        = errors.New("query: no object sets")
+	ErrEmptySet      = errors.New("query: empty object set")
+	ErrBadWeight     = errors.New("query: object weights must be positive")
+	ErrWeightedRRB   = errors.New("query: RRB requires uniform object weights per type (weighted Voronoi boundaries are curves; use MBRB or SSC)")
+	ErrUnknownMethod = errors.New("query: unknown method")
+)
+
+func (in *Input) validate() error {
+	if len(in.Sets) == 0 {
+		return ErrNoSets
+	}
+	if in.Bounds.IsEmpty() {
+		return fmt.Errorf("query: empty search space %v", in.Bounds)
+	}
+	if len(in.ObjKinds) > len(in.Sets) {
+		return fmt.Errorf("query: %d ObjKinds for %d sets", len(in.ObjKinds), len(in.Sets))
+	}
+	for ti, set := range in.Sets {
+		if len(set) == 0 {
+			return fmt.Errorf("%w (type %d)", ErrEmptySet, ti)
+		}
+		for _, o := range set {
+			if o.TypeWeight <= 0 || o.ObjWeight <= 0 {
+				return fmt.Errorf("%w (type %d object %d)", ErrBadWeight, ti, o.ID)
+			}
+			if o.Type != ti {
+				return fmt.Errorf("query: object %d in set %d has Type=%d", o.ID, ti, o.Type)
+			}
+		}
+	}
+	return nil
+}
+
+func (in *Input) options() fermat.Options {
+	return fermat.Options{Epsilon: in.Epsilon, Acceleration: in.Acceleration}
+}
+
+// toProblem folds a combination into a Fermat-Weber problem. With the
+// multiplicative ς^o, WD = (w^t·w^o)·d — a pure weight. With the additive
+// ς^o, WD = w^t·(d + w^o) = w^t·d + w^t·w^o — weight w^t plus a constant
+// that accumulates into the group's offset.
+func (in *Input) toProblem(objs []core.Object) (fermat.Group, float64) {
+	g := make(fermat.Group, len(objs))
+	offset := 0.0
+	for i, o := range objs {
+		switch in.kind(o.Type) {
+		case AdditiveObjWeights:
+			g[i] = fermat.WeightedPoint{P: o.Loc, W: o.TypeWeight}
+			offset += o.TypeWeight * o.ObjWeight
+		default:
+			g[i] = fermat.WeightedPoint{P: o.Loc, W: o.TypeWeight * o.ObjWeight}
+		}
+	}
+	return g, offset
+}
+
+// Solve evaluates the query with the chosen method.
+func Solve(in Input, method Method) (Result, error) {
+	if err := in.validate(); err != nil {
+		return Result{}, err
+	}
+	switch method {
+	case SSC:
+		return solveSSC(in)
+	case RRB, MBRB:
+		return solveMOVD(in, method)
+	default:
+		return Result{}, fmt.Errorf("%w: %d", ErrUnknownMethod, int(method))
+	}
+}
+
+// uniformWeights reports whether every object of the set carries the same
+// object weight (an ordinary Voronoi diagram then suffices).
+func uniformWeights(set []core.Object) bool {
+	for _, o := range set[1:] {
+		if o.ObjWeight != set[0].ObjWeight {
+			return false
+		}
+	}
+	return true
+}
+
+// solveMOVD runs the three-module pipeline of Fig 3.
+func solveMOVD(in Input, method Method) (Result, error) {
+	mode := core.RRB
+	if method == MBRB {
+		mode = core.MBRB
+	}
+	res := Result{Method: method}
+	totalStart := time.Now()
+
+	// Module 1: VD Generator (basic MOVDs, Property 7).
+	vdStart := time.Now()
+	basics := make([]*core.MOVD, len(in.Sets))
+	buildOne := func(ti int) error {
+		set := in.Sets[ti]
+		if uniformWeights(set) {
+			// A uniform object weight preserves the nearest-site order for
+			// both ς^o families, so the ordinary Voronoi diagram is exact.
+			m, err := ordinaryBasic(set, ti, in.Bounds, mode)
+			basics[ti] = m
+			return err
+		}
+		if method == RRB {
+			return ErrWeightedRRB
+		}
+		m, err := weightedBasic(set, ti, in.Bounds, in.kind(ti))
+		basics[ti] = m
+		return err
+	}
+	if in.Workers > 1 && len(in.Sets) > 1 {
+		var wg sync.WaitGroup
+		errs := make([]error, len(in.Sets))
+		for ti := range in.Sets {
+			wg.Add(1)
+			go func(ti int) {
+				defer wg.Done()
+				errs[ti] = buildOne(ti)
+			}(ti)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return res, err
+			}
+		}
+	} else {
+		for ti := range in.Sets {
+			if err := buildOne(ti); err != nil {
+				return res, err
+			}
+		}
+	}
+	res.Stats.VDTime = time.Since(vdStart)
+
+	// Module 2: MOVD Overlapper (sequential ⊕, Eq 27), optionally with
+	// combination pruning (Sec 8). With SpillDir the final — largest —
+	// overlap streams to disk instead of materialising.
+	ovStart := time.Now()
+	var prune core.PruneFunc
+	if in.PruneOverlap {
+		prune = in.pruneFunc(in.upperBound())
+	}
+	spillLast := in.SpillDir != "" && len(basics) >= 2
+	acc := basics[0]
+	inMemory := basics[1:]
+	if spillLast {
+		inMemory = basics[1 : len(basics)-1]
+	}
+	accumulate := func(st core.OverlapStats) {
+		res.Stats.Overlap.Events += st.Events
+		res.Stats.Overlap.CandidatePairs += st.CandidatePairs
+		res.Stats.Overlap.RegionTests += st.RegionTests
+		res.Stats.Overlap.OutputOVRs += st.OutputOVRs
+		res.Stats.Overlap.OutputPoints += st.OutputPoints
+		res.Stats.Overlap.PrunedOVRs += st.PrunedOVRs
+	}
+	for _, m := range inMemory {
+		next, st, err := core.OverlapPruned(acc, m, prune)
+		if err != nil {
+			return res, err
+		}
+		accumulate(st)
+		acc = next
+	}
+	if spillLast {
+		return in.finishSpilled(res, acc, basics[len(basics)-1], prune, accumulate, ovStart, totalStart)
+	}
+	res.Stats.OverlapTime = time.Since(ovStart)
+	res.Stats.OVRs = acc.Len()
+	res.Stats.PointsManaged = acc.PointsManaged()
+
+	// Module 3: Optimizer (Sec 5.4).
+	optStart := time.Now()
+	combos := acc.Groups()
+	groups := make([]fermat.Group, len(combos))
+	offsets := make([]float64, len(combos))
+	for i, c := range combos {
+		groups[i], offsets[i] = in.toProblem(c)
+	}
+	res.Stats.Groups = len(groups)
+	var batch fermat.BatchResult
+	var err error
+	switch {
+	case in.DisableCostBound:
+		batch, err = fermat.SequentialBatchOffsets(groups, offsets, in.options())
+	case in.Workers > 1:
+		batch, err = fermat.CostBoundBatchParallel(groups, offsets, in.options(), in.Workers)
+	default:
+		batch, err = fermat.CostBoundBatchOffsets(groups, offsets, in.options())
+	}
+	if err != nil {
+		return res, err
+	}
+	res.Stats.OptimizeTime = time.Since(optStart)
+	res.Stats.Fermat = batch.Stats
+	res.Loc = batch.Loc
+	res.Cost = batch.Cost
+	res.Stats.TotalTime = time.Since(totalStart)
+	return res, nil
+}
+
+func ordinaryBasic(set []core.Object, ti int, bounds geom.Rect, mode core.Mode) (*core.MOVD, error) {
+	sites := make([]geom.Point, len(set))
+	for i, o := range set {
+		sites[i] = o.Loc
+	}
+	d, err := voronoi.Compute(sites, bounds)
+	if err != nil {
+		return nil, fmt.Errorf("query: type %d: %w", ti, err)
+	}
+	return core.FromVoronoi(d, set, ti, mode)
+}
+
+func weightedBasic(set []core.Object, ti int, bounds geom.Rect, kind WeightKind) (*core.MOVD, error) {
+	sites := make([]weighted.Site, len(set))
+	for i, o := range set {
+		sites[i] = weighted.Site{P: o.Loc, W: o.ObjWeight}
+	}
+	var mbrs []geom.Rect
+	if kind == AdditiveObjWeights {
+		mbrs = weighted.AdditiveDominanceMBRs(sites, bounds)
+	} else {
+		mbrs = weighted.DominanceMBRs(sites, bounds)
+	}
+	return core.FromRegions(mbrs, set, ti, bounds)
+}
+
+// solveSSC implements Algorithm 1. The two-point prefilter uses the exact
+// two-point optimum (the heavier endpoint) as a lower bound on the full
+// combination's optimal cost.
+func solveSSC(in Input) (Result, error) {
+	res := Result{Method: SSC}
+	start := time.Now()
+	opt := in.options()
+	idx := make([]int, len(in.Sets))
+	group := make([]core.Object, len(in.Sets))
+	best := Result{Cost: 0}
+	ubound := math.Inf(1)
+	for {
+		for ti, set := range in.Sets {
+			group[ti] = set[idx[ti]]
+		}
+		res.Stats.Combinations++
+		g, off := in.toProblem(group)
+		skip := false
+		if !in.DisableCostBound && !math.IsInf(ubound, 1) && len(g) >= 3 {
+			// Alg 1 lines 4-5: optimal location of the first two objects.
+			two, err := fermat.Solve(g[:2], opt)
+			if err != nil {
+				return res, err
+			}
+			if two.Cost+off >= ubound {
+				skip = true
+			}
+		}
+		if !skip {
+			bound := math.Inf(1)
+			if !in.DisableCostBound {
+				bound = ubound - off
+			}
+			sol, err := fermat.SolveBounded(g, opt, bound)
+			if err != nil {
+				return res, err
+			}
+			res.Stats.Fermat.Problems++
+			res.Stats.Fermat.TotalIters += sol.Iters
+			if sol.Pruned {
+				res.Stats.Fermat.PrunedGroups++
+			} else if cost := sol.Cost + off; cost < ubound {
+				ubound = cost
+				best.Loc = sol.Loc
+				best.Cost = cost
+			}
+		} else {
+			res.Stats.Fermat.Prefiltered++
+		}
+		// Advance the odometer over P_1 × … × P_n.
+		k := len(idx) - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < len(in.Sets[k]) {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+		if k < 0 {
+			break
+		}
+	}
+	res.Loc = best.Loc
+	res.Cost = best.Cost
+	res.Stats.Groups = res.Stats.Fermat.Problems
+	d := time.Since(start)
+	res.Stats.OptimizeTime = d
+	res.Stats.TotalTime = d
+	return res, nil
+}

@@ -1,0 +1,73 @@
+package query
+
+import (
+	"os"
+	"time"
+
+	"molq/internal/core"
+	"molq/internal/fermat"
+	"molq/internal/store"
+)
+
+// finishSpilled completes a solve whose final overlap goes through disk
+// (Input.SpillDir): the last ⊕ streams its OVRs to a temporary snapshot and
+// the optimizer streams them back, deduplicating combinations on the fly.
+// The temporary file is removed before returning.
+func (in *Input) finishSpilled(
+	res Result,
+	acc, last *core.MOVD,
+	prune core.PruneFunc,
+	accumulate func(core.OverlapStats),
+	ovStart, totalStart time.Time,
+) (Result, error) {
+	tmp, err := os.CreateTemp(in.SpillDir, "molq-spill-*.movd")
+	if err != nil {
+		return res, err
+	}
+	path := tmp.Name()
+	tmp.Close()
+	defer os.Remove(path)
+
+	st, err := store.OverlapToFile(acc, last, prune, path)
+	if err != nil {
+		return res, err
+	}
+	accumulate(st)
+	res.Stats.OverlapTime = time.Since(ovStart)
+	res.Stats.OVRs = st.OutputOVRs
+	res.Stats.PointsManaged = st.OutputPoints
+
+	// Streaming optimizer (Alg 5 over the spill file).
+	optStart := time.Now()
+	additive := map[int]bool{}
+	for ti := range in.Sets {
+		if in.kind(ti) == AdditiveObjWeights {
+			additive[ti] = true
+		}
+	}
+	streamer := fermat.NewStreamer(in.options(), !in.DisableCostBound)
+	seen := make(map[string]struct{})
+	err = store.IterateOVRs(path, func(o *core.OVR) error {
+		k := o.Key()
+		if _, dup := seen[k]; dup {
+			return nil
+		}
+		seen[k] = struct{}{}
+		g, off := store.Problem(o.POIs, additive)
+		return streamer.Offer(g, off)
+	})
+	if err != nil {
+		return res, err
+	}
+	batch, err := streamer.Result()
+	if err != nil {
+		return res, err
+	}
+	res.Stats.OptimizeTime = time.Since(optStart)
+	res.Stats.Groups = len(seen)
+	res.Stats.Fermat = batch.Stats
+	res.Loc = batch.Loc
+	res.Cost = batch.Cost
+	res.Stats.TotalTime = time.Since(totalStart)
+	return res, nil
+}

@@ -1,0 +1,89 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSpillDirMatchesInMemory(t *testing.T) {
+	r := rand.New(rand.NewSource(121))
+	for _, method := range []Method{RRB, MBRB} {
+		for _, sizes := range [][]int{{8, 9}, {6, 7, 5}} {
+			in := randomInput(r, sizes, true)
+			in.Epsilon = 1e-7
+			mem, err := Solve(in, method)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			in.SpillDir = dir
+			disk, err := Solve(in, method)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel := math.Abs(disk.Cost-mem.Cost) / math.Max(mem.Cost, 1); rel > 1e-9 {
+				t.Fatalf("%v sizes %v: spilled cost %v vs in-memory %v",
+					method, sizes, disk.Cost, mem.Cost)
+			}
+			if disk.Stats.OVRs != mem.Stats.OVRs {
+				t.Fatalf("%v sizes %v: OVRs %d vs %d", method, sizes, disk.Stats.OVRs, mem.Stats.OVRs)
+			}
+			if disk.Stats.Groups != mem.Stats.Groups {
+				t.Fatalf("%v sizes %v: groups %d vs %d", method, sizes, disk.Stats.Groups, mem.Stats.Groups)
+			}
+			// The temporary spill file must be gone.
+			matches, _ := filepath.Glob(filepath.Join(dir, "molq-spill-*"))
+			if len(matches) != 0 {
+				t.Fatalf("spill file leaked: %v", matches)
+			}
+		}
+	}
+}
+
+func TestSpillDirWithPruning(t *testing.T) {
+	r := rand.New(rand.NewSource(122))
+	in := randomInput(r, []int{12, 12, 12}, false)
+	in.Epsilon = 1e-6
+	plain, err := Solve(in, RRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.SpillDir = t.TempDir()
+	in.PruneOverlap = true
+	spilled, err := Solve(in, RRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(spilled.Cost-plain.Cost) / plain.Cost; rel > 1e-9 {
+		t.Fatalf("pruned+spilled cost %v vs plain %v", spilled.Cost, plain.Cost)
+	}
+}
+
+func TestSpillDirAdditive(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	in := additiveInput(r, []int{5, 6})
+	mem, err := Solve(in, MBRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.SpillDir = t.TempDir()
+	disk, err := Solve(in, MBRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(disk.Cost-mem.Cost) / math.Max(mem.Cost, 1); rel > 1e-9 {
+		t.Fatalf("additive spill cost %v vs %v", disk.Cost, mem.Cost)
+	}
+}
+
+func TestSpillDirBadDirectory(t *testing.T) {
+	r := rand.New(rand.NewSource(124))
+	in := randomInput(r, []int{3, 3}, false)
+	in.SpillDir = filepath.Join(os.TempDir(), "definitely", "not", "a", "dir")
+	if _, err := Solve(in, RRB); err == nil {
+		t.Fatal("unwritable spill dir should fail")
+	}
+}

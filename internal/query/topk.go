@@ -1,0 +1,78 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"molq/internal/core"
+	"molq/internal/fermat"
+	"molq/internal/geom"
+)
+
+// Candidate is one locally optimal location: the Fermat-Weber optimum of one
+// object combination admitted by the MOVD. Its Cost is the weighted group
+// distance to that combination at Loc, which upper-bounds (and at the winner
+// equals) MWGD(Loc).
+type Candidate struct {
+	Loc         geom.Point
+	Cost        float64
+	Combination []core.Object
+}
+
+// TopK returns the k best distinct candidate locations of the query,
+// ascending by cost. Candidate 0 is the query answer; the rest are the next
+// best locally optimal locations — the paper's Optimizer examines exactly
+// this candidate list (Fig 7) and returns only its head, but planners often
+// want alternatives. Every combination is solved to the ε stopping rule (the
+// cost bound cannot prune: runners-up are wanted), so TopK costs roughly one
+// DisableCostBound solve. Locations closer than a 1e-9 relative tolerance
+// are deduplicated, keeping the cheaper.
+func TopK(in Input, method Method, k int) ([]Candidate, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	if method != RRB && method != MBRB {
+		return nil, fmt.Errorf("query: TopK requires RRB or MBRB, got %v", method)
+	}
+	eng, err := NewEngine(in, method)
+	if err != nil {
+		return nil, err
+	}
+	opt := in.options()
+	var cands []Candidate
+	for _, combo := range eng.combos {
+		g, off := in.toProblem(combo)
+		res, err := fermat.Solve(g, opt)
+		if err != nil {
+			return nil, err
+		}
+		cands = append(cands, Candidate{
+			Loc:         res.Loc,
+			Cost:        res.Cost + off,
+			Combination: combo,
+		})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Cost < cands[j].Cost })
+	// Deduplicate by location.
+	scale := math.Max(in.Bounds.Width(), in.Bounds.Height())
+	tol := 1e-9 * math.Max(scale, 1)
+	var out []Candidate
+	for _, c := range cands {
+		dup := false
+		for i := range out {
+			if out[i].Loc.Dist(c.Loc) <= tol {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		out = append(out, c)
+		if len(out) == k {
+			break
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTopKHeadMatchesSolve(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	for _, method := range []Method{RRB, MBRB} {
+		in := randomInput(r, []int{6, 7, 5}, true)
+		in.Epsilon = 1e-8
+		cands, err := TopK(in, method, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cands) == 0 {
+			t.Fatal("no candidates")
+		}
+		best, err := Solve(in, method)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(cands[0].Cost-best.Cost) > 1e-6*best.Cost {
+			t.Fatalf("%v: top-1 %v vs solve %v", method, cands[0].Cost, best.Cost)
+		}
+		for i := 1; i < len(cands); i++ {
+			if cands[i].Cost < cands[i-1].Cost {
+				t.Fatalf("%v: candidates out of order at %d", method, i)
+			}
+		}
+		// Distinct locations.
+		for i := 0; i < len(cands); i++ {
+			for j := i + 1; j < len(cands); j++ {
+				if cands[i].Loc.Dist(cands[j].Loc) < 1e-9 {
+					t.Fatalf("%v: duplicate locations %d/%d", method, i, j)
+				}
+			}
+		}
+		// Every candidate carries its combination.
+		for _, c := range cands {
+			if len(c.Combination) != len(in.Sets) {
+				t.Fatalf("%v: combination size %d", method, len(c.Combination))
+			}
+		}
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	r := rand.New(rand.NewSource(92))
+	in := randomInput(r, []int{3, 3}, false)
+	if got, err := TopK(in, RRB, 0); err != nil || got != nil {
+		t.Fatalf("k=0: %v %v", got, err)
+	}
+	if _, err := TopK(in, SSC, 3); err == nil {
+		t.Fatal("SSC TopK should be rejected")
+	}
+	// k larger than the number of distinct candidates: returns what exists.
+	cands, err := TopK(in, RRB, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 || len(cands) > 9 {
+		t.Fatalf("candidate count %d out of range", len(cands))
+	}
+}

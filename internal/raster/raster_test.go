@@ -1,0 +1,75 @@
+package raster
+
+import (
+	"math"
+	"testing"
+
+	"molq/internal/geom"
+)
+
+func bowl(c geom.Point) Field {
+	return func(p geom.Point) float64 { return p.Dist2(c) }
+}
+
+func TestSample(t *testing.T) {
+	b := geom.NewRect(geom.Pt(0, 0), geom.Pt(10, 10))
+	g := Sample(bowl(geom.Pt(5, 5)), b, 10, 10)
+	if len(g.Values) != 10 || len(g.Values[0]) != 10 {
+		t.Fatalf("grid shape %dx%d", len(g.Values), len(g.Values[0]))
+	}
+	// Minimum at the center cell (4.5..5.5); sample point (5.5,5.5) or
+	// (4.5,4.5) both at distance²=0.5.
+	if g.Min > 0.51 {
+		t.Fatalf("min %v too large", g.Min)
+	}
+	if g.Max < 40 { // corner cell (0.5,0.5) → 2·4.5² = 40.5
+		t.Fatalf("max %v too small", g.Max)
+	}
+	if !b.Contains(g.ArgMin) {
+		t.Fatalf("argmin %v outside bounds", g.ArgMin)
+	}
+}
+
+func TestSampleDegenerateResolution(t *testing.T) {
+	b := geom.NewRect(geom.Pt(0, 0), geom.Pt(1, 1))
+	g := Sample(bowl(geom.Pt(0, 0)), b, 0, -3)
+	if len(g.Values) != 1 || len(g.Values[0]) != 1 {
+		t.Fatal("degenerate resolution should clamp to 1x1")
+	}
+}
+
+func TestMinimizeQuadratic(t *testing.T) {
+	b := geom.NewRect(geom.Pt(-100, -100), geom.Pt(100, 100))
+	target := geom.Pt(33.37, -71.113)
+	loc, v := Minimize(bowl(target), b, 32, 6)
+	// Final cell size is diam·(2/n)^(levels-1)/n ≈ 1.9e-4; the answer is a
+	// cell center, so allow half a diagonal.
+	if loc.Dist(target) > 5e-4 {
+		t.Fatalf("minimize found %v, want %v", loc, target)
+	}
+	if v > 1e-6 {
+		t.Fatalf("min value %v", v)
+	}
+}
+
+func TestMinimizeNonConvex(t *testing.T) {
+	// Two wells; the deeper one must win.
+	a, bWell := geom.Pt(-50, 0), geom.Pt(60, 10)
+	f := func(p geom.Point) float64 {
+		return math.Min(p.Dist(a)+5, p.Dist(bWell))
+	}
+	bounds := geom.NewRect(geom.Pt(-100, -100), geom.Pt(100, 100))
+	loc, _ := Minimize(f, bounds, 32, 6)
+	if loc.Dist(bWell) > 1e-3 {
+		t.Fatalf("minimize found %v, want the deeper well %v", loc, bWell)
+	}
+}
+
+func TestMinimizeAtBoundary(t *testing.T) {
+	// The minimiser sits exactly on the boundary corner.
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(10, 10))
+	loc, _ := Minimize(bowl(geom.Pt(0, 0)), bounds, 16, 8)
+	if loc.Norm() > 1e-3 {
+		t.Fatalf("boundary minimum missed: %v", loc)
+	}
+}

@@ -1,0 +1,58 @@
+package render
+
+import (
+	"fmt"
+	"math"
+
+	"molq/internal/geom"
+	"molq/internal/raster"
+)
+
+// Heatmap draws a raster.Grid as filled cells, dark (low values) to light.
+// Values are normalised over [grid.Min, grid.Max].
+func (c *Canvas) Heatmap(g *raster.Grid) {
+	ny := len(g.Values)
+	if ny == 0 {
+		return
+	}
+	nx := len(g.Values[0])
+	dx := g.Bounds.Width() / float64(nx)
+	dy := g.Bounds.Height() / float64(ny)
+	span := g.Max - g.Min
+	if span <= 0 {
+		span = 1
+	}
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			t := (g.Values[iy][ix] - g.Min) / span
+			cell := geom.Rect{
+				Min: geom.Point{X: g.Bounds.Min.X + float64(ix)*dx, Y: g.Bounds.Min.Y + float64(iy)*dy},
+				Max: geom.Point{X: g.Bounds.Min.X + float64(ix+1)*dx, Y: g.Bounds.Min.Y + float64(iy+1)*dy},
+			}
+			c.Rect(cell, Style{Fill: viridisish(t)})
+		}
+	}
+}
+
+// viridisish maps t∈[0,1] to a perceptually ordered dark-blue→teal→yellow
+// ramp (a compact approximation of the viridis colormap).
+func viridisish(t float64) string {
+	t = math.Min(1, math.Max(0, t))
+	stops := [][3]float64{
+		{68, 1, 84},
+		{59, 82, 139},
+		{33, 145, 140},
+		{94, 201, 98},
+		{253, 231, 37},
+	}
+	pos := t * float64(len(stops)-1)
+	i := int(pos)
+	if i >= len(stops)-1 {
+		i = len(stops) - 2
+	}
+	f := pos - float64(i)
+	r := stops[i][0] + f*(stops[i+1][0]-stops[i][0])
+	g := stops[i][1] + f*(stops[i+1][1]-stops[i][1])
+	b := stops[i][2] + f*(stops[i+1][2]-stops[i][2])
+	return fmt.Sprintf("#%02x%02x%02x", int(r), int(g), int(b))
+}

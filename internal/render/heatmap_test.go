@@ -1,0 +1,52 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"molq/internal/geom"
+	"molq/internal/raster"
+)
+
+func TestHeatmapRendersCells(t *testing.T) {
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(10, 10))
+	g := raster.Sample(func(p geom.Point) float64 { return p.X + p.Y }, bounds, 4, 4)
+	c := NewCanvas(bounds, 100)
+	c.Heatmap(g)
+	svg := c.SVG()
+	if got := strings.Count(svg, "<rect x="); got != 16 {
+		t.Fatalf("heatmap rendered %d cells, want 16", got)
+	}
+}
+
+func TestHeatmapConstantField(t *testing.T) {
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(1, 1))
+	g := raster.Sample(func(geom.Point) float64 { return 42 }, bounds, 2, 2)
+	c := NewCanvas(bounds, 50)
+	c.Heatmap(g) // zero span must not divide by zero
+	if !strings.Contains(c.SVG(), "<rect") {
+		t.Fatal("constant heatmap rendered nothing")
+	}
+}
+
+func TestHeatmapEmptyGrid(t *testing.T) {
+	c := NewCanvas(geom.NewRect(geom.Pt(0, 0), geom.Pt(1, 1)), 50)
+	c.Heatmap(&raster.Grid{}) // must not panic
+}
+
+func TestViridisRampOrdered(t *testing.T) {
+	if viridisish(0) == viridisish(1) {
+		t.Fatal("ramp endpoints identical")
+	}
+	// Clamping.
+	if viridisish(-5) != viridisish(0) || viridisish(7) != viridisish(1) {
+		t.Fatal("ramp does not clamp")
+	}
+	// Valid hex colors.
+	for _, tt := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		c := viridisish(tt)
+		if len(c) != 7 || c[0] != '#' {
+			t.Fatalf("bad color %q at %v", c, tt)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package render writes simple SVG drawings of Voronoi diagrams, MOVDs and
+// query results. The example programs and cmd/vdsvg use it to make results
+// inspectable; it has no role in query evaluation.
+package render
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"molq/internal/geom"
+)
+
+// Canvas accumulates SVG elements over a world-coordinate viewport. Y grows
+// upward in world space and is flipped for SVG.
+type Canvas struct {
+	world  geom.Rect
+	w, h   float64
+	margin float64
+	body   strings.Builder
+}
+
+// NewCanvas creates a canvas of pixel width w mapping the world rectangle;
+// height follows the world aspect ratio.
+func NewCanvas(world geom.Rect, w float64) *Canvas {
+	h := w * world.Height() / world.Width()
+	return &Canvas{world: world, w: w, h: h, margin: 8}
+}
+
+func (c *Canvas) tx(p geom.Point) (float64, float64) {
+	x := c.margin + (p.X-c.world.Min.X)/c.world.Width()*c.w
+	y := c.margin + (c.world.Max.Y-p.Y)/c.world.Height()*c.h
+	return x, y
+}
+
+// Style is a minimal SVG presentation attribute set.
+type Style struct {
+	Fill        string
+	Stroke      string
+	StrokeWidth float64
+	Opacity     float64
+}
+
+func (s Style) attrs() string {
+	var sb strings.Builder
+	if s.Fill == "" {
+		s.Fill = "none"
+	}
+	fmt.Fprintf(&sb, ` fill=%q`, s.Fill)
+	if s.Stroke != "" {
+		fmt.Fprintf(&sb, ` stroke=%q`, s.Stroke)
+		w := s.StrokeWidth
+		if w == 0 {
+			w = 1
+		}
+		fmt.Fprintf(&sb, ` stroke-width="%g"`, w)
+	}
+	if s.Opacity > 0 && s.Opacity < 1 {
+		fmt.Fprintf(&sb, ` opacity="%g"`, s.Opacity)
+	}
+	return sb.String()
+}
+
+// Polygon draws a closed polygon.
+func (c *Canvas) Polygon(pg geom.Polygon, st Style) {
+	if pg.IsEmpty() {
+		return
+	}
+	var pts []string
+	for _, p := range pg {
+		x, y := c.tx(p)
+		pts = append(pts, fmt.Sprintf("%.2f,%.2f", x, y))
+	}
+	fmt.Fprintf(&c.body, `<polygon points="%s"%s/>`+"\n", strings.Join(pts, " "), st.attrs())
+}
+
+// Rect draws an axis-aligned rectangle.
+func (c *Canvas) Rect(r geom.Rect, st Style) {
+	if r.IsEmpty() {
+		return
+	}
+	x0, y1 := c.tx(r.Min)
+	x1, y0 := c.tx(r.Max)
+	fmt.Fprintf(&c.body, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f"%s/>`+"\n",
+		x0, y0, x1-x0, y1-y0, st.attrs())
+}
+
+// Circle draws a circle of pixel radius r at world point p.
+func (c *Canvas) Circle(p geom.Point, r float64, st Style) {
+	x, y := c.tx(p)
+	fmt.Fprintf(&c.body, `<circle cx="%.2f" cy="%.2f" r="%g"%s/>`+"\n", x, y, r, st.attrs())
+}
+
+// Line draws a segment.
+func (c *Canvas) Line(s geom.Segment, st Style) {
+	x0, y0 := c.tx(s.A)
+	x1, y1 := c.tx(s.B)
+	fmt.Fprintf(&c.body, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f"%s/>`+"\n",
+		x0, y0, x1, y1, st.attrs())
+}
+
+// Text places a label at world point p.
+func (c *Canvas) Text(p geom.Point, size float64, fill, text string) {
+	x, y := c.tx(p)
+	fmt.Fprintf(&c.body, `<text x="%.2f" y="%.2f" font-size="%g" fill=%q font-family="sans-serif">%s</text>`+"\n",
+		x, y, size, fill, escape(text))
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// SVG returns the complete document.
+func (c *Canvas) SVG() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		c.w+2*c.margin, c.h+2*c.margin, c.w+2*c.margin, c.h+2*c.margin)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	sb.WriteString(c.body.String())
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// Save writes the document to path.
+func (c *Canvas) Save(path string) error {
+	return os.WriteFile(path, []byte(c.SVG()), 0o644)
+}
+
+// Palette cycles through distinguishable fill colors for categorical data.
+var Palette = []string{
+	"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1",
+	"#76b7b2", "#edc948", "#ff9da7", "#9c755f", "#bab0ac",
+}
+
+// Color returns the i-th palette color (cycling).
+func Color(i int) string { return Palette[((i%len(Palette))+len(Palette))%len(Palette)] }

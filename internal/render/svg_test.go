@@ -1,0 +1,70 @@
+package render
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"molq/internal/geom"
+)
+
+func TestCanvasElements(t *testing.T) {
+	c := NewCanvas(geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 50)), 400)
+	c.Polygon(geom.NewPolygon(geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(0, 10)),
+		Style{Fill: "#ff0000", Stroke: "black"})
+	c.Rect(geom.NewRect(geom.Pt(20, 20), geom.Pt(30, 30)), Style{Stroke: "blue"})
+	c.Circle(geom.Pt(50, 25), 3, Style{Fill: "green"})
+	c.Line(geom.Segment{A: geom.Pt(0, 0), B: geom.Pt(100, 50)}, Style{Stroke: "gray"})
+	c.Text(geom.Pt(10, 40), 12, "black", "a<b&c")
+	svg := c.SVG()
+	for _, want := range []string{"<svg", "<polygon", "<rect", "<circle", "<line", "<text", "a&lt;b&amp;c", "</svg>"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q:\n%s", want, svg)
+		}
+	}
+}
+
+func TestYAxisFlipped(t *testing.T) {
+	c := NewCanvas(geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100)), 100)
+	_, yLow := c.tx(geom.Pt(0, 0))
+	_, yHigh := c.tx(geom.Pt(0, 100))
+	if yHigh >= yLow {
+		t.Fatalf("world y=100 should map above y=0: %v vs %v", yHigh, yLow)
+	}
+}
+
+func TestEmptyShapesSkipped(t *testing.T) {
+	c := NewCanvas(geom.NewRect(geom.Pt(0, 0), geom.Pt(10, 10)), 100)
+	c.Polygon(nil, Style{})
+	c.Rect(geom.EmptyRect(), Style{})
+	if strings.Contains(c.SVG(), "<polygon") || strings.Contains(c.SVG(), "<rect x=") {
+		t.Fatal("empty shapes should not render")
+	}
+}
+
+func TestSave(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.svg")
+	c := NewCanvas(geom.NewRect(geom.Pt(0, 0), geom.Pt(10, 10)), 100)
+	c.Circle(geom.Pt(5, 5), 2, Style{Fill: "red"})
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Fatal("saved file is not SVG")
+	}
+}
+
+func TestColorCycles(t *testing.T) {
+	if Color(0) != Color(len(Palette)) {
+		t.Fatal("palette should cycle")
+	}
+	if Color(-1) == "" {
+		t.Fatal("negative index should still return a color")
+	}
+}

@@ -1,0 +1,77 @@
+package rtree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"molq/internal/geom"
+)
+
+func benchEntries(n int) []Entry {
+	r := rand.New(rand.NewSource(9))
+	return randomEntries(r, n, 10000)
+}
+
+func BenchmarkBulkLoad(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		es := benchEntries(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if tr := Bulk(es, 16); tr.Len() != n {
+					b.Fatal("bad build")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkInsertBuild(b *testing.B) {
+	for _, n := range []int{1000, 20000} {
+		es := benchEntries(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr := New(16)
+				for _, e := range es {
+					tr.Insert(e)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	es := benchEntries(100000)
+	tr := Bulk(es, 16)
+	r := rand.New(rand.NewSource(10))
+	queries := make([]geom.Rect, 1024)
+	for i := range queries {
+		x, y := r.Float64()*10000, r.Float64()*10000
+		queries[i] = geom.NewRect(geom.Pt(x, y), geom.Pt(x+100, y+100))
+	}
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		tr.Search(queries[i%len(queries)], func(Entry) bool {
+			hits++
+			return true
+		})
+	}
+	_ = hits
+}
+
+func BenchmarkNearest(b *testing.B) {
+	es := benchEntries(100000)
+	tr := Bulk(es, 16)
+	r := rand.New(rand.NewSource(11))
+	pts := make([]geom.Point, 1024)
+	for i := range pts {
+		pts[i] = geom.Pt(r.Float64()*10000, r.Float64()*10000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := tr.Nearest(pts[i%len(pts)]); !ok {
+			b.Fatal("no result")
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package voronoi generates ordinary Voronoi diagrams in the plane. It is the
+// "VD Generator" substrate of the MOLQ pipeline (Sec 5.1 of the paper, citing
+// Okabe et al. for generation methods).
+//
+// The implementation computes a Delaunay triangulation with an incremental
+// Bowyer–Watson algorithm (jump-and-walk point location, Morton-ordered
+// insertion for locality) and dualises it into Voronoi cells: the cell of a
+// site is the polygon of circumcenters of its incident triangles. Four frame
+// vertices placed far outside the search space make every real site an
+// interior vertex, so every cell is a bounded convex polygon that is then
+// clipped to the search-space rectangle.
+package voronoi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"molq/internal/geom"
+)
+
+// ErrNoSites is returned when Compute is called with an empty site list.
+var ErrNoSites = errors.New("voronoi: no sites")
+
+type tri struct {
+	v     [3]int32 // vertex indices, counterclockwise
+	n     [3]int32 // n[i] = neighbor across the edge opposite v[i]; -1 if none
+	alive bool
+}
+
+type triangulation struct {
+	pts     []geom.Point
+	tris    []tri
+	free    []int32
+	lastTri int32
+	// scratch buffers reused across insertions
+	badList  []int32
+	badMark  []uint32
+	curEpoch uint32
+	stack    []int32
+}
+
+const noTri = int32(-1)
+
+// newTriangulation seeds the structure with two triangles covering a frame
+// square that encloses both the bounding rectangle of the sites and the
+// search space.
+func newTriangulation(capHint int, frame geom.Rect) *triangulation {
+	t := &triangulation{
+		pts:  make([]geom.Point, 0, capHint+4),
+		tris: make([]tri, 0, 2*capHint+16),
+	}
+	c := frame.Corners() // ccw: minmin, maxmin, maxmax, minmax
+	t.pts = append(t.pts, c[0], c[1], c[2], c[3])
+	t.tris = append(t.tris,
+		tri{v: [3]int32{0, 1, 2}, n: [3]int32{-1, 1, -1}, alive: true},
+		tri{v: [3]int32{0, 2, 3}, n: [3]int32{-1, -1, 0}, alive: true},
+	)
+	t.lastTri = 0
+	return t
+}
+
+// allocTri returns a slot for a new triangle.
+func (t *triangulation) allocTri(tr tri) int32 {
+	if n := len(t.free); n > 0 {
+		idx := t.free[n-1]
+		t.free = t.free[:n-1]
+		t.tris[idx] = tr
+		return idx
+	}
+	t.tris = append(t.tris, tr)
+	return int32(len(t.tris) - 1)
+}
+
+// locate finds a triangle containing p by walking from the last created
+// triangle, falling back to an exhaustive scan if the walk does not converge
+// (which can only happen under severe degeneracy).
+func (t *triangulation) locate(p geom.Point) (int32, error) {
+	cur := t.lastTri
+	if cur == noTri || !t.tris[cur].alive {
+		cur = t.anyAlive()
+		if cur == noTri {
+			return noTri, errors.New("voronoi: no alive triangles")
+		}
+	}
+	maxSteps := 4*len(t.tris) + 64
+	for step := 0; step < maxSteps; step++ {
+		tr := &t.tris[cur]
+		next := noTri
+		for i := 0; i < 3; i++ {
+			a := t.pts[tr.v[(i+1)%3]]
+			b := t.pts[tr.v[(i+2)%3]]
+			if geom.Orient(a, b, p) < -geom.Eps {
+				next = tr.n[i]
+				break
+			}
+		}
+		if next == noTri {
+			return cur, nil
+		}
+		cur = next
+	}
+	// Fallback: exhaustive containment scan.
+	for i := range t.tris {
+		if !t.tris[i].alive {
+			continue
+		}
+		if t.triContains(int32(i), p) {
+			return int32(i), nil
+		}
+	}
+	return noTri, fmt.Errorf("voronoi: point %v not located", p)
+}
+
+func (t *triangulation) anyAlive() int32 {
+	for i := range t.tris {
+		if t.tris[i].alive {
+			return int32(i)
+		}
+	}
+	return noTri
+}
+
+func (t *triangulation) triContains(ti int32, p geom.Point) bool {
+	tr := &t.tris[ti]
+	for i := 0; i < 3; i++ {
+		a := t.pts[tr.v[(i+1)%3]]
+		b := t.pts[tr.v[(i+2)%3]]
+		if geom.Orient(a, b, p) < -geom.Eps {
+			return false
+		}
+	}
+	return true
+}
+
+// inCircumcircle reports whether p lies strictly inside the circumcircle of
+// triangle ti.
+func (t *triangulation) inCircumcircle(ti int32, p geom.Point) bool {
+	tr := &t.tris[ti]
+	return geom.InCircle(t.pts[tr.v[0]], t.pts[tr.v[1]], t.pts[tr.v[2]], p) > 0
+}
+
+type cavityEdge struct {
+	a, b  int32 // directed edge, cavity interior to the left
+	outer int32 // triangle outside the cavity across (a, b), or -1
+}
+
+// insert adds point p as vertex index pi (already appended to t.pts).
+func (t *triangulation) insert(pi int32) error {
+	p := t.pts[pi]
+	seed, err := t.locate(p)
+	if err != nil {
+		return err
+	}
+	// Grow the cavity: all triangles whose circumcircle contains p.
+	if len(t.badMark) < len(t.tris) {
+		grown := make([]uint32, len(t.tris)*2)
+		copy(grown, t.badMark)
+		t.badMark = grown
+	}
+	t.curEpoch++
+	epoch := t.curEpoch
+	t.badList = t.badList[:0]
+	t.stack = append(t.stack[:0], seed)
+	t.badMark[seed] = epoch
+	for len(t.stack) > 0 {
+		cur := t.stack[len(t.stack)-1]
+		t.stack = t.stack[:len(t.stack)-1]
+		t.badList = append(t.badList, cur)
+		for i := 0; i < 3; i++ {
+			nb := t.tris[cur].n[i]
+			if nb == noTri || t.badMark[nb] == epoch {
+				continue
+			}
+			if t.inCircumcircle(nb, p) {
+				t.badMark[nb] = epoch
+				t.stack = append(t.stack, nb)
+			}
+		}
+	}
+	// Collect the cavity boundary (directed CCW).
+	var edges []cavityEdge
+	for _, bi := range t.badList {
+		tr := &t.tris[bi]
+		for i := 0; i < 3; i++ {
+			nb := tr.n[i]
+			if nb != noTri && t.badMark[nb] == epoch {
+				continue
+			}
+			edges = append(edges, cavityEdge{
+				a:     tr.v[(i+1)%3],
+				b:     tr.v[(i+2)%3],
+				outer: nb,
+			})
+		}
+	}
+	if len(edges) < 3 {
+		return fmt.Errorf("voronoi: degenerate cavity (%d edges) inserting %v", len(edges), p)
+	}
+	// Retire the bad triangles.
+	for _, bi := range t.badList {
+		t.tris[bi].alive = false
+		t.free = append(t.free, bi)
+	}
+	// Fan new triangles (pi, a, b) over the boundary edges and wire
+	// adjacency. byFirst maps a boundary edge's first vertex to the new
+	// triangle built on it; around the cavity cycle each vertex appears
+	// exactly once as a first vertex and once as a second vertex.
+	byFirst := make(map[int32]int32, len(edges))
+	newTris := make([]int32, len(edges))
+	for k, e := range edges {
+		nt := t.allocTri(tri{
+			v:     [3]int32{pi, e.a, e.b},
+			n:     [3]int32{e.outer, noTri, noTri},
+			alive: true,
+		})
+		newTris[k] = nt
+		byFirst[e.a] = nt
+		if e.outer != noTri {
+			out := &t.tris[e.outer]
+			for i := 0; i < 3; i++ {
+				if out.v[(i+1)%3] == e.b && out.v[(i+2)%3] == e.a {
+					out.n[i] = nt
+					break
+				}
+			}
+		}
+	}
+	byLast := make(map[int32]int32, len(edges))
+	for k, e := range edges {
+		byLast[e.b] = newTris[k]
+	}
+	for k, e := range edges {
+		// Edge (b, pi) is opposite v[1]=a: neighbor is the new triangle
+		// whose boundary edge starts at b. Edge (pi, a) is opposite
+		// v[2]=b: neighbor is the new triangle whose boundary edge ends
+		// at a.
+		t.tris[newTris[k]].n[1] = byFirst[e.b]
+		t.tris[newTris[k]].n[2] = byLast[e.a]
+	}
+	t.lastTri = newTris[0]
+	return nil
+}
+
+// circumcenter returns the circumcenter of triangle ti. Degenerate (nearly
+// collinear) triangles fall back to the centroid, which only occurs for
+// slivers against the frame and is removed by clipping.
+func (t *triangulation) circumcenter(ti int32) geom.Point {
+	tr := &t.tris[ti]
+	a, b, c := t.pts[tr.v[0]], t.pts[tr.v[1]], t.pts[tr.v[2]]
+	if cc, ok := geom.Circumcenter(a, b, c); ok {
+		return cc
+	}
+	return geom.Point{X: (a.X + b.X + c.X) / 3, Y: (a.Y + b.Y + c.Y) / 3}
+}
+
+// mortonKey interleaves the bits of the quantized coordinates, giving a
+// space-filling insertion order that keeps the locate walk short.
+func mortonKey(p geom.Point, origin geom.Point, invScale float64) uint64 {
+	qx := uint32(math.Min(math.Max((p.X-origin.X)*invScale, 0), 65535))
+	qy := uint32(math.Min(math.Max((p.Y-origin.Y)*invScale, 0), 65535))
+	return spread(qx) | spread(qy)<<1
+}
+
+func spread(v uint32) uint64 {
+	x := uint64(v) & 0xFFFF
+	x = (x | x<<16) & 0x0000FFFF0000FFFF
+	x = (x | x<<8) & 0x00FF00FF00FF00FF
+	x = (x | x<<4) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+// sortMorton returns site indices ordered along a Morton curve.
+func sortMorton(sites []geom.Point, bounds geom.Rect) []int {
+	w := math.Max(bounds.Width(), 1e-12)
+	h := math.Max(bounds.Height(), 1e-12)
+	inv := 65535 / math.Max(w, h)
+	order := make([]int, len(sites))
+	keys := make([]uint64, len(sites))
+	for i, p := range sites {
+		order[i] = i
+		keys[i] = mortonKey(p, bounds.Min, inv)
+	}
+	sort.Slice(order, func(i, j int) bool { return keys[order[i]] < keys[order[j]] })
+	return order
+}

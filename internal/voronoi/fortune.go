@@ -1,0 +1,339 @@
+// Fortune's sweep-line algorithm — the second, independent Voronoi generator.
+// The primary generator (delaunay.go) is incremental Bowyer–Watson; Fortune
+// provides the classic plane-sweep construction from the computational
+// geometry literature the paper leans on (de Berg et al. [4], Okabe et
+// al. [14]). Having both lets the test suite cross-validate the diagrams and
+// the benchmarks compare the construction strategies.
+//
+// The sweep moves top to bottom. The beach line is kept as an ordered slice
+// of arcs with binary search over breakpoints (O(n) updates, O(log n)
+// lookups) — asymptotically worse than a balanced tree but simple, robust,
+// and fast enough for the validator role.
+package voronoi
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"molq/internal/geom"
+)
+
+// fortuneTriangle is one Delaunay triangle discovered at a circle event.
+type fortuneTriangle struct {
+	a, b, c int32
+}
+
+type arc struct {
+	site int32
+	ev   *circleEvent // pending circle event that would remove this arc
+}
+
+type circleEvent struct {
+	y     float64 // sweep position at which the event fires (circle bottom)
+	cc    geom.Point
+	arc   *arc
+	valid bool
+}
+
+type ceHeap []*circleEvent
+
+func (h ceHeap) Len() int           { return len(h) }
+func (h ceHeap) Less(i, j int) bool { return h[i].y > h[j].y } // max-y first
+func (h ceHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *ceHeap) Push(x any)        { *h = append(*h, x.(*circleEvent)) }
+func (h *ceHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// fortuneSweep computes the Delaunay triangles of pts (assumed in general
+// position: no two sites share a y within ties the caller should avoid, no
+// four cocircular sites aligned with events). The triangles of sites whose
+// Voronoi vertices exist (all interior vertices) are exactly the circle
+// events; with a surrounding frame every real triangle appears.
+func fortuneSweep(pts []geom.Point) ([]fortuneTriangle, error) {
+	n := len(pts)
+	if n < 3 {
+		return nil, fmt.Errorf("voronoi: fortune needs ≥3 sites, got %d", n)
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		pi, pj := pts[order[i]], pts[order[j]]
+		if pi.Y != pj.Y {
+			return pi.Y > pj.Y
+		}
+		return pi.X < pj.X
+	})
+
+	var beach []*arc
+	var events ceHeap
+	var tris []fortuneTriangle
+
+	// scheduleCircle examines the arc triple centered at index i and queues
+	// a circle event if its breakpoints converge.
+	scheduleCircle := func(i int, sweepY float64) {
+		if i <= 0 || i >= len(beach)-1 {
+			return
+		}
+		b := beach[i]
+		a, c := beach[i-1], beach[i+1]
+		if a.site == c.site {
+			return
+		}
+		pa, pb, pc := pts[a.site], pts[b.site], pts[c.site]
+		// Arcs converge only if the sites turn clockwise (the middle arc
+		// gets squeezed).
+		if geom.Orient(pa, pb, pc) >= -geom.Eps {
+			return
+		}
+		cc, ok := geom.Circumcenter(pa, pb, pc)
+		if !ok {
+			return
+		}
+		y := cc.Y - cc.Dist(pa)
+		if y > sweepY+1e-9 {
+			return
+		}
+		ev := &circleEvent{y: y, cc: cc, arc: b, valid: true}
+		if b.ev != nil {
+			b.ev.valid = false
+		}
+		b.ev = ev
+		heap.Push(&events, ev)
+	}
+
+	invalidate := func(a *arc) {
+		if a.ev != nil {
+			a.ev.valid = false
+			a.ev = nil
+		}
+	}
+
+	// findArc locates the beach arc above x at the given sweep position.
+	findArc := func(x, sweepY float64) int {
+		return sort.Search(len(beach)-1, func(i int) bool {
+			return x < breakpointX(pts[beach[i].site], pts[beach[i+1].site], sweepY)
+		})
+	}
+
+	si := 0
+	for si < len(order) || events.Len() > 0 {
+		// Decide the next event: site vs circle.
+		useCircle := false
+		if events.Len() > 0 {
+			top := events[0]
+			if !top.valid {
+				heap.Pop(&events)
+				continue
+			}
+			if si >= len(order) || top.y >= pts[order[si]].Y {
+				useCircle = true
+			}
+		}
+		if useCircle {
+			ev := heap.Pop(&events).(*circleEvent)
+			if !ev.valid {
+				continue
+			}
+			// Locate the arc (pointer identity; linear scan is fine for the
+			// validator role, but narrow it with the index hint first).
+			ix := -1
+			for i, a := range beach {
+				if a == ev.arc {
+					ix = i
+					break
+				}
+			}
+			if ix <= 0 || ix >= len(beach)-1 {
+				continue // stale
+			}
+			a, b, c := beach[ix-1], beach[ix], beach[ix+1]
+			// Emit the Delaunay triangle, counterclockwise.
+			t := fortuneTriangle{a: a.site, b: b.site, c: c.site}
+			if geom.Orient(pts[t.a], pts[t.b], pts[t.c]) < 0 {
+				t.b, t.c = t.c, t.b
+			}
+			tris = append(tris, t)
+			// Remove the squeezed arc.
+			invalidate(b)
+			beach = append(beach[:ix], beach[ix+1:]...)
+			invalidate(a)
+			invalidate(c)
+			scheduleCircle(ix-1, ev.y)
+			scheduleCircle(ix, ev.y)
+			continue
+		}
+		// Site event.
+		s := order[si]
+		si++
+		p := pts[s]
+		if len(beach) == 0 {
+			beach = append(beach, &arc{site: s})
+			continue
+		}
+		ix := findArc(p.X, p.Y)
+		split := beach[ix]
+		invalidate(split)
+		left := &arc{site: split.site}
+		mid := &arc{site: s}
+		right := &arc{site: split.site}
+		beach = append(beach[:ix], append([]*arc{left, mid, right}, beach[ix+1:]...)...)
+		scheduleCircle(ix, p.Y)
+		scheduleCircle(ix+2, p.Y)
+	}
+	return tris, nil
+}
+
+// breakpointX returns the x-coordinate of the breakpoint between the arc of
+// p (left) and the arc of q (right) when the sweep line is at y=l.
+func breakpointX(p, q geom.Point, l float64) float64 {
+	dp := p.Y - l
+	dq := q.Y - l
+	if math.Abs(dp-dq) < 1e-12 {
+		return (p.X + q.X) / 2
+	}
+	if dp <= 0 {
+		// p is on the sweep line: its "parabola" is the vertical ray at p.X.
+		return p.X
+	}
+	if dq <= 0 {
+		return q.X
+	}
+	// Solve parabola_p(x) = parabola_q(x).
+	a := 1/dp - 1/dq
+	b := -2 * (p.X/dp - q.X/dq)
+	c := (p.X*p.X+p.Y*p.Y-l*l)/dp - (q.X*q.X+q.Y*q.Y-l*l)/dq
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		disc = 0
+	}
+	sq := math.Sqrt(disc)
+	x1 := (-b - sq) / (2 * a)
+	x2 := (-b + sq) / (2 * a)
+	if x1 > x2 {
+		x1, x2 = x2, x1
+	}
+	// Between the two intersections the parabola with the smaller distance
+	// to the sweep (narrower) is lower. The left-p/right-q breakpoint is the
+	// one where p's parabola is the beach (lower) on the left side.
+	if dp < dq {
+		return x2
+	}
+	return x1
+}
+
+// ComputeFortune builds the Voronoi diagram with Fortune's sweep instead of
+// incremental Delaunay. Sites must be distinct; severe ties (sites sharing a
+// y with the very first event) are perturbation-sensitive, so this generator
+// is intended for validation and comparison rather than adversarial inputs.
+func ComputeFortune(sites []geom.Point, bounds geom.Rect) (*Diagram, error) {
+	if len(sites) == 0 {
+		return nil, ErrNoSites
+	}
+	if bounds.IsEmpty() {
+		return nil, fmt.Errorf("voronoi: empty bounds %v", bounds)
+	}
+	ext := bounds
+	for _, p := range sites {
+		ext = ext.ExtendPoint(p)
+	}
+	diam := math.Max(math.Max(ext.Width(), ext.Height()), 1)
+	m := 4 * diam
+	// Frame corners get distinct y offsets so the first events never tie.
+	frame := []geom.Point{
+		{X: ext.Min.X - m, Y: ext.Min.Y - m*1.01},
+		{X: ext.Max.X + m, Y: ext.Min.Y - m*1.02},
+		{X: ext.Max.X + m, Y: ext.Max.Y + m*1.03},
+		{X: ext.Min.X - m, Y: ext.Max.Y + m*1.04},
+	}
+	seen := make(map[geom.Point]struct{}, len(sites))
+	for _, p := range sites {
+		if _, dup := seen[p]; dup {
+			return nil, fmt.Errorf("voronoi: fortune requires distinct sites (duplicate %v)", p)
+		}
+		seen[p] = struct{}{}
+	}
+	pts := make([]geom.Point, 0, len(sites)+4)
+	pts = append(pts, frame...)
+	pts = append(pts, sites...)
+	tris, err := fortuneSweep(pts)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := assembleTriangulation(pts, tris)
+	if err != nil {
+		return nil, err
+	}
+	return cellsFromTriangulation(tr, sites, 4, bounds)
+}
+
+// assembleTriangulation wires a triangle soup into the adjacency structure
+// shared with the incremental builder.
+func assembleTriangulation(pts []geom.Point, tris []fortuneTriangle) (*triangulation, error) {
+	t := &triangulation{pts: pts}
+	t.tris = make([]tri, len(tris))
+	type dirEdge struct{ u, v int32 }
+	edges := make(map[dirEdge]int32, 3*len(tris))
+	for i, ft := range tris {
+		t.tris[i] = tri{v: [3]int32{ft.a, ft.b, ft.c}, n: [3]int32{-1, -1, -1}, alive: true}
+		vs := t.tris[i].v
+		for e := 0; e < 3; e++ {
+			de := dirEdge{vs[(e+1)%3], vs[(e+2)%3]}
+			if _, dup := edges[de]; dup {
+				return nil, fmt.Errorf("voronoi: duplicate directed edge %v (degenerate input?)", de)
+			}
+			edges[de] = int32(i)
+		}
+	}
+	for i := range t.tris {
+		vs := t.tris[i].v
+		for e := 0; e < 3; e++ {
+			rev := dirEdge{vs[(e+2)%3], vs[(e+1)%3]}
+			if j, ok := edges[rev]; ok {
+				t.tris[i].n[e] = j
+			}
+		}
+	}
+	return t, nil
+}
+
+// cellsFromTriangulation extracts clipped Voronoi cells for the real sites
+// (vertex indices frameCount..frameCount+len(sites)-1).
+func cellsFromTriangulation(t *triangulation, sites []geom.Point, frameCount int, bounds geom.Rect) (*Diagram, error) {
+	cc := make([]geom.Point, len(t.tris))
+	for i := range t.tris {
+		if t.tris[i].alive {
+			cc[i] = t.circumcenter(int32(i))
+		}
+	}
+	vertTri := make([]int32, len(t.pts))
+	for i := range vertTri {
+		vertTri[i] = noTri
+	}
+	for i := range t.tris {
+		if !t.tris[i].alive {
+			continue
+		}
+		for _, v := range t.tris[i].v {
+			vertTri[v] = int32(i)
+		}
+	}
+	cells := make([]geom.Polygon, len(sites))
+	for si := range sites {
+		pi := int32(frameCount + si)
+		fan, err := t.cellAround(pi, vertTri, cc)
+		if err != nil {
+			return nil, fmt.Errorf("voronoi: fortune site %d: %w", si, err)
+		}
+		cells[si] = clipCell(fan, bounds)
+	}
+	return &Diagram{Sites: sites, Cells: cells, Bounds: bounds}, nil
+}

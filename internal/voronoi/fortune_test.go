@@ -1,0 +1,166 @@
+package voronoi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"molq/internal/geom"
+)
+
+func TestFortuneSweepTriangleCount(t *testing.T) {
+	// Four points in convex position → 2 Delaunay triangles... but the
+	// sweep only emits triangles with a Voronoi vertex, which for a convex
+	// quad is both. Use a centered configuration for a crisp count: 4 frame
+	// corners (perturbed) + 1 center → 4 triangles.
+	pts := []geom.Point{
+		{X: -10, Y: -10.1}, {X: 10, Y: -10.2}, {X: 10, Y: 10.3}, {X: -10, Y: 10.4},
+		{X: 0.3, Y: 0.1},
+	}
+	tris, err := fortuneSweep(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tris) != 4 {
+		t.Fatalf("got %d triangles, want 4", len(tris))
+	}
+	for _, tr := range tris {
+		if geom.Orient(pts[tr.a], pts[tr.b], pts[tr.c]) <= 0 {
+			t.Fatalf("triangle %v not CCW", tr)
+		}
+	}
+}
+
+// TestFortuneDelaunayProperty: every emitted triangle has an empty
+// circumcircle, and together they triangulate the convex hull.
+func TestFortuneDelaunayProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + r.Intn(80)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(r.Float64()*100, r.Float64()*100)
+		}
+		tris, err := fortuneSweep(pts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		area := 0.0
+		for _, tr := range tris {
+			a, b, c := pts[tr.a], pts[tr.b], pts[tr.c]
+			area += geom.Polygon{a, b, c}.Area()
+			cc, ok := geom.Circumcenter(a, b, c)
+			if !ok {
+				t.Fatalf("trial %d: degenerate triangle %v", trial, tr)
+			}
+			rad := cc.Dist(a)
+			for i, p := range pts {
+				if int32(i) == tr.a || int32(i) == tr.b || int32(i) == tr.c {
+					continue
+				}
+				if cc.Dist(p) < rad-1e-7*rad {
+					t.Fatalf("trial %d: point %d inside circumcircle of %v", trial, i, tr)
+				}
+			}
+		}
+		hull := geom.ConvexHull(pts)
+		if rel := math.Abs(area-hull.Area()) / hull.Area(); rel > 1e-9 {
+			t.Fatalf("trial %d: triangles cover %v of hull %v (rel %g)", trial, area, hull.Area(), rel)
+		}
+	}
+}
+
+// TestFortuneMatchesIncremental: both generators must produce identical
+// clipped cells (site-by-site area and containment agreement).
+func TestFortuneMatchesIncremental(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(1000, 600))
+	for _, n := range []int{1, 2, 5, 40, 300} {
+		sites := randomSites(r, n, bounds)
+		fd, err := ComputeFortune(sites, bounds)
+		if err != nil {
+			t.Fatalf("n=%d fortune: %v", n, err)
+		}
+		bd, err := Compute(sites, bounds)
+		if err != nil {
+			t.Fatalf("n=%d incremental: %v", n, err)
+		}
+		for i := range sites {
+			fa, ba := fd.Cells[i].Area(), bd.Cells[i].Area()
+			if math.Abs(fa-ba) > 1e-6*math.Max(1, ba) {
+				t.Fatalf("n=%d site %d: fortune area %v vs incremental %v", n, i, fa, ba)
+			}
+			if !fd.Cells[i].Contains(sites[i]) {
+				t.Fatalf("n=%d site %d outside its fortune cell", n, i)
+			}
+		}
+		total := 0.0
+		for _, c := range fd.Cells {
+			total += c.Area()
+		}
+		if rel := math.Abs(total-bounds.Area()) / bounds.Area(); rel > 1e-6 {
+			t.Fatalf("n=%d: fortune cells cover rel err %g", n, rel)
+		}
+	}
+}
+
+func TestFortuneRejectsDuplicates(t *testing.T) {
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(10, 10))
+	sites := []geom.Point{{X: 1, Y: 1}, {X: 1, Y: 1}}
+	if _, err := ComputeFortune(sites, bounds); err == nil {
+		t.Fatal("duplicate sites should be rejected")
+	}
+}
+
+func TestFortuneErrors(t *testing.T) {
+	if _, err := ComputeFortune(nil, geom.NewRect(geom.Pt(0, 0), geom.Pt(1, 1))); err == nil {
+		t.Fatal("no sites should fail")
+	}
+	if _, err := fortuneSweep([]geom.Point{{X: 0, Y: 0}}); err == nil {
+		t.Fatal("fortuneSweep with <3 points should fail")
+	}
+}
+
+func TestFortuneGridSites(t *testing.T) {
+	// A perfect grid maximises ties: shared y-coordinates among site events
+	// and massively cocircular quadruples.
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(9, 9))
+	var sites []geom.Point
+	for x := 0; x < 6; x++ {
+		for y := 0; y < 6; y++ {
+			sites = append(sites, geom.Pt(float64(x)*1.8, float64(y)*1.8))
+		}
+	}
+	d, err := ComputeFortune(sites, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, c := range d.Cells {
+		total += c.Area()
+	}
+	if math.Abs(total-bounds.Area()) > 1e-4 {
+		t.Fatalf("grid cells cover %v of %v", total, bounds.Area())
+	}
+}
+
+func TestFortuneClusteredSites(t *testing.T) {
+	// Tight Gaussian cluster: stresses breakpoint arithmetic.
+	r := rand.New(rand.NewSource(33))
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(1000, 1000))
+	sites := make([]geom.Point, 120)
+	for i := range sites {
+		sites[i] = geom.Pt(500+r.NormFloat64()*3, 500+r.NormFloat64()*3)
+	}
+	fd, err := ComputeFortune(sites, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, c := range fd.Cells {
+		total += c.Area()
+	}
+	if rel := math.Abs(total-bounds.Area()) / bounds.Area(); rel > 1e-6 {
+		t.Fatalf("clustered fortune cells cover rel err %g", rel)
+	}
+}

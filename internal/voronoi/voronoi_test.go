@@ -1,0 +1,213 @@
+package voronoi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"molq/internal/geom"
+)
+
+func randomSites(r *rand.Rand, n int, bounds geom.Rect) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			X: bounds.Min.X + r.Float64()*bounds.Width(),
+			Y: bounds.Min.Y + r.Float64()*bounds.Height(),
+		}
+	}
+	return pts
+}
+
+func nearestSite(sites []geom.Point, p geom.Point) int {
+	best, bestD := -1, math.Inf(1)
+	for i, s := range sites {
+		if d := p.Dist2(s); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func TestComputeErrors(t *testing.T) {
+	if _, err := Compute(nil, geom.NewRect(geom.Pt(0, 0), geom.Pt(1, 1))); err == nil {
+		t.Fatal("expected error for empty site list")
+	}
+	if _, err := Compute([]geom.Point{{X: 1, Y: 1}}, geom.EmptyRect()); err == nil {
+		t.Fatal("expected error for empty bounds")
+	}
+}
+
+func TestSingleSiteCellIsWholeSpace(t *testing.T) {
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(10, 6))
+	d, err := Compute([]geom.Point{{X: 3, Y: 2}}, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Cells[0].Area(); math.Abs(got-60) > 1e-6 {
+		t.Fatalf("single cell area = %v, want 60", got)
+	}
+}
+
+func TestTwoSitesBisector(t *testing.T) {
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(10, 10))
+	d, err := Compute([]geom.Point{{X: 2.5, Y: 5}, {X: 7.5, Y: 5}}, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{50, 50} {
+		if got := d.Cells[i].Area(); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("cell %d area = %v, want %v", i, got, want)
+		}
+	}
+	// The bisector is x = 5.
+	for _, p := range d.Cells[0] {
+		if p.X > 5+1e-6 {
+			t.Fatalf("cell 0 vertex %v crosses the bisector", p)
+		}
+	}
+}
+
+func TestCellsTileSearchSpace(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	bounds := geom.NewRect(geom.Pt(-50, -20), geom.Pt(150, 90))
+	for _, n := range []int{3, 10, 57, 200} {
+		sites := randomSites(r, n, bounds)
+		d, err := Compute(sites, bounds)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		total := 0.0
+		for _, c := range d.Cells {
+			total += c.Area()
+		}
+		if rel := math.Abs(total-bounds.Area()) / bounds.Area(); rel > 1e-6 {
+			t.Fatalf("n=%d: cells cover %.6f of the space (rel err %g)", n, total/bounds.Area(), rel)
+		}
+	}
+}
+
+func TestCellOwnershipMatchesNearestSite(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(1000, 1000))
+	sites := randomSites(r, 120, bounds)
+	d, err := Compute(sites, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := 0
+	for trial := 0; trial < 500; trial++ {
+		q := geom.Point{X: r.Float64() * 1000, Y: r.Float64() * 1000}
+		want := nearestSite(sites, q)
+		owner := -1
+		for i, c := range d.Cells {
+			if c.Contains(q) {
+				// Boundary points may belong to several cells; accept any
+				// cell whose site ties the nearest distance.
+				if math.Abs(q.Dist(sites[i])-q.Dist(sites[want])) < 1e-6 {
+					owner = i
+					break
+				}
+			}
+		}
+		if owner < 0 {
+			misses++
+		}
+	}
+	if misses > 0 {
+		t.Fatalf("%d/500 sample points not owned by their nearest site's cell", misses)
+	}
+}
+
+func TestSitesInsideOwnCell(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+	sites := randomSites(r, 80, bounds)
+	d, err := Compute(sites, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range d.Cells {
+		if c.IsEmpty() {
+			t.Fatalf("site %d has empty cell", i)
+		}
+		if !c.Contains(sites[i]) {
+			t.Fatalf("site %d %v outside its own cell", i, sites[i])
+		}
+		if !c.IsConvex() {
+			t.Fatalf("cell %d is not convex", i)
+		}
+	}
+}
+
+func TestDuplicateSites(t *testing.T) {
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(10, 10))
+	sites := []geom.Point{{X: 2, Y: 2}, {X: 8, Y: 8}, {X: 2, Y: 2}}
+	d, err := Compute(sites, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cells[2] != nil {
+		t.Fatalf("duplicate site should have nil cell, got %v", d.Cells[2])
+	}
+	if d.Cells[0].IsEmpty() || d.Cells[1].IsEmpty() {
+		t.Fatal("original sites should keep their cells")
+	}
+}
+
+func TestCollinearSites(t *testing.T) {
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(10, 10))
+	sites := []geom.Point{{X: 2, Y: 5}, {X: 5, Y: 5}, {X: 8, Y: 5}}
+	d, err := Compute(sites, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAreas := []float64{35, 30, 35}
+	for i, want := range wantAreas {
+		if got := d.Cells[i].Area(); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("collinear cell %d area = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestGridSites(t *testing.T) {
+	// A perfect grid is maximally degenerate (many cocircular quadruples).
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(9, 9))
+	var sites []geom.Point
+	for x := 0; x < 10; x++ {
+		for y := 0; y < 10; y++ {
+			sites = append(sites, geom.Point{X: float64(x), Y: float64(y)})
+		}
+	}
+	d, err := Compute(sites, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, c := range d.Cells {
+		total += c.Area()
+	}
+	if math.Abs(total-81) > 1e-4 {
+		t.Fatalf("grid cells cover %v, want 81", total)
+	}
+}
+
+func TestLargeRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large input")
+	}
+	r := rand.New(rand.NewSource(99))
+	bounds := geom.NewRect(geom.Pt(0, 0), geom.Pt(10000, 10000))
+	sites := randomSites(r, 20000, bounds)
+	d, err := Compute(sites, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, c := range d.Cells {
+		total += c.Area()
+	}
+	if rel := math.Abs(total-bounds.Area()) / bounds.Area(); rel > 1e-6 {
+		t.Fatalf("20k cells cover rel err %g", rel)
+	}
+}

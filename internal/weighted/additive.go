@@ -1,0 +1,66 @@
+package weighted
+
+import (
+	"molq/internal/geom"
+	"molq/internal/polyclip"
+)
+
+// AdditiveDominanceMBRs returns, for every site, a rectangle containing its
+// additively weighted dominance region intersected with bounds:
+//
+//	Dom(p) ⊇ {x : d(x,p) + w_p ≤ d(x,q) + w_q}
+//
+// whose pairwise boundaries are hyperbola branches (Fig 5, left). As with
+// the multiplicative case, exact curved boundaries are what MBRB avoids; the
+// boxes here are conservative supersets derived from three exact facts about
+// the constraint d(x,p) − d(x,q) ≤ c with c = w_q − w_p:
+//
+//   - c ≥ d(p,q): the constraint holds everywhere (triangle inequality) —
+//     no box clip;
+//   - c ≤ −d(p,q): the constraint holds nowhere — the dominance region is
+//     empty and an empty rectangle is returned;
+//   - −d(p,q) < c ≤ 0: the region lies inside p's bisector halfplane
+//     {x : d(x,p) ≤ d(x,q)}, so the box of the clipped search space applies
+//     (for 0 < c < d(p,q) the region spills past the bisector and only the
+//     vacuous bound is safe).
+func AdditiveDominanceMBRs(sites []Site, bounds geom.Rect) []geom.Rect {
+	out := make([]geom.Rect, len(sites))
+	boundsPoly := geom.RectPolygon(bounds)
+	for i, si := range sites {
+		box := bounds
+		for j, sj := range sites {
+			if i == j || box.IsEmpty() {
+				continue
+			}
+			c := sj.W - si.W
+			dpq := si.P.Dist(sj.P)
+			switch {
+			case c <= -dpq && si.P != sj.P:
+				// s_j dominates s_i everywhere.
+				box = geom.EmptyRect()
+			case c <= 0 && si.P != sj.P:
+				// Region confined to s_i's side of the bisector.
+				mid := geom.Lerp(si.P, sj.P, 0.5)
+				d := sj.P.Sub(si.P)
+				perp := geom.Point{X: -d.Y, Y: d.X}
+				clipped := polyclip.ClipHalfplane(boundsPoly, mid, mid.Add(perp))
+				box = box.Intersect(clipped.Bounds())
+			}
+		}
+		out[i] = box
+	}
+	return out
+}
+
+// NearestAdditive returns the index of the site minimising d(q, site) + w —
+// the additive ground truth used by tests.
+func NearestAdditive(sites []Site, q geom.Point) int {
+	best, bestV := -1, 0.0
+	for i, s := range sites {
+		v := q.Dist(s.P) + s.W
+		if best < 0 || v < bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,74 @@
+package weighted
+
+import (
+	"math/rand"
+	"testing"
+
+	"molq/internal/geom"
+)
+
+func TestAdditiveDominatedSiteGetsEmptyBox(t *testing.T) {
+	// Site 0's penalty exceeds site 1's penalty plus their distance: site 0
+	// never wins anywhere.
+	sites := []Site{
+		{P: geom.Pt(50, 50), W: 100},
+		{P: geom.Pt(55, 50), W: 1},
+	}
+	mbrs := AdditiveDominanceMBRs(sites, bounds)
+	if !mbrs[0].IsEmpty() {
+		t.Fatalf("dominated site should have empty box, got %v", mbrs[0])
+	}
+	if mbrs[1] != bounds {
+		t.Fatalf("dominating site should keep the whole space, got %v", mbrs[1])
+	}
+}
+
+func TestAdditiveEqualWeightsBisector(t *testing.T) {
+	sites := []Site{
+		{P: geom.Pt(25, 50), W: 5},
+		{P: geom.Pt(75, 50), W: 5},
+	}
+	mbrs := AdditiveDominanceMBRs(sites, bounds)
+	want0 := geom.NewRect(geom.Pt(0, 0), geom.Pt(50, 100))
+	if d := boxDiff(mbrs[0], want0); d > 1e-6 {
+		t.Fatalf("box 0 = %v, want %v", mbrs[0], want0)
+	}
+}
+
+// TestAdditiveMBRsAreConservative: every location whose additive winner is
+// site i must lie inside mbrs[i].
+func TestAdditiveMBRsAreConservative(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + r.Intn(8)
+		sites := make([]Site, n)
+		for i := range sites {
+			sites[i] = Site{
+				P: geom.Pt(r.Float64()*100, r.Float64()*100),
+				W: r.Float64() * 40,
+			}
+		}
+		mbrs := AdditiveDominanceMBRs(sites, bounds)
+		for k := 0; k < 500; k++ {
+			q := geom.Pt(r.Float64()*100, r.Float64()*100)
+			winner := NearestAdditive(sites, q)
+			if !mbrs[winner].Contains(q) {
+				t.Fatalf("trial %d: %v won by site %d (%+v) outside its box %v",
+					trial, q, winner, sites[winner], mbrs[winner])
+			}
+		}
+	}
+}
+
+func TestNearestAdditive(t *testing.T) {
+	sites := []Site{
+		{P: geom.Pt(0, 0), W: 3}, // near but penalised
+		{P: geom.Pt(8, 0), W: 0}, // farther but no penalty
+	}
+	if got := NearestAdditive(sites, geom.Pt(3, 0)); got != 1 {
+		t.Fatalf("NearestAdditive = %d, want 1 (3+3 > 5+0)", got)
+	}
+	if got := NearestAdditive(sites, geom.Pt(-5, 0)); got != 0 {
+		t.Fatalf("NearestAdditive = %d, want 0 (5+3 < 13+0)", got)
+	}
+}

@@ -1,0 +1,107 @@
+// Package weighted derives conservative bounding boxes for the dominance
+// regions of multiplicatively weighted Voronoi diagrams (Sec 2.2.2, Fig 5 of
+// the paper).
+//
+// Under the multiplicative weight function ς(d, w) = d·w, the dominance
+// region of site p against site q is
+//
+//	Dom(p) ⊇ {x : w_p·d(x,p) ≤ w_q·d(x,q)}
+//
+// whose boundary is an Apollonius circle. Exact curved boundaries are
+// expensive to maintain — which is precisely the motivation for the MBRB
+// approach — so this package computes, from the exact pairwise Apollonius
+// disks, an axis-aligned box guaranteed to contain each dominance region.
+// The boxes feed core.FromRegions to build MBRB-mode basic MOVDs.
+package weighted
+
+import (
+	"math"
+
+	"molq/internal/geom"
+	"molq/internal/polyclip"
+)
+
+// Site is a weighted Voronoi generator: position plus multiplicative object
+// weight w^o (> 0). Smaller weights dominate larger regions.
+type Site struct {
+	P geom.Point
+	W float64
+}
+
+// ApolloniusDisk returns the disk {x : d(x,p) ≤ λ·d(x,q)} for λ < 1 as
+// (center, radius). The caller guarantees 0 < λ < 1 and p ≠ q.
+func ApolloniusDisk(p, q geom.Point, lambda float64) (geom.Point, float64) {
+	l2 := lambda * lambda
+	f := 1 / (1 - l2)
+	center := geom.Point{
+		X: (p.X - l2*q.X) * f,
+		Y: (p.Y - l2*q.Y) * f,
+	}
+	radius := lambda * p.Dist(q) * f
+	return center, radius
+}
+
+// DominanceMBRs returns, for every site, a rectangle that contains its
+// multiplicatively weighted dominance region intersected with bounds. The
+// boxes are conservative (never smaller than the true region), which
+// preserves MBRB correctness: false positives only add redundant
+// Fermat-Weber candidates.
+//
+// Constraints applied per ordered pair (i, j):
+//   - w_i > w_j: Dom(i) lies inside the Apollonius disk around i, whose
+//     bounding box clips site i's rectangle;
+//   - w_i == w_j: Dom(i) lies in the closed halfplane of i's side of the
+//     perpendicular bisector; the box of the clipped search space applies;
+//   - w_i < w_j: Dom(i) is unbounded on that side — no constraint.
+//
+// The computation is O(n²) pairs and intended for the moderate set sizes of
+// weighted queries; ordinary (uniform-weight) types use the exact Voronoi
+// pipeline instead.
+func DominanceMBRs(sites []Site, bounds geom.Rect) []geom.Rect {
+	out := make([]geom.Rect, len(sites))
+	boundsPoly := geom.RectPolygon(bounds)
+	for i, si := range sites {
+		box := bounds
+		for j, sj := range sites {
+			if i == j || box.IsEmpty() {
+				continue
+			}
+			switch {
+			case si.W > sj.W:
+				c, r := ApolloniusDisk(si.P, sj.P, sj.W/si.W)
+				disk := geom.Rect{
+					Min: geom.Point{X: c.X - r, Y: c.Y - r},
+					Max: geom.Point{X: c.X + r, Y: c.Y + r},
+				}
+				box = box.Intersect(disk)
+			case si.W == sj.W && si.P != sj.P:
+				// Halfplane closer to s_i: left of the directed bisector.
+				mid := geom.Lerp(si.P, sj.P, 0.5)
+				d := sj.P.Sub(si.P)
+				// Normal pointing from j to i is -d; the halfplane
+				// {x : (x-mid)·d ≤ 0} is bounded by the line through mid
+				// with direction perpendicular to d. Orient a→b so the
+				// interior (i's side) is on the left.
+				perp := geom.Point{X: -d.Y, Y: d.X}
+				a := mid
+				b := mid.Add(perp)
+				clipped := polyclip.ClipHalfplane(boundsPoly, a, b)
+				box = box.Intersect(clipped.Bounds())
+			}
+		}
+		out[i] = box
+	}
+	return out
+}
+
+// NearestWeighted returns the index of the site minimising w·d(q, site) — the
+// ground truth used to validate dominance boxes.
+func NearestWeighted(sites []Site, q geom.Point) int {
+	best, bestV := -1, math.Inf(1)
+	for i, s := range sites {
+		if v := s.W * q.Dist(s.P); v < bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,125 @@
+package weighted
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"molq/internal/geom"
+)
+
+var bounds = geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+
+func TestApolloniusDisk(t *testing.T) {
+	p, q := geom.Pt(0, 0), geom.Pt(10, 0)
+	c, r := ApolloniusDisk(p, q, 0.5)
+	// Points x on the circle satisfy d(x,p) = λ·d(x,q); check the two
+	// crossings of the x axis: x where |x| = 0.5|x-10| → x = 10/3 and
+	// x = -10.
+	if math.Abs((c.X-r)-(-10)) > 1e-9 || math.Abs((c.X+r)-10.0/3) > 1e-9 {
+		t.Fatalf("disk [%v, %v], want [-10, 10/3]", c.X-r, c.X+r)
+	}
+	if c.Y != 0 {
+		t.Fatalf("center y = %v", c.Y)
+	}
+}
+
+func TestApolloniusDiskContainsDominance(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		p := geom.Pt(r.Float64()*100, r.Float64()*100)
+		q := geom.Pt(r.Float64()*100, r.Float64()*100)
+		if p.Dist(q) < 1e-6 {
+			continue
+		}
+		lambda := 0.1 + 0.8*r.Float64()
+		c, rad := ApolloniusDisk(p, q, lambda)
+		// Any point satisfying d(x,p) ≤ λ d(x,q) must be inside the disk.
+		for k := 0; k < 200; k++ {
+			x := geom.Pt(r.Float64()*100, r.Float64()*100)
+			if x.Dist(p) <= lambda*x.Dist(q) {
+				if x.Dist(c) > rad+1e-6 {
+					t.Fatalf("dominated point %v outside disk c=%v r=%v", x, c, rad)
+				}
+			}
+		}
+	}
+}
+
+func TestUniformWeightsGiveBisectorBoxes(t *testing.T) {
+	sites := []Site{
+		{P: geom.Pt(25, 50), W: 1},
+		{P: geom.Pt(75, 50), W: 1},
+	}
+	mbrs := DominanceMBRs(sites, bounds)
+	// Bisector x=50: left site's box is [0,50]×[0,100].
+	want0 := geom.NewRect(geom.Pt(0, 0), geom.Pt(50, 100))
+	if d := boxDiff(mbrs[0], want0); d > 1e-6 {
+		t.Fatalf("box 0 = %v, want %v", mbrs[0], want0)
+	}
+	want1 := geom.NewRect(geom.Pt(50, 0), geom.Pt(100, 100))
+	if d := boxDiff(mbrs[1], want1); d > 1e-6 {
+		t.Fatalf("box 1 = %v, want %v", mbrs[1], want1)
+	}
+}
+
+func boxDiff(a, b geom.Rect) float64 {
+	return math.Max(
+		math.Max(math.Abs(a.Min.X-b.Min.X), math.Abs(a.Min.Y-b.Min.Y)),
+		math.Max(math.Abs(a.Max.X-b.Max.X), math.Abs(a.Max.Y-b.Max.Y)),
+	)
+}
+
+// TestMBRsAreConservative is the critical invariant: every location whose
+// weighted nearest site is i must fall inside mbrs[i] — otherwise MBRB would
+// drop valid candidate combinations.
+func TestMBRsAreConservative(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + r.Intn(8)
+		sites := make([]Site, n)
+		for i := range sites {
+			sites[i] = Site{
+				P: geom.Pt(r.Float64()*100, r.Float64()*100),
+				W: 0.5 + 3*r.Float64(),
+			}
+		}
+		mbrs := DominanceMBRs(sites, bounds)
+		for k := 0; k < 500; k++ {
+			q := geom.Pt(r.Float64()*100, r.Float64()*100)
+			winner := NearestWeighted(sites, q)
+			if !mbrs[winner].Contains(q) {
+				t.Fatalf("trial %d: point %v dominated by site %d (%+v) but outside its MBR %v",
+					trial, q, winner, sites[winner], mbrs[winner])
+			}
+		}
+	}
+}
+
+func TestHeavySiteGetsTightBox(t *testing.T) {
+	// A much heavier (weaker) site surrounded by a light one is confined to
+	// a small Apollonius disk.
+	sites := []Site{
+		{P: geom.Pt(50, 50), W: 10},
+		{P: geom.Pt(60, 50), W: 1},
+	}
+	mbrs := DominanceMBRs(sites, bounds)
+	if mbrs[0].Width() >= bounds.Width()/2 {
+		t.Fatalf("heavy site's box should be small, got %v", mbrs[0])
+	}
+	// The light site is unconstrained by the heavy one.
+	if mbrs[1] != bounds {
+		t.Fatalf("light site's box should be the whole space, got %v", mbrs[1])
+	}
+}
+
+func TestNearestWeighted(t *testing.T) {
+	sites := []Site{
+		{P: geom.Pt(0, 0), W: 1},
+		{P: geom.Pt(10, 0), W: 0.1},
+	}
+	// At (4,0): costs 4 vs 0.6 — the far-but-light site wins.
+	if got := NearestWeighted(sites, geom.Pt(4, 0)); got != 1 {
+		t.Fatalf("NearestWeighted = %d, want 1", got)
+	}
+}

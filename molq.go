@@ -1,0 +1,389 @@
+// Package molq answers Multi-Criteria Optimal Location Queries with
+// Overlapping Voronoi Diagrams, implementing the EDBT 2014 paper of that
+// name (Zhang, Ku, Qin, Sun, Lu).
+//
+// A MOLQ takes several sets of weighted points of interest — say schools,
+// bus stops and supermarkets — and returns the location of the search space
+// minimising the sum of weighted distances to the nearest object of each
+// type (Eq 4 of the paper). Three solution strategies are provided:
+//
+//   - SSC sequentially scans every object combination (Algorithm 1);
+//   - RRB overlaps the per-type Voronoi diagrams keeping exact convex
+//     region boundaries (Sec 5.2);
+//   - MBRB overlaps them keeping only minimum bounding rectangles, trading
+//     false-positive candidate regions for much cheaper overlap (Sec 5.3).
+//
+// All three return the same optimum (to the iteration tolerance); they
+// differ only in cost. The Fermat-Weber subproblems are solved with the
+// cost-bound batch optimizer of Algorithm 5.
+//
+// Basic usage:
+//
+//	q := molq.NewQuery(molq.NewRect(molq.Pt(0, 0), molq.Pt(100, 100)))
+//	q.AddType("school", molq.POI(molq.Pt(20, 30), 2, 1), molq.POI(molq.Pt(80, 40), 2, 1))
+//	q.AddType("market", molq.POI(molq.Pt(50, 90), 1, 1))
+//	res, err := q.Solve(molq.RRB)
+//	// res.Location is the optimal site, res.Cost its weighted distance sum.
+package molq
+
+import (
+	"molq/internal/core"
+	"molq/internal/dataset"
+	"molq/internal/fermat"
+	"molq/internal/geom"
+	"molq/internal/query"
+	"molq/internal/voronoi"
+)
+
+// Point is a location in the plane.
+type Point = geom.Point
+
+// Rect is an axis-aligned rectangle (the search space).
+type Rect = geom.Rect
+
+// Polygon is a simple polygon in counterclockwise order.
+type Polygon = geom.Polygon
+
+// Object is a spatial object ⟨location, type weight, object weight⟩.
+type Object = core.Object
+
+// Pt constructs a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// NewRect builds the rectangle spanning two corners given in any order.
+func NewRect(a, b Point) Rect { return geom.NewRect(a, b) }
+
+// POI builds an Object at p with the given type weight w^t and object weight
+// w^o (both must be positive; smaller weights mean higher preference). ID
+// and Type are assigned by Query.AddType.
+func POI(p Point, typeWeight, objWeight float64) Object {
+	return Object{Loc: p, TypeWeight: typeWeight, ObjWeight: objWeight}
+}
+
+// Method selects the solution strategy.
+type Method = query.Method
+
+// The three strategies of the paper.
+const (
+	SSC  = query.SSC
+	RRB  = query.RRB
+	MBRB = query.MBRB
+)
+
+// Query accumulates the object sets 𝔼 = {P_1, …, P_n} of one MOLQ.
+type Query struct {
+	bounds    Rect
+	typeNames []string
+	sets      [][]core.Object
+	kinds     []query.WeightKind
+	epsilon   float64
+	noBound   bool
+	workers   int
+	prune     bool
+	accel     float64
+	spillDir  string
+}
+
+// NewQuery starts a query over the given search space.
+func NewQuery(bounds Rect) *Query {
+	return &Query{bounds: bounds}
+}
+
+// AddType appends an object set (one POI type) and returns its type index.
+// The objects' ID and Type fields are assigned automatically.
+func (q *Query) AddType(name string, objects ...Object) int {
+	ti := len(q.sets)
+	set := make([]core.Object, len(objects))
+	for i, o := range objects {
+		o.ID = i
+		o.Type = ti
+		if o.TypeWeight == 0 {
+			o.TypeWeight = 1
+		}
+		if o.ObjWeight == 0 {
+			o.ObjWeight = 1
+		}
+		set[i] = o
+	}
+	q.typeNames = append(q.typeNames, name)
+	q.sets = append(q.sets, set)
+	q.kinds = append(q.kinds, query.MultiplicativeObjWeights)
+	return ti
+}
+
+// SetAdditiveWeights switches a type's object weight function ς^o from the
+// multiplicative default (d·w) to the additive form (d + w), the paper's
+// additively weighted Voronoi variant. An object weight then acts as a fixed
+// access penalty in distance units (e.g. average queueing time) rather than
+// a distance multiplier. Panics if typeIndex is out of range.
+func (q *Query) SetAdditiveWeights(typeIndex int) *Query {
+	q.kinds[typeIndex] = query.AdditiveObjWeights
+	return q
+}
+
+// SetEpsilon sets the relative error bound ε of the iterative Fermat-Weber
+// stopping rule (default 1e-3).
+func (q *Query) SetEpsilon(eps float64) *Query {
+	q.epsilon = eps
+	return q
+}
+
+// DisableCostBound switches the optimizer to the unpruned sequential batch
+// (the paper's "Original" baseline). Mostly useful for benchmarking.
+func (q *Query) DisableCostBound() *Query {
+	q.noBound = true
+	return q
+}
+
+// SetWorkers evaluates the Voronoi generation and the optimizer with n
+// goroutines (n ≤ 1 restores sequential, fully deterministic evaluation).
+// The optimum is unchanged; statistics become scheduling-dependent.
+func (q *Query) SetWorkers(n int) *Query {
+	q.workers = n
+	return q
+}
+
+// EnableOverlapPruning turns on the overlap-time combination filter (the
+// paper's Sec 8 future-work optimisation): object combinations that provably
+// cannot host the optimum are dropped during the Voronoi overlap itself.
+// The result is unchanged; large queries get faster.
+func (q *Query) EnableOverlapPruning() *Query {
+	q.prune = true
+	return q
+}
+
+// SetAcceleration sets the Weiszfeld over-relaxation factor λ ∈ [1, 1.5]
+// (≈1.3 cuts iterations ~25%; 0 keeps the paper's plain iteration).
+func (q *Query) SetAcceleration(lambda float64) *Query {
+	q.accel = lambda
+	return q
+}
+
+// SetSpillDir makes the final (largest) diagram overlap stream to a
+// temporary file in dir and the optimizer stream it back, bounding resident
+// memory for very large queries (the paper's disk-based future work). Empty
+// restores fully in-memory evaluation.
+func (q *Query) SetSpillDir(dir string) *Query {
+	q.spillDir = dir
+	return q
+}
+
+// TypeNames returns the registered type names in index order.
+func (q *Query) TypeNames() []string {
+	out := make([]string, len(q.typeNames))
+	copy(out, q.typeNames)
+	return out
+}
+
+// Stats summarises the work one solve performed.
+type Stats struct {
+	// OVRs is the size of the final MOVD (0 for SSC).
+	OVRs int
+	// Groups is the number of Fermat-Weber problems examined.
+	Groups int
+	// Combinations is the number of object combinations enumerated (SSC).
+	Combinations int
+	// PointsManaged is the boundary-point memory metric of the final MOVD.
+	PointsManaged int
+	// Iterations is the total count of Weiszfeld iterations.
+	Iterations int
+	// Pruned is the number of candidate groups eliminated by the cost
+	// bound (prefilter plus in-iteration pruning).
+	Pruned int
+}
+
+// Result is the answer to a query.
+type Result struct {
+	// Location is the optimal location l (Eq 4).
+	Location Point
+	// Cost is MWGD(Location): the minimal sum of weighted distances.
+	Cost float64
+	// Method that produced the result.
+	Method Method
+	// Stats of the evaluation.
+	Stats Stats
+}
+
+// Solve evaluates the query with the chosen strategy.
+func (q *Query) Solve(m Method) (Result, error) {
+	in := query.Input{
+		Sets:             q.sets,
+		Bounds:           q.bounds,
+		Epsilon:          q.epsilon,
+		DisableCostBound: q.noBound,
+		ObjKinds:         q.kinds,
+		Workers:          q.workers,
+		PruneOverlap:     q.prune,
+		Acceleration:     q.accel,
+		SpillDir:         q.spillDir,
+	}
+	res, err := query.Solve(in, m)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Location: res.Loc,
+		Cost:     res.Cost,
+		Method:   m,
+		Stats: Stats{
+			OVRs:          res.Stats.OVRs,
+			Groups:        res.Stats.Groups,
+			Combinations:  res.Stats.Combinations,
+			PointsManaged: res.Stats.PointsManaged,
+			Iterations:    res.Stats.Fermat.TotalIters,
+			Pruned:        res.Stats.Fermat.Prefiltered + res.Stats.Fermat.PrunedGroups,
+		},
+	}, nil
+}
+
+// Engine is a prepared query: the overlapped Voronoi diagram is computed
+// once and reused across solves with different type-weight vectors, which is
+// valid because the MOVD never depends on type weights. Use it to explore
+// preference trade-offs ("what if schools matter twice as much?") at
+// optimizer-only cost.
+type Engine struct {
+	eng   *query.Engine
+	types int
+}
+
+// Prepare builds an Engine from the query's current object sets using the
+// RRB or MBRB pipeline. The TypeWeight values on the stored objects become
+// irrelevant; every Engine.Solve supplies its own.
+func (q *Query) Prepare(m Method) (*Engine, error) {
+	in := query.Input{
+		Sets:     q.sets,
+		Bounds:   q.bounds,
+		Epsilon:  q.epsilon,
+		ObjKinds: q.kinds,
+		Workers:  q.workers,
+	}
+	eng, err := query.NewEngine(in, m)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{eng: eng, types: len(q.sets)}, nil
+}
+
+// Solve answers the prepared query for one type-weight vector (one positive
+// entry per type, in AddType order).
+func (e *Engine) Solve(typeWeights []float64) (Result, error) {
+	res, err := e.eng.Query(typeWeights)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Location: res.Loc,
+		Cost:     res.Cost,
+		Method:   res.Method,
+		Stats: Stats{
+			OVRs:          res.Stats.OVRs,
+			Groups:        res.Stats.Groups,
+			PointsManaged: res.Stats.PointsManaged,
+			Iterations:    res.Stats.Fermat.TotalIters,
+			Pruned:        res.Stats.Fermat.Prefiltered + res.Stats.Fermat.PrunedGroups,
+		},
+	}, nil
+}
+
+// Combinations reports how many candidate object combinations the prepared
+// MOVD admits (the number of Fermat-Weber problems per Solve).
+func (e *Engine) Combinations() int { return e.eng.Combinations() }
+
+// Alternative is one ranked candidate location from TopK.
+type Alternative struct {
+	Location Point
+	Cost     float64
+}
+
+// TopK returns the k best distinct locally optimal locations, ascending by
+// cost (the first is the query answer). Useful when a planner wants
+// fallback sites, not just the optimum. Requires RRB or MBRB.
+func (q *Query) TopK(m Method, k int) ([]Alternative, error) {
+	in := query.Input{
+		Sets:     q.sets,
+		Bounds:   q.bounds,
+		Epsilon:  q.epsilon,
+		ObjKinds: q.kinds,
+		Workers:  q.workers,
+	}
+	cands, err := query.TopK(in, m, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Alternative, len(cands))
+	for i, c := range cands {
+		out[i] = Alternative{Location: c.Loc, Cost: c.Cost}
+	}
+	return out, nil
+}
+
+// MWGD evaluates the minimum weighted group distance (Eq 3) of the query's
+// object sets at an arbitrary location, using the multiplicative weight
+// functions. Useful for verifying results or scoring candidate sites.
+func (q *Query) MWGD(at Point) float64 {
+	total := 0.0
+	for ti, set := range q.sets {
+		additive := q.kinds[ti] == query.AdditiveObjWeights
+		best := -1.0
+		for _, o := range set {
+			var v float64
+			if additive {
+				v = o.TypeWeight * (at.Dist(o.Loc) + o.ObjWeight)
+			} else {
+				v = o.TypeWeight * o.ObjWeight * at.Dist(o.Loc)
+			}
+			if best < 0 || v < best {
+				best = v
+			}
+		}
+		if best >= 0 {
+			total += best
+		}
+	}
+	return total
+}
+
+// VoronoiCells computes the ordinary Voronoi diagram of sites clipped to
+// bounds and returns one convex cell per site (nil for duplicate sites).
+// This exposes the paper's VD Generator substrate directly.
+func VoronoiCells(sites []Point, bounds Rect) ([]Polygon, error) {
+	d, err := voronoi.Compute(sites, bounds)
+	if err != nil {
+		return nil, err
+	}
+	return d.Cells, nil
+}
+
+// FermatWeber returns the point minimising Σ weights[i]·d(q, pts[i]) and its
+// cost, solved to relative tolerance eps (≤0 means the 1e-3 default). Exact
+// fast paths cover 1, 2 and 3 points and collinear sets.
+func FermatWeber(pts []Point, weights []float64, eps float64) (Point, float64, error) {
+	if len(weights) != len(pts) {
+		weights = nil
+	}
+	wps := make([]fermat.WeightedPoint, len(pts))
+	for i, p := range pts {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		wps[i] = fermat.WeightedPoint{P: p, W: w}
+	}
+	res, err := fermat.Solve(wps, fermat.Options{Epsilon: eps})
+	if err != nil {
+		return Point{}, 0, err
+	}
+	return res.Loc, res.Cost, nil
+}
+
+// GeneratePOIs produces n synthetic POI locations of the named type under
+// the library's clustered-settlement model (the GeoNames stand-in used by
+// the experiment harness). Well-known names: "STM", "CH", "SCH", "PPL",
+// "BLDG" — any other string works and gets its own sampling stream.
+func GeneratePOIs(typeName string, n int, seed int64, bounds Rect) []Point {
+	return dataset.Generate(dataset.Config{Seed: seed, Bounds: bounds}, typeName, n)
+}
+
+// DefaultBounds is the synthetic continental search space used by the
+// experiment harness.
+func DefaultBounds() Rect { return dataset.DefaultBounds }

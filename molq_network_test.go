@@ -1,0 +1,76 @@
+package molq_test
+
+import (
+	"math"
+	"testing"
+
+	"molq"
+)
+
+func TestRoadGraphManual(t *testing.T) {
+	// A 4-node path: 0 -1- 1 -1- 2 -1- 3.
+	coords := []molq.Point{molq.Pt(0, 0), molq.Pt(1, 0), molq.Pt(2, 0), molq.Pt(3, 0)}
+	rg := molq.NewRoadGraph(coords)
+	for i := 0; i < 3; i++ {
+		if err := rg.AddRoad(i, i+1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rg.NumIntersections() != 4 || rg.NumRoads() != 3 {
+		t.Fatalf("counts: %d / %d", rg.NumIntersections(), rg.NumRoads())
+	}
+	res, err := rg.SolveOnNetwork([]molq.NetworkType{
+		{Name: "a", Nodes: []int{0}, Weight: 1},
+		{Name: "b", Nodes: []int{3}, Weight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node costs 3 on a path with unit weights; any is optimal.
+	if math.Abs(res.Cost-3) > 1e-12 {
+		t.Fatalf("cost %v, want 3", res.Cost)
+	}
+	if res.Location != rg.Intersection(res.Node) {
+		t.Fatal("location does not match node embedding")
+	}
+	// Heavier type pulls the optimum to its site.
+	res, err = rg.SolveOnNetwork([]molq.NetworkType{
+		{Name: "a", Nodes: []int{0}, Weight: 10},
+		{Name: "b", Nodes: []int{3}}, // zero weight defaults to 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Node != 0 {
+		t.Fatalf("optimum at node %d, want 0", res.Node)
+	}
+}
+
+func TestRoadGraphDelaunayRank(t *testing.T) {
+	pts := molq.GeneratePOIs("PPL", 300, 5, molq.NewRect(molq.Pt(0, 0), molq.Pt(100, 100)))
+	rg, err := molq.NewRoadGraphDelaunay(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := []molq.NetworkType{
+		{Name: "x", Nodes: []int{10, 200}, Weight: 2},
+		{Name: "y", Nodes: []int{50}, Weight: 1},
+	}
+	ranked, err := rg.RankOnNetwork(types, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 4 {
+		t.Fatalf("ranked: %d", len(ranked))
+	}
+	best, err := rg.SolveOnNetwork(types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].Cost != best.Cost {
+		t.Fatalf("rank[0] %v vs solve %v", ranked[0].Cost, best.Cost)
+	}
+	if got := rg.NearestIntersection(rg.Intersection(7)); got != 7 {
+		t.Fatalf("snap: %d", got)
+	}
+}

@@ -1,0 +1,165 @@
+package molq_test
+
+import (
+	"math"
+	"testing"
+
+	"molq"
+)
+
+func TestQuickstartAllMethodsAgree(t *testing.T) {
+	build := func() *molq.Query {
+		q := molq.NewQuery(molq.NewRect(molq.Pt(0, 0), molq.Pt(100, 100)))
+		q.AddType("school",
+			molq.POI(molq.Pt(20, 30), 2, 1),
+			molq.POI(molq.Pt(80, 40), 2, 1),
+			molq.POI(molq.Pt(50, 75), 2, 1))
+		q.AddType("market",
+			molq.POI(molq.Pt(10, 80), 1, 1),
+			molq.POI(molq.Pt(60, 20), 1, 1))
+		q.AddType("busstop",
+			molq.POI(molq.Pt(40, 50), 3, 1),
+			molq.POI(molq.Pt(90, 90), 3, 1))
+		return q.SetEpsilon(1e-6)
+	}
+	var costs []float64
+	for _, m := range []molq.Method{molq.SSC, molq.RRB, molq.MBRB} {
+		res, err := build().Solve(m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		costs = append(costs, res.Cost)
+		// The reported cost matches the MWGD of the reported location.
+		if got := build().MWGD(res.Location); math.Abs(got-res.Cost) > 1e-6*res.Cost {
+			t.Fatalf("%v: MWGD(loc)=%v, Cost=%v", m, got, res.Cost)
+		}
+		if res.Method != m {
+			t.Fatalf("result method %v, want %v", res.Method, m)
+		}
+	}
+	for _, c := range costs[1:] {
+		if math.Abs(c-costs[0]) > 1e-3*costs[0] {
+			t.Fatalf("methods disagree: %v", costs)
+		}
+	}
+}
+
+func TestPOIDefaults(t *testing.T) {
+	q := molq.NewQuery(molq.NewRect(molq.Pt(0, 0), molq.Pt(10, 10)))
+	ti := q.AddType("x", molq.Object{Loc: molq.Pt(5, 5)}) // zero weights default to 1
+	if ti != 0 {
+		t.Fatalf("first type index = %d", ti)
+	}
+	res, err := q.Solve(molq.SSC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 0 || res.Location != molq.Pt(5, 5) {
+		t.Fatalf("single object query: %+v", res)
+	}
+}
+
+func TestTypeNames(t *testing.T) {
+	q := molq.NewQuery(molq.NewRect(molq.Pt(0, 0), molq.Pt(1, 1)))
+	q.AddType("a", molq.POI(molq.Pt(0.5, 0.5), 1, 1))
+	q.AddType("b", molq.POI(molq.Pt(0.2, 0.2), 1, 1))
+	names := q.TypeNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("TypeNames = %v", names)
+	}
+	names[0] = "mutated"
+	if q.TypeNames()[0] != "a" {
+		t.Fatal("TypeNames leaked internal slice")
+	}
+}
+
+func TestStatsExposed(t *testing.T) {
+	q := molq.NewQuery(molq.DefaultBounds())
+	for ti, name := range []string{"STM", "CH", "SCH"} {
+		pts := molq.GeneratePOIs(name, 12, int64(ti+1), molq.DefaultBounds())
+		objs := make([]molq.Object, len(pts))
+		for i, p := range pts {
+			objs[i] = molq.POI(p, 1, 1)
+		}
+		q.AddType(name, objs...)
+	}
+	res, err := q.Solve(molq.RRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.OVRs == 0 || res.Stats.Groups == 0 || res.Stats.PointsManaged == 0 {
+		t.Fatalf("stats not populated: %+v", res.Stats)
+	}
+	ssc, err := q.Solve(molq.SSC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssc.Stats.Combinations != 12*12*12 {
+		t.Fatalf("SSC combinations = %d, want %d", ssc.Stats.Combinations, 12*12*12)
+	}
+}
+
+func TestVoronoiCells(t *testing.T) {
+	cells, err := molq.VoronoiCells(
+		[]molq.Point{molq.Pt(25, 50), molq.Pt(75, 50)},
+		molq.NewRect(molq.Pt(0, 0), molq.Pt(100, 100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	for i, c := range cells {
+		if math.Abs(c.Area()-5000) > 1e-6 {
+			t.Fatalf("cell %d area = %v", i, c.Area())
+		}
+	}
+}
+
+func TestFermatWeber(t *testing.T) {
+	// Heavier point wins the 2-point problem.
+	loc, cost, err := molq.FermatWeber(
+		[]molq.Point{molq.Pt(0, 0), molq.Pt(10, 0)},
+		[]float64{1, 9}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc != molq.Pt(10, 0) || math.Abs(cost-10) > 1e-9 {
+		t.Fatalf("loc=%v cost=%v", loc, cost)
+	}
+	// nil weights default to 1.
+	loc, _, err = molq.FermatWeber([]molq.Point{molq.Pt(0, 0), molq.Pt(4, 0), molq.Pt(2, 3)}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.X < 0 || loc.X > 4 || loc.Y < 0 || loc.Y > 3 {
+		t.Fatalf("3-point optimum %v outside hull", loc)
+	}
+}
+
+func TestGeneratePOIsDeterministic(t *testing.T) {
+	b := molq.DefaultBounds()
+	a := molq.GeneratePOIs("SCH", 50, 9, b)
+	c := molq.GeneratePOIs("SCH", 50, 9, b)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatal("GeneratePOIs not deterministic")
+		}
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	q := molq.NewQuery(molq.NewRect(molq.Pt(0, 0), molq.Pt(1, 1)))
+	if _, err := q.Solve(molq.RRB); err == nil {
+		t.Fatal("empty query should fail")
+	}
+	q.AddType("w",
+		molq.POI(molq.Pt(0.1, 0.1), 1, 1),
+		molq.POI(molq.Pt(0.9, 0.9), 1, 2)) // non-uniform object weights
+	if _, err := q.Solve(molq.RRB); err == nil {
+		t.Fatal("RRB with weighted objects should fail")
+	}
+	if _, err := q.Solve(molq.MBRB); err != nil {
+		t.Fatalf("MBRB should handle weighted objects: %v", err)
+	}
+}
