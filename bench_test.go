@@ -166,6 +166,28 @@ func BenchmarkFig11_OverlapTwoDiagrams(b *testing.B) {
 	}
 }
 
+// BenchmarkOverlapParallel shards the Fig-11 pairwise overlap across worker
+// strips; workers=1 is the sequential sweep baseline.
+func BenchmarkOverlapParallel(b *testing.B) {
+	for _, mode := range []core.Mode{core.RRB, core.MBRB} {
+		x := buildBench(b, dataset.STM, 8000, 0, mode)
+		y := buildBench(b, dataset.CH, 8000, 1, mode)
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", mode, w), func(b *testing.B) {
+				var ovrs int
+				for i := 0; i < b.N; i++ {
+					m, _, err := core.OverlapParallel(x, y, w)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ovrs = m.Len()
+				}
+				b.ReportMetric(float64(ovrs), "OVRs")
+			})
+		}
+	}
+}
+
 // BenchmarkFig12_OVRCounts and BenchmarkFig13_Memory alias the same
 // measurement (the paper splits one experiment across three plots); they run
 // at one size and report the count/memory metrics explicitly.

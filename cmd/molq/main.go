@@ -41,7 +41,7 @@ func run() error {
 		method   = flag.String("method", "rrb", "solution method: ssc, rrb or mbrb")
 		epsilon  = flag.Float64("epsilon", 1e-3, "relative error bound for iterative Fermat-Weber solves")
 		boundsF  = flag.String("bounds", "", "search space as minX,minY,maxX,maxY (default: bounding box of inputs)")
-		workers  = flag.Int("workers", 0, "parallel workers for VD generation and the optimizer (0 = sequential)")
+		workers  = flag.Int("workers", 0, "parallel workers for VD generation, the MOVD overlap and the optimizer (0 = sequential)")
 		prune    = flag.Bool("prune", false, "prune impossible combinations during the MOVD overlap")
 		accel    = flag.Float64("accel", 0, "Weiszfeld over-relaxation factor (1.2-1.3 recommended; 0 = plain iteration)")
 		spillDir = flag.String("spill", "", "directory for out-of-core evaluation of the final overlap (empty = in memory)")

@@ -1,9 +1,9 @@
 // Command molqbench regenerates the paper's evaluation figures (Figs 8–14)
-// as aligned text tables.
+// and the ablation extensions (ext1–ext6) as aligned text tables.
 //
 // Usage:
 //
-//	molqbench [-experiment fig8|fig9|fig10|fig11|fig12|fig13|fig14|all]
+//	molqbench [-experiment fig8|fig9|fig10|fig11|fig12|fig13|fig14|ext1..ext6|all]
 //	          [-quick] [-seed N] [-v]
 //
 // Full mode uses paper-scale parameters (the two-diagram overlap sweep goes

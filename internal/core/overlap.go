@@ -20,6 +20,19 @@ type OverlapStats struct {
 	PrunedOVRs     int // OVRs discarded by a PruneFunc (OverlapPruned only)
 }
 
+// Add accumulates o into s. Every counter of OverlapStats must be summed
+// here; a reflection test fails when a newly added field is missed, so
+// callers (the query chain accumulator, the spill path, the parallel engine)
+// can rely on Add covering the whole struct.
+func (s *OverlapStats) Add(o OverlapStats) {
+	s.Events += o.Events
+	s.CandidatePairs += o.CandidatePairs
+	s.RegionTests += o.RegionTests
+	s.OutputOVRs += o.OutputOVRs
+	s.OutputPoints += o.OutputPoints
+	s.PrunedOVRs += o.PrunedOVRs
+}
+
 // PruneFunc decides, from an OVR's bounding box and its (possibly partial)
 // object combination, whether the OVR can be discarded during overlap. It
 // implements the paper's future-work idea (Sec 8) of "filtering out the
@@ -78,22 +91,62 @@ func OverlapPruned(a, b *MOVD, prune PruneFunc) (*MOVD, OverlapStats, error) {
 // keeps.
 func OverlapStream(a, b *MOVD, prune PruneFunc, emit func(*OVR) error) (OverlapStats, error) {
 	var stats OverlapStats
+	if err := checkOperands(a, b); err != nil {
+		return stats, err
+	}
+	err := sweep(a, b, nil, nil, nil, prune, &stats, emit)
+	return stats, err
+}
+
+// checkOperands rejects operand pairs that cannot be overlapped.
+func checkOperands(a, b *MOVD) error {
 	if a.Mode != b.Mode {
-		return stats, ErrModeMismatch
+		return ErrModeMismatch
 	}
 	if a.Bounds != b.Bounds {
-		return stats, fmt.Errorf("core: operand bounds differ: %v vs %v", a.Bounds, b.Bounds)
+		return fmt.Errorf("core: operand bounds differ: %v vs %v", a.Bounds, b.Bounds)
 	}
+	return nil
+}
+
+// sweep runs the Algorithm 2 plane sweep over the OVR index subsets subA and
+// subB (nil means every OVR of that operand). own, when non-nil, restricts
+// the evaluation to candidate pairs this sweep is responsible for — the
+// sharded parallel engine (overlap_parallel.go) runs one sweep per
+// horizontal strip, assigns each OVR to every strip its y-range touches, and
+// owns each pair in exactly one strip, so the union of the strips' emissions
+// is exactly the sequential sweep's multiset. The ownership test runs before
+// any statistic other than Events is counted, so every OverlapStats field
+// except Events is shard-independent.
+func sweep(a, b *MOVD, subA, subB []int32, own func(x, y *OVR) bool, prune PruneFunc, stats *OverlapStats, emit func(*OVR) error) error {
 	mode := a.Mode
 	operands := [2]*MOVD{a, b}
-	events := make([]event, 0, 2*(len(a.OVRs)+len(b.OVRs)))
+	subsets := [2][]int32{subA, subB}
+	n := 0
 	for side, m := range operands {
-		for i := range m.OVRs {
+		if subsets[side] != nil {
+			n += len(subsets[side])
+		} else {
+			n += len(m.OVRs)
+		}
+	}
+	events := make([]event, 0, 2*n)
+	for side, m := range operands {
+		add := func(i int32) {
 			r := m.OVRs[i].MBR
 			events = append(events,
-				event{y: r.Max.Y, kind: 0, side: uint8(side), idx: int32(i)},
-				event{y: r.Min.Y, kind: 1, side: uint8(side), idx: int32(i)},
+				event{y: r.Max.Y, kind: 0, side: uint8(side), idx: i},
+				event{y: r.Min.Y, kind: 1, side: uint8(side), idx: i},
 			)
+		}
+		if sub := subsets[side]; sub != nil {
+			for _, i := range sub {
+				add(i)
+			}
+		} else {
+			for i := range m.OVRs {
+				add(int32(i))
+			}
 		}
 	}
 	// Descending y; at equal y, starts precede ends so regions touching
@@ -129,8 +182,11 @@ func OverlapStream(a, b *MOVD, prune PruneFunc, emit func(*OVR) error) (OverlapS
 		otherMOVD := operands[1-e.side]
 		status[1-e.side].Overlapping(ovr.MBR.Min.X, ovr.MBR.Max.X,
 			func(_, _ float64, _ int, j int32) bool {
-				stats.CandidatePairs++
 				other := &otherMOVD.OVRs[j]
+				if own != nil && !own(ovr, other) {
+					return true
+				}
+				stats.CandidatePairs++
 				var out OVR
 				if mode == RRB {
 					stats.RegionTests++
@@ -164,27 +220,35 @@ func OverlapStream(a, b *MOVD, prune PruneFunc, emit func(*OVR) error) (OverlapS
 				return true
 			})
 	}
-	return stats, emitErr
+	return emitErr
 }
 
 // mergePOIs unions two POI lists, deduplicating objects that appear in both
 // (which happens when the operands' generator sets are not disjoint, e.g.
-// under the idempotent law of Property 9).
+// under the idempotent law of Property 9). Both inputs are ordered by
+// (Type, ID) — basic diagrams carry a single POI and every merged list is
+// produced here — so a single linear merge suffices on the hot ⊕ path; the
+// output keeps the same canonical order.
 func mergePOIs(a, b []Object) []Object {
 	out := make([]Object, 0, len(a)+len(b))
-	out = append(out, a...)
-	for _, o := range b {
-		dup := false
-		for _, p := range a {
-			if p.Type == o.Type && p.ID == o.ID {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			out = append(out, o)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		x, y := &a[i], &b[j]
+		switch {
+		case x.Type < y.Type || (x.Type == y.Type && x.ID < y.ID):
+			out = append(out, *x)
+			i++
+		case x.Type == y.Type && x.ID == y.ID:
+			out = append(out, *x)
+			i++
+			j++
+		default:
+			out = append(out, *y)
+			j++
 		}
 	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
 	return out
 }
 

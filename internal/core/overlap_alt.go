@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"molq/internal/polyclip"
 	"molq/internal/rtree"
 )
@@ -33,11 +31,8 @@ func intersectPair(mode Mode, x, y *OVR) (OVR, bool) {
 }
 
 func overlapPrelude(a, b *MOVD) (*MOVD, error) {
-	if a.Mode != b.Mode {
-		return nil, ErrModeMismatch
-	}
-	if a.Bounds != b.Bounds {
-		return nil, fmt.Errorf("core: operand bounds differ: %v vs %v", a.Bounds, b.Bounds)
+	if err := checkOperands(a, b); err != nil {
+		return nil, err
 	}
 	return &MOVD{
 		Types:  typesUnion(a.Types, b.Types),

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"molq/internal/geom"
+)
+
+// This file is the parallel ⊕ engine. It parallelises the MOVD Overlapper —
+// the one Fig-3 module that previously ran single-threaded while the VD
+// Generator and the Optimizer already scaled with workers — along two
+// independent axes:
+//
+//   - within one overlap, a sharded plane sweep: the search space is cut
+//     into k horizontal strips, each OVR joins every strip its MBR's y-range
+//     intersects, and k independent Algorithm-2 sweeps run on worker
+//     goroutines. A candidate pair discovered in several strips is evaluated
+//     only by the strip that contains the top edge of the pair's MBR
+//     intersection, so the union of the strips' outputs is exactly the
+//     sequential sweep's OVR multiset;
+//
+//   - across a multi-diagram chain, a balanced binary reduction of Eq 27's
+//     left fold — sound by the associativity and commutativity of ⊕
+//     (Properties 10–11) — so independent pairwise overlaps proceed
+//     concurrently.
+//
+// Both paths emit the same OVR multiset as their sequential counterparts
+// (bitwise for a single ⊕ and for chains whose reduction shape matches the
+// left fold, i.e. up to three operands; longer chains produce the same
+// combinations with region vertices equal up to floating-point association).
+// Statistics are shard-independent except Events, which counts per-strip
+// work and therefore grows with the strip count; chain statistics of four or
+// more operands additionally depend on the reduction shape, mirroring the
+// scheduling-dependent statistics documented for the parallel optimizer.
+
+// stripper partitions the bounds' y-extent into k equal horizontal strips.
+type stripper struct {
+	y0, h float64
+	k     int
+}
+
+func newStripper(bounds geom.Rect, k int) stripper {
+	return stripper{y0: bounds.Min.Y, h: bounds.Height() / float64(k), k: k}
+}
+
+// index maps a y coordinate to its strip, clamping outliers into the edge
+// strips so every coordinate — bounds.Max.Y and MBRs escaping the bounds by
+// epsilon included — has exactly one home. Because index is monotone, the
+// owner strip of a pair (the strip of the top edge of its y-intersection)
+// always lies within both members' assigned strip ranges.
+func (s stripper) index(y float64) int {
+	i := int(math.Floor((y - s.y0) / s.h))
+	if i < 0 {
+		return 0
+	}
+	if i >= s.k {
+		return s.k - 1
+	}
+	return i
+}
+
+// assign lists, per strip, the OVR indices whose MBR y-range intersects it.
+func (s stripper) assign(ovrs []OVR) [][]int32 {
+	out := make([][]int32, s.k)
+	for i := range ovrs {
+		lo := s.index(ovrs[i].MBR.Min.Y)
+		hi := s.index(ovrs[i].MBR.Max.Y)
+		for si := lo; si <= hi; si++ {
+			out[si] = append(out[si], int32(i))
+		}
+	}
+	return out
+}
+
+// OverlapStreamParallel is OverlapStream evaluated by the sharded plane
+// sweep on up to `workers` goroutines (≤0 means GOMAXPROCS; 1 falls back to
+// the sequential sweep). The emitted OVR multiset is identical to the
+// sequential sweep's; emission order depends on scheduling. emit is invoked
+// through a merge-emitter that serialises calls under a mutex, so a
+// non-reentrant emit (the spill writer, a slice append) needs no locking of
+// its own; the emitted pointer is only valid during the call. prune, by
+// contrast, is called concurrently from all strip workers and must be safe
+// for concurrent use — the query layer's bound check reads a fixed upper
+// bound and qualifies.
+func OverlapStreamParallel(a, b *MOVD, prune PruneFunc, workers int, emit func(*OVR) error) (OverlapStats, error) {
+	var total OverlapStats
+	if err := checkOperands(a, b); err != nil {
+		return total, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || a.Bounds.Height() <= 0 || len(a.OVRs) == 0 || len(b.OVRs) == 0 {
+		return OverlapStream(a, b, prune, emit)
+	}
+	strips := newStripper(a.Bounds, workers)
+	subA := strips.assign(a.OVRs)
+	subB := strips.assign(b.OVRs)
+
+	var (
+		mu      sync.Mutex // guards emit (the merge-emitter), total and emitErr
+		emitErr error
+		wg      sync.WaitGroup
+	)
+	sharedEmit := func(o *OVR) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if emitErr != nil {
+			// Another strip already failed; aborting with its error stops
+			// this strip's sweep too.
+			return emitErr
+		}
+		if err := emit(o); err != nil {
+			emitErr = err
+			return err
+		}
+		return nil
+	}
+	for si := 0; si < strips.k; si++ {
+		if len(subA[si]) == 0 || len(subB[si]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int, subA, subB []int32) {
+			defer wg.Done()
+			own := func(x, y *OVR) bool {
+				return strips.index(math.Min(x.MBR.Max.Y, y.MBR.Max.Y)) == si
+			}
+			var local OverlapStats
+			err := sweep(a, b, subA, subB, own, prune, &local, sharedEmit)
+			mu.Lock()
+			total.Add(local)
+			if err != nil && emitErr == nil {
+				emitErr = err
+			}
+			mu.Unlock()
+		}(si, subA[si], subB[si])
+	}
+	wg.Wait()
+	return total, emitErr
+}
+
+// OverlapParallel is Overlap evaluated by the sharded parallel sweep; it
+// materialises the result like OverlapWithStats and produces the identical
+// OVR multiset (in scheduling-dependent order).
+func OverlapParallel(a, b *MOVD, workers int) (*MOVD, OverlapStats, error) {
+	return OverlapParallelPruned(a, b, nil, workers)
+}
+
+// OverlapParallelPruned is OverlapPruned evaluated by the sharded parallel
+// sweep. prune must be safe for concurrent use.
+func OverlapParallelPruned(a, b *MOVD, prune PruneFunc, workers int) (*MOVD, OverlapStats, error) {
+	result := &MOVD{
+		Types:  typesUnion(a.Types, b.Types),
+		Bounds: a.Bounds,
+		Mode:   a.Mode,
+	}
+	stats, err := OverlapStreamParallel(a, b, prune, workers, func(o *OVR) error {
+		result.OVRs = append(result.OVRs, *o)
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	return result, stats, nil
+}
+
+// ParallelOverlap is SequentialOverlap evaluated as a balanced parallel
+// reduction: at every round adjacent diagrams are overlapped pairwise on
+// worker goroutines (each pairwise ⊕ itself sharded across the remaining
+// worker budget) until one diagram remains. With no operands it returns the
+// identity MOVD(∅); with one operand it returns that operand itself (the
+// identity fold is a no-op, Property 12) — callers must not mutate the
+// result in that case.
+func ParallelOverlap(bounds geom.Rect, mode Mode, workers int, movds ...*MOVD) (*MOVD, error) {
+	m, _, err := ParallelOverlapPruned(bounds, mode, workers, nil, movds...)
+	return m, err
+}
+
+// ParallelOverlapPruned is ParallelOverlap with an optional PruneFunc
+// applied inside every pairwise ⊕ (sound mid-chain for the query layer's
+// bound check, whose partial-combination lower bound is association
+// independent) and with the accumulated sweep statistics of all rounds.
+func ParallelOverlapPruned(bounds geom.Rect, mode Mode, workers int, prune PruneFunc, movds ...*MOVD) (*MOVD, OverlapStats, error) {
+	var stats OverlapStats
+	if len(movds) == 0 {
+		return Identity(bounds, mode), stats, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cur := append([]*MOVD(nil), movds...)
+	for len(cur) > 1 {
+		pairs := len(cur) / 2
+		next := make([]*MOVD, (len(cur)+1)/2)
+		if len(cur)%2 == 1 {
+			next[pairs] = cur[len(cur)-1] // odd tail carries into the next round
+		}
+		perPair := workers / pairs
+		if perPair < 1 {
+			perPair = 1
+		}
+		sts := make([]OverlapStats, pairs)
+		errs := make([]error, pairs)
+		var wg sync.WaitGroup
+		for pi := 0; pi < pairs; pi++ {
+			wg.Add(1)
+			go func(pi int) {
+				defer wg.Done()
+				next[pi], sts[pi], errs[pi] = OverlapParallelPruned(cur[2*pi], cur[2*pi+1], prune, perPair)
+			}(pi)
+		}
+		wg.Wait()
+		for pi := range sts {
+			if errs[pi] != nil {
+				return nil, stats, errs[pi]
+			}
+			stats.Add(sts[pi])
+		}
+		cur = next
+	}
+	return cur[0], stats, nil
+}

@@ -15,7 +15,7 @@ import (
 
 // Ablations returns the extension experiments: design-choice studies beyond
 // the paper's figures (DESIGN.md calls these out). They share the molqbench
-// registry under ids ext1–ext4.
+// registry under ids ext1–ext6.
 func Ablations() []Figure {
 	return []Figure{
 		{ID: "ext1", Title: "Ablation: combination pruning during overlap (Sec 8 future work)", Run: RunExt1},
@@ -23,6 +23,7 @@ func Ablations() []Figure {
 		{ID: "ext3", Title: "Ablation: overlap candidate detection (sweep vs naive vs R-tree)", Run: RunExt3},
 		{ID: "ext4", Title: "Ablation: parallel optimizer scaling", Run: RunExt4},
 		{ID: "ext5", Title: "Ablation: Voronoi generators (incremental vs Fortune) and engine reuse", Run: RunExt5},
+		{ID: "ext6", Title: "Ablation: parallel overlap engine (sharded sweep + chain reduction)", Run: RunExt6},
 	}
 }
 
@@ -239,6 +240,113 @@ func RunExt5(o Options) ([]*stats.Table, error) {
 	tbB.AddRow("speedup (steady state)", stats.Speedup(cold, warm))
 	o.logf("ext5b: done")
 	return []*stats.Table{tbA, tbB}, nil
+}
+
+// RunExt6 measures the parallel ⊕ engine. Part A shards one Fig-11-scale
+// pairwise overlap across worker strips (strips = workers in the engine) and
+// verifies every run emits the sequential sweep's OVR multiset. Part B folds
+// a four-diagram chain by balanced parallel reduction and checks the final
+// optimum against the sequential left fold.
+func RunExt6(o Options) ([]*stats.Table, error) {
+	// Part A: sharded sweep over one pairwise ⊕ (Fig 11 scale).
+	sizes := sizesFor([]int{2000, 8000}, []int{500, 1000}, o)
+	workerCounts := []int{2, 4, 8}
+	tbA := stats.NewTable("Ext 6a: sharded plane sweep (strips = workers, two diagrams)",
+		"size/side", "mode", "sequential", "w=2", "w=4", "w=8", "speedup w=4", "multiset agree")
+	for _, n := range sizes {
+		for _, mode := range []core.Mode{core.RRB, core.MBRB} {
+			a, err := buildBasic(dataset.STM, n, 0, o.Seed+1, mode)
+			if err != nil {
+				return nil, err
+			}
+			b, err := buildBasic(dataset.CH, n, 1, o.Seed+2, mode)
+			if err != nil {
+				return nil, err
+			}
+			startSeq := time.Now()
+			seq, _, err := core.OverlapWithStats(a, b)
+			if err != nil {
+				return nil, err
+			}
+			dSeq := time.Since(startSeq)
+			want := keyMultiset(seq)
+			agree := "yes"
+			times := make([]time.Duration, len(workerCounts))
+			for wi, w := range workerCounts {
+				start := time.Now()
+				par, _, err := core.OverlapParallel(a, b, w)
+				if err != nil {
+					return nil, err
+				}
+				times[wi] = time.Since(start)
+				if !multisetsEqual(want, keyMultiset(par)) {
+					agree = fmt.Sprintf("NO (w=%d)", w)
+				}
+			}
+			tbA.AddRow(fmt.Sprintf("%d", n), mode.String(), stats.Dur(dSeq),
+				stats.Dur(times[0]), stats.Dur(times[1]), stats.Dur(times[2]),
+				stats.Speedup(dSeq, times[1]), agree)
+			o.logf("ext6a: n=%d %s done", n, mode)
+		}
+	}
+	// Part B: balanced reduction of a four-diagram chain inside the full
+	// pipeline (Workers also shards every pairwise sweep).
+	n := 128
+	if o.Quick {
+		n = 32
+	}
+	types := []string{dataset.STM, dataset.CH, dataset.SCH, dataset.PPL}
+	in := molqInput(types, n, o.Seed+7)
+	tbB := stats.NewTable(fmt.Sprintf("Ext 6b: chain reduction in the pipeline (%d types, %d objects/type)", len(types), n),
+		"method", "workers", "time", "OVRs", "cost agree")
+	for _, m := range []query.Method{query.RRB, query.MBRB} {
+		base, err := query.Solve(in, m)
+		if err != nil {
+			return nil, err
+		}
+		tbB.AddRow(m.String(), "1", stats.Dur(base.Stats.TotalTime),
+			fmt.Sprintf("%d", base.Stats.OVRs), "baseline")
+		for _, w := range []int{2, 4} {
+			pin := in
+			pin.Workers = w
+			res, err := query.Solve(pin, m)
+			if err != nil {
+				return nil, err
+			}
+			agree := "yes"
+			if math.Abs(res.Cost-base.Cost) > 1e-6*math.Max(1, base.Cost) {
+				agree = fmt.Sprintf("NO (%.6g vs %.6g)", res.Cost, base.Cost)
+			}
+			if res.Stats.OVRs != base.Stats.OVRs {
+				agree = fmt.Sprintf("NO (%d vs %d OVRs)", res.Stats.OVRs, base.Stats.OVRs)
+			}
+			tbB.AddRow(m.String(), fmt.Sprintf("%d", w), stats.Dur(res.Stats.TotalTime),
+				fmt.Sprintf("%d", res.Stats.OVRs), agree)
+		}
+		o.logf("ext6b: %s done", m)
+	}
+	return []*stats.Table{tbA, tbB}, nil
+}
+
+// keyMultiset counts a diagram's OVRs by combination key.
+func keyMultiset(m *core.MOVD) map[string]int {
+	out := make(map[string]int, m.Len())
+	for i := range m.OVRs {
+		out[m.OVRs[i].Key()]++
+	}
+	return out
+}
+
+func multisetsEqual(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
 }
 
 // RunExt4 measures the parallel cost-bound optimizer across worker counts.

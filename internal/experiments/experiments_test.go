@@ -31,16 +31,16 @@ func runQuick(t *testing.T, id string) []string {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(All()) != 12 { // 7 paper figures + 5 ablations
-		t.Fatalf("expected 12 experiments, got %d", len(All()))
+	if len(All()) != 13 { // 7 paper figures + 6 ablations
+		t.Fatalf("expected 13 experiments, got %d", len(All()))
 	}
 	if _, ok := ByID("nope"); ok {
 		t.Fatal("unknown id resolved")
 	}
-	if len(IDs()) != 12 {
+	if len(IDs()) != 13 {
 		t.Fatal("IDs() incomplete")
 	}
-	for _, id := range []string{"fig8", "fig14", "ext1", "ext4"} {
+	for _, id := range []string{"fig8", "fig14", "ext1", "ext4", "ext6"} {
 		if _, ok := ByID(id); !ok {
 			t.Fatalf("%s missing from registry", id)
 		}
@@ -76,6 +76,18 @@ func TestExt5Quick(t *testing.T) {
 	}
 	if strings.Contains(outs[0], "NO (") {
 		t.Fatalf("generators disagreed:\n%s", outs[0])
+	}
+}
+
+func TestExt6Quick(t *testing.T) {
+	outs := runQuick(t, "ext6")
+	if len(outs) != 2 {
+		t.Fatalf("ext6 should emit 2 tables, got %d", len(outs))
+	}
+	for i, out := range outs {
+		if strings.Contains(out, "NO (") {
+			t.Fatalf("ext6 table %d reports disagreement:\n%s", i, out)
+		}
 	}
 }
 

@@ -32,12 +32,14 @@ type PointJSON struct {
 	Y float64 `json:"y"`
 }
 
-// ObjectJSON is one POI.
+// ObjectJSON is one POI. The weights are pointers so an omitted weight
+// (defaults to 1) is distinguishable from an explicit 0, which — like every
+// non-positive weight — is rejected with 400 rather than silently rewritten.
 type ObjectJSON struct {
-	X          float64 `json:"x"`
-	Y          float64 `json:"y"`
-	TypeWeight float64 `json:"type_weight,omitempty"` // default 1
-	ObjWeight  float64 `json:"obj_weight,omitempty"`  // default 1
+	X          float64  `json:"x"`
+	Y          float64  `json:"y"`
+	TypeWeight *float64 `json:"type_weight,omitempty"` // default 1; must be > 0 if given
+	ObjWeight  *float64 `json:"obj_weight,omitempty"`  // default 1; must be > 0 if given
 }
 
 // TypeJSON is one object set.
@@ -200,12 +202,13 @@ func buildInput(types []TypeJSON, bounds *[4]float64, epsilon float64) (query.In
 		}
 		set := make([]core.Object, len(tj.Objects))
 		for i, o := range tj.Objects {
-			tw, ow := o.TypeWeight, o.ObjWeight
-			if tw == 0 {
-				tw = 1
+			tw, err := weightOf(o.TypeWeight, "type_weight", ti, i)
+			if err != nil {
+				return in, err
 			}
-			if ow == 0 {
-				ow = 1
+			ow, err := weightOf(o.ObjWeight, "obj_weight", ti, i)
+			if err != nil {
+				return in, err
 			}
 			set[i] = core.Object{
 				ID: i, Type: ti,
@@ -229,6 +232,18 @@ func buildInput(types []TypeJSON, bounds *[4]float64, epsilon float64) (query.In
 	}
 	in.Epsilon = epsilon
 	return in, nil
+}
+
+// weightOf resolves an optional request weight: absent means the documented
+// default of 1, while an explicit non-positive value is a client error.
+func weightOf(w *float64, name string, ti, i int) (float64, error) {
+	if w == nil {
+		return 1, nil
+	}
+	if *w <= 0 {
+		return 0, fmt.Errorf("type %d object %d: %s must be positive, got %g", ti, i, name, *w)
+	}
+	return *w, nil
 }
 
 func parseMethod(m string, allowSSC bool) (query.Method, error) {

@@ -36,10 +36,13 @@ func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
 	return resp, buf.Bytes()
 }
 
+// fw is shorthand for the optional weight fields of ObjectJSON.
+func fw(v float64) *float64 { return &v }
+
 func sampleTypes() []TypeJSON {
 	return []TypeJSON{
 		{Name: "school", Objects: []ObjectJSON{
-			{X: 20, Y: 30, TypeWeight: 2}, {X: 80, Y: 40, TypeWeight: 2},
+			{X: 20, Y: 30, TypeWeight: fw(2)}, {X: 80, Y: 40, TypeWeight: fw(2)},
 		}},
 		{Name: "market", Objects: []ObjectJSON{
 			{X: 10, Y: 80}, {X: 60, Y: 20},
@@ -113,6 +116,53 @@ func TestSolveValidation(t *testing.T) {
 	}
 }
 
+// TestWeightValidation pins the explicit-zero semantics: an omitted weight
+// defaults to 1, but a client that sends weight 0 (or any non-positive value)
+// gets a 400 instead of a silent rewrite to 1.
+func TestWeightValidation(t *testing.T) {
+	ts := newTestServer(t)
+	mk := func(o ObjectJSON) SolveRequest {
+		return SolveRequest{
+			Method: "rrb",
+			Bounds: &[4]float64{0, 0, 100, 100},
+			Types: []TypeJSON{
+				{Name: "a", Objects: []ObjectJSON{o, {X: 90, Y: 90}}},
+				{Name: "b", Objects: []ObjectJSON{{X: 50, Y: 50}}},
+			},
+		}
+	}
+	bad := []ObjectJSON{
+		{X: 10, Y: 10, TypeWeight: fw(0)},
+		{X: 10, Y: 10, TypeWeight: fw(-2)},
+		{X: 10, Y: 10, ObjWeight: fw(0)},
+		{X: 10, Y: 10, ObjWeight: fw(-0.5)},
+	}
+	for i, o := range bad {
+		resp, body := postJSON(t, ts.URL+"/v1/solve", mk(o))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("case %d: status %d, want 400 (%s)", i, resp.StatusCode, body)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Fatalf("case %d: missing error body: %s", i, body)
+		}
+	}
+	// Omitted weights still default to 1 and solve fine.
+	resp, body := postJSON(t, ts.URL+"/v1/solve", mk(ObjectJSON{X: 10, Y: 10}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("omitted weights: status %d: %s", resp.StatusCode, body)
+	}
+	// The engine endpoint runs through the same builder.
+	eng := EngineRequest{Name: "w0", Bounds: &[4]float64{0, 0, 100, 100},
+		Types: mk(ObjectJSON{X: 10, Y: 10, TypeWeight: fw(0)}).Types}
+	resp, _ = postJSON(t, ts.URL+"/v1/engines", eng)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("engine zero weight: status %d, want 400", resp.StatusCode)
+	}
+}
+
 func TestAdditiveKind(t *testing.T) {
 	ts := newTestServer(t)
 	req := SolveRequest{
@@ -120,7 +170,7 @@ func TestAdditiveKind(t *testing.T) {
 		Bounds: &[4]float64{0, 0, 100, 100},
 		Types: []TypeJSON{
 			{Name: "cafe", Kind: "additive", Objects: []ObjectJSON{
-				{X: 10, Y: 10, ObjWeight: 5}, {X: 90, Y: 90, ObjWeight: 1},
+				{X: 10, Y: 10, ObjWeight: fw(5)}, {X: 90, Y: 90, ObjWeight: fw(1)},
 			}},
 		},
 	}

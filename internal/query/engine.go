@@ -45,29 +45,15 @@ func NewEngine(in Input, method Method) (*Engine, error) {
 	start := time.Now()
 	// Reuse the standard pipeline for modules 1-2 by running a solve with a
 	// captured MOVD would recompute the optimizer; instead build directly.
-	basics := make([]*core.MOVD, len(in.Sets))
-	for ti := range in.Sets {
-		set := in.Sets[ti]
-		var err error
-		if uniformWeights(set) {
-			basics[ti], err = ordinaryBasic(set, ti, in.Bounds, e.mode)
-		} else {
-			if method == RRB {
-				return nil, ErrWeightedRRB
-			}
-			basics[ti], err = weightedBasic(set, ti, in.Bounds, in.kind(ti))
-		}
-		if err != nil {
-			return nil, err
-		}
+	// Workers > 1 parallelises both modules exactly as Solve does.
+	basics, err := in.buildBasics(method, e.mode)
+	if err != nil {
+		return nil, err
 	}
-	acc := basics[0]
-	for _, m := range basics[1:] {
-		next, err := core.Overlap(acc, m)
-		if err != nil {
-			return nil, err
-		}
-		acc = next
+	var stats core.OverlapStats
+	acc, err := in.overlapChain(e.mode, nil, basics, &stats)
+	if err != nil {
+		return nil, err
 	}
 	e.movd = acc
 	e.combos = acc.Groups()

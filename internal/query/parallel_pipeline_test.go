@@ -1,0 +1,145 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestParallelPipelineMatchesSequential runs the full solve with Workers=1
+// and Workers=4 across methods, type counts, pruning and spill, and demands
+// the same optimum, the same MOVD size and the same combination count — the
+// parallel overlap engine must change scheduling only, never the answer.
+func TestParallelPipelineMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for _, method := range []Method{RRB, MBRB} {
+		for types := 2; types <= 5; types++ {
+			sizes := make([]int, types)
+			for ti := range sizes {
+				sizes[ti] = 6 + 2*ti
+			}
+			base := randomInput(r, sizes, true)
+			for _, prune := range []bool{false, true} {
+				for _, spill := range []bool{false, true} {
+					label := fmt.Sprintf("%v/types=%d/prune=%v/spill=%v", method, types, prune, spill)
+					in := base
+					in.PruneOverlap = prune
+					if spill {
+						in.SpillDir = t.TempDir()
+					}
+					seq, err := Solve(in, method)
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					pin := in
+					pin.Workers = 4
+					par, err := Solve(pin, method)
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					if rel := math.Abs(par.Cost - seq.Cost); rel > 1e-9*math.Max(1, seq.Cost) {
+						t.Fatalf("%s: cost %v vs %v", label, par.Cost, seq.Cost)
+					}
+					if par.Stats.OVRs != seq.Stats.OVRs {
+						t.Fatalf("%s: OVRs %d vs %d", label, par.Stats.OVRs, seq.Stats.OVRs)
+					}
+					if par.Stats.Groups != seq.Stats.Groups {
+						t.Fatalf("%s: groups %d vs %d", label, par.Stats.Groups, seq.Stats.Groups)
+					}
+					// The shard-independent overlap counters must agree while
+					// the reduction shape matches the left fold (≤3 types);
+					// longer chains have association-dependent intermediates.
+					if types <= 3 {
+						po, so := par.Stats.Overlap, seq.Stats.Overlap
+						if po.OutputOVRs != so.OutputOVRs || po.PrunedOVRs != so.PrunedOVRs {
+							t.Fatalf("%s: overlap stats %+v vs %+v", label, po, so)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelEngineMatchesSequential covers the prepared-engine path, whose
+// NewEngine shares the parallel chain wiring.
+func TestParallelEngineMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	in := randomInput(r, []int{8, 9, 7}, false)
+	weights := []float64{2, 0.5, 3}
+	for _, method := range []Method{RRB, MBRB} {
+		seqEng, err := NewEngine(in, method)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pin := in
+		pin.Workers = 4
+		parEng, err := NewEngine(pin, method)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parEng.OVRs() != seqEng.OVRs() || parEng.Combinations() != seqEng.Combinations() {
+			t.Fatalf("%v: engine shape %d/%d vs %d/%d", method,
+				parEng.OVRs(), parEng.Combinations(), seqEng.OVRs(), seqEng.Combinations())
+		}
+		seqRes, err := seqEng.Query(weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parRes, err := parEng.Query(weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(parRes.Cost-seqRes.Cost) > 1e-9*math.Max(1, seqRes.Cost) {
+			t.Fatalf("%v: cost %v vs %v", method, parRes.Cost, seqRes.Cost)
+		}
+	}
+}
+
+// TestConcurrentParallelSolves hammers parallel solves and a shared engine
+// from many goroutines; run under -race this pins the engine's internal
+// synchronisation (merge-emitter, stats folding, shared reduction slices).
+func TestConcurrentParallelSolves(t *testing.T) {
+	r := rand.New(rand.NewSource(79))
+	in := randomInput(r, []int{10, 10, 8}, true)
+	in.Workers = 4
+	want, err := Solve(in, RRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(in, RRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := Solve(in, RRB)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if math.Abs(res.Cost-want.Cost) > 1e-9*math.Max(1, want.Cost) {
+				errs <- fmt.Errorf("solve %d: cost %v, want %v", i, res.Cost, want.Cost)
+			}
+		}(i)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := []float64{1 + float64(i%3), 1, 2}
+			if _, err := eng.Query(w); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -96,10 +96,12 @@ type Input struct {
 	// ObjKinds gives the object weight function per type; nil or short means
 	// multiplicative for the missing entries.
 	ObjKinds []WeightKind
-	// Workers > 1 parallelises the VD Generator (one goroutine per type)
-	// and the cost-bound Optimizer (shared atomic bound). 0 or 1 runs
-	// sequentially; sequential evaluation is fully deterministic, parallel
-	// evaluation returns the same optimum with nondeterministic statistics.
+	// Workers > 1 parallelises all three Fig-3 modules: the VD Generator
+	// (one goroutine per type), the MOVD Overlapper (sharded plane sweep
+	// plus a balanced parallel reduction of the ⊕ chain), and the
+	// cost-bound Optimizer (shared atomic bound). 0 or 1 runs sequentially;
+	// sequential evaluation is fully deterministic, parallel evaluation
+	// returns the same optimum with nondeterministic statistics.
 	Workers int
 	// PruneOverlap enables the Sec-8 future-work optimisation: combinations
 	// whose best possible cost (a box lower bound) exceeds a sampled upper
@@ -234,17 +236,9 @@ func uniformWeights(set []core.Object) bool {
 	return true
 }
 
-// solveMOVD runs the three-module pipeline of Fig 3.
-func solveMOVD(in Input, method Method) (Result, error) {
-	mode := core.RRB
-	if method == MBRB {
-		mode = core.MBRB
-	}
-	res := Result{Method: method}
-	totalStart := time.Now()
-
-	// Module 1: VD Generator (basic MOVDs, Property 7).
-	vdStart := time.Now()
+// buildBasics runs Module 1 of Fig 3 (the VD Generator) for every object
+// set, one goroutine per type when Workers > 1.
+func (in *Input) buildBasics(method Method, mode core.Mode) ([]*core.MOVD, error) {
 	basics := make([]*core.MOVD, len(in.Sets))
 	buildOne := func(ti int) error {
 		set := in.Sets[ti]
@@ -275,19 +269,63 @@ func solveMOVD(in Input, method Method) (Result, error) {
 		wg.Wait()
 		for _, err := range errs {
 			if err != nil {
-				return res, err
+				return nil, err
 			}
 		}
 	} else {
 		for ti := range in.Sets {
 			if err := buildOne(ti); err != nil {
-				return res, err
+				return nil, err
 			}
 		}
 	}
+	return basics, nil
+}
+
+// overlapChain runs Module 2 of Fig 3 over the given diagrams: the
+// sequential left fold of Eq 27, or the parallel overlap engine (sharded
+// sweeps within each ⊕, balanced reduction across the chain) when
+// Workers > 1. Both produce the same final diagram; the parallel path's
+// statistics depend on sharding and reduction shape.
+func (in *Input) overlapChain(mode core.Mode, prune core.PruneFunc, movds []*core.MOVD, stats *core.OverlapStats) (*core.MOVD, error) {
+	if in.Workers > 1 {
+		acc, st, err := core.ParallelOverlapPruned(in.Bounds, mode, in.Workers, prune, movds...)
+		if err != nil {
+			return nil, err
+		}
+		stats.Add(st)
+		return acc, nil
+	}
+	acc := movds[0]
+	for _, m := range movds[1:] {
+		next, st, err := core.OverlapPruned(acc, m, prune)
+		if err != nil {
+			return nil, err
+		}
+		stats.Add(st)
+		acc = next
+	}
+	return acc, nil
+}
+
+// solveMOVD runs the three-module pipeline of Fig 3.
+func solveMOVD(in Input, method Method) (Result, error) {
+	mode := core.RRB
+	if method == MBRB {
+		mode = core.MBRB
+	}
+	res := Result{Method: method}
+	totalStart := time.Now()
+
+	// Module 1: VD Generator (basic MOVDs, Property 7).
+	vdStart := time.Now()
+	basics, err := in.buildBasics(method, mode)
+	if err != nil {
+		return res, err
+	}
 	res.Stats.VDTime = time.Since(vdStart)
 
-	// Module 2: MOVD Overlapper (sequential ⊕, Eq 27), optionally with
+	// Module 2: MOVD Overlapper (⊕ chain, Eq 27), optionally with
 	// combination pruning (Sec 8). With SpillDir the final — largest —
 	// overlap streams to disk instead of materialising.
 	ovStart := time.Now()
@@ -296,29 +334,16 @@ func solveMOVD(in Input, method Method) (Result, error) {
 		prune = in.pruneFunc(in.upperBound())
 	}
 	spillLast := in.SpillDir != "" && len(basics) >= 2
-	acc := basics[0]
-	inMemory := basics[1:]
+	inMemory := basics
 	if spillLast {
-		inMemory = basics[1 : len(basics)-1]
+		inMemory = basics[:len(basics)-1]
 	}
-	accumulate := func(st core.OverlapStats) {
-		res.Stats.Overlap.Events += st.Events
-		res.Stats.Overlap.CandidatePairs += st.CandidatePairs
-		res.Stats.Overlap.RegionTests += st.RegionTests
-		res.Stats.Overlap.OutputOVRs += st.OutputOVRs
-		res.Stats.Overlap.OutputPoints += st.OutputPoints
-		res.Stats.Overlap.PrunedOVRs += st.PrunedOVRs
-	}
-	for _, m := range inMemory {
-		next, st, err := core.OverlapPruned(acc, m, prune)
-		if err != nil {
-			return res, err
-		}
-		accumulate(st)
-		acc = next
+	acc, err := in.overlapChain(mode, prune, inMemory, &res.Stats.Overlap)
+	if err != nil {
+		return res, err
 	}
 	if spillLast {
-		return in.finishSpilled(res, acc, basics[len(basics)-1], prune, accumulate, ovStart, totalStart)
+		return in.finishSpilled(res, acc, basics[len(basics)-1], prune, ovStart, totalStart)
 	}
 	res.Stats.OverlapTime = time.Since(ovStart)
 	res.Stats.OVRs = acc.Len()
@@ -334,7 +359,6 @@ func solveMOVD(in Input, method Method) (Result, error) {
 	}
 	res.Stats.Groups = len(groups)
 	var batch fermat.BatchResult
-	var err error
 	switch {
 	case in.DisableCostBound:
 		batch, err = fermat.SequentialBatchOffsets(groups, offsets, in.options())
@@ -400,11 +424,14 @@ func solveSSC(in Input) (Result, error) {
 		skip := false
 		if !in.DisableCostBound && !math.IsInf(ubound, 1) && len(g) >= 3 {
 			// Alg 1 lines 4-5: optimal location of the first two objects.
+			// Skip only on a strictly greater lower bound, matching the
+			// streaming optimizer's tie handling (fermat.Streamer.Offer), so
+			// SSC and Algorithm 5 prune identically on exact ties.
 			two, err := fermat.Solve(g[:2], opt)
 			if err != nil {
 				return res, err
 			}
-			if two.Cost+off >= ubound {
+			if two.Cost+off > ubound {
 				skip = true
 			}
 		}

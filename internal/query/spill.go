@@ -12,12 +12,13 @@ import (
 // finishSpilled completes a solve whose final overlap goes through disk
 // (Input.SpillDir): the last ⊕ streams its OVRs to a temporary snapshot and
 // the optimizer streams them back, deduplicating combinations on the fly.
-// The temporary file is removed before returning.
+// With Workers > 1 the spilling sweep itself runs sharded; the writer stays
+// safe because the parallel engine serialises emissions. The temporary file
+// is removed before returning.
 func (in *Input) finishSpilled(
 	res Result,
 	acc, last *core.MOVD,
 	prune core.PruneFunc,
-	accumulate func(core.OverlapStats),
 	ovStart, totalStart time.Time,
 ) (Result, error) {
 	tmp, err := os.CreateTemp(in.SpillDir, "molq-spill-*.movd")
@@ -28,11 +29,11 @@ func (in *Input) finishSpilled(
 	tmp.Close()
 	defer os.Remove(path)
 
-	st, err := store.OverlapToFile(acc, last, prune, path)
+	st, err := store.OverlapToFileWorkers(acc, last, prune, path, in.Workers)
 	if err != nil {
 		return res, err
 	}
-	accumulate(st)
+	res.Stats.Overlap.Add(st)
 	res.Stats.OverlapTime = time.Since(ovStart)
 	res.Stats.OVRs = st.OutputOVRs
 	res.Stats.PointsManaged = st.OutputPoints

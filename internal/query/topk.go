@@ -39,6 +39,13 @@ func TopK(in Input, method Method, k int) ([]Candidate, error) {
 	if err != nil {
 		return nil, err
 	}
+	return topKFromEngine(eng, &in, k)
+}
+
+// topKFromEngine enumerates and ranks the candidates of a prepared engine.
+// The returned combinations are copies — callers own them, and mutating them
+// must not corrupt the engine's group storage.
+func topKFromEngine(eng *Engine, in *Input, k int) ([]Candidate, error) {
 	opt := in.options()
 	var cands []Candidate
 	for _, combo := range eng.combos {
@@ -48,9 +55,11 @@ func TopK(in Input, method Method, k int) ([]Candidate, error) {
 			return nil, err
 		}
 		cands = append(cands, Candidate{
-			Loc:         res.Loc,
-			Cost:        res.Cost + off,
-			Combination: combo,
+			Loc:  res.Loc,
+			Cost: res.Cost + off,
+			// Copied: combo aliases the engine's group storage, and callers
+			// own the returned candidates.
+			Combination: append([]core.Object(nil), combo...),
 		})
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].Cost < cands[j].Cost })

@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"molq/internal/core"
 )
 
 func TestTopKHeadMatchesSolve(t *testing.T) {
@@ -42,6 +44,43 @@ func TestTopKHeadMatchesSolve(t *testing.T) {
 		for _, c := range cands {
 			if len(c.Combination) != len(in.Sets) {
 				t.Fatalf("%v: combination size %d", method, len(c.Combination))
+			}
+		}
+	}
+}
+
+// TestTopKCombinationIsACopy pins that Candidate.Combination does not alias
+// the engine's internal group storage: mutating a returned combination must
+// leave the engine's combos — and therefore every later query against it —
+// untouched.
+func TestTopKCombinationIsACopy(t *testing.T) {
+	r := rand.New(rand.NewSource(93))
+	in := randomInput(r, []int{5, 4}, true)
+	eng, err := NewEngine(in, RRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([][]core.Object, len(eng.combos))
+	for i, combo := range eng.combos {
+		before[i] = append([]core.Object(nil), combo...)
+	}
+	cands, err := topKFromEngine(eng, &in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	for i := range cands {
+		for j := range cands[i].Combination {
+			cands[i].Combination[j].ObjWeight = -1e9
+			cands[i].Combination[j].ID = -7
+		}
+	}
+	for i, combo := range eng.combos {
+		for j, o := range combo {
+			if o != before[i][j] {
+				t.Fatalf("combo %d[%d]: mutation of a TopK result leaked into engine storage: %+v", i, j, o)
 			}
 		}
 	}

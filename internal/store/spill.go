@@ -17,6 +17,15 @@ import (
 // and can be read back with LoadMOVD or scanned with IterateOVRs. prune is
 // optional (see core.OverlapPruned).
 func OverlapToFile(a, b *core.MOVD, prune core.PruneFunc, path string) (core.OverlapStats, error) {
+	return OverlapToFileWorkers(a, b, prune, path, 1)
+}
+
+// OverlapToFileWorkers is OverlapToFile with the sweep sharded across
+// workers goroutines (≤1 sequential). The parallel engine's merge-emitter
+// serialises emissions, so the buffered writer needs no locking; the stored
+// OVR multiset is identical to the sequential spill's, in
+// scheduling-dependent order.
+func OverlapToFileWorkers(a, b *core.MOVD, prune core.PruneFunc, path string, workers int) (core.OverlapStats, error) {
 	var stats core.OverlapStats
 	f, err := os.Create(path)
 	if err != nil {
@@ -30,11 +39,16 @@ func OverlapToFile(a, b *core.MOVD, prune core.PruneFunc, path string) (core.Ove
 	}
 	w.crc = crc32.NewIEEE()
 	var emitted int64
-	stats, err = core.OverlapStream(a, b, prune, func(o *core.OVR) error {
+	emit := func(o *core.OVR) error {
 		w.ovr(o)
 		emitted++
 		return w.err
-	})
+	}
+	if workers > 1 {
+		stats, err = core.OverlapStreamParallel(a, b, prune, workers, emit)
+	} else {
+		stats, err = core.OverlapStream(a, b, prune, emit)
+	}
 	if err != nil {
 		f.Close()
 		return stats, err

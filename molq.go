@@ -135,9 +135,12 @@ func (q *Query) DisableCostBound() *Query {
 	return q
 }
 
-// SetWorkers evaluates the Voronoi generation and the optimizer with n
-// goroutines (n ≤ 1 restores sequential, fully deterministic evaluation).
-// The optimum is unchanged; statistics become scheduling-dependent.
+// SetWorkers evaluates all three pipeline modules — the Voronoi generation,
+// the MOVD overlap (sharded plane sweep plus a balanced reduction of the
+// diagram chain) and the optimizer — with n goroutines (n ≤ 1 restores
+// sequential, fully deterministic evaluation). The optimum is unchanged and
+// the overlapped diagram holds the same OVR multiset; statistics become
+// scheduling-dependent.
 func (q *Query) SetWorkers(n int) *Query {
 	q.workers = n
 	return q
