@@ -36,6 +36,11 @@ func benchInput(types []string, n int) query.Input {
 func benchSolve(b *testing.B, types []string, n int, m query.Method) {
 	b.Helper()
 	in := benchInput(types, n)
+	// Each iteration must do the full pipeline's work: without this the
+	// diagram cache would hand every iteration after the first its memoized
+	// diagrams (BenchmarkCacheRepeatedSolve measures that on purpose).
+	in.DisableDiagramCache = true
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := query.Solve(in, m)
@@ -145,6 +150,7 @@ func benchOverlapPair(b *testing.B, n int, mode core.Mode) {
 	x := buildBench(b, dataset.STM, n, 0, mode)
 	y := buildBench(b, dataset.CH, n, 1, mode)
 	var ovrs, points int
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m, err := core.Overlap(x, y)
@@ -211,6 +217,7 @@ func benchChain(b *testing.B, types, n int, mode core.Mode) {
 		basics[ti] = buildBench(b, dataset.PaperTypes[ti], n, ti, mode)
 	}
 	var ovrs int
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		acc := basics[0]
@@ -299,6 +306,49 @@ func BenchmarkEngine(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkCacheRepeatedSolve measures the fingerprinted diagram cache on
+// repeated full solves: cold resets the cache before every iteration (the
+// whole pipeline runs), warm primes it once so each solve skips straight to
+// the optimizer. The warm/cold ratio is the headline speedup of the cache.
+// Combination pruning (Sec 8) is on, as any repeated-query deployment would
+// run it; the cache stores the pruned diagram, so warm solves skip the
+// pruning work too.
+func BenchmarkCacheRepeatedSolve(b *testing.B) {
+	in := benchInput([]string{dataset.STM, dataset.CH}, 2000)
+	in.PruneOverlap = true
+	cache := query.NewDiagramCache(0)
+	in.Cache = cache
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cache.Reset()
+			b.StartTimer()
+			if _, err := query.Solve(in, query.RRB); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(cache.Stats().HitRate(), "cache-hit-rate")
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache.Reset()
+		if _, err := query.Solve(in, query.RRB); err != nil {
+			b.Fatal(err)
+		}
+		before := cache.Stats()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := query.Solve(in, query.RRB); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st := cache.Stats()
+		hits, misses := st.Hits-before.Hits, st.Misses-before.Misses
+		b.ReportMetric(float64(hits)/float64(hits+misses), "cache-hit-rate")
 	})
 }
 

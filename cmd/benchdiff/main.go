@@ -1,10 +1,12 @@
-// Command benchdiff compares two `go test -bench` output files and reports
+// Command benchdiff compares two benchmark result files and reports
 // per-benchmark changes, flagging regressions — keep a committed baseline
-// (e.g. bench_output.txt) and run it in CI.
+// (e.g. bench_output.txt or BENCH_PR2.json) and run it in CI. Inputs may be
+// `go test -bench` text output or the JSON emitted by molqbench -benchout;
+// the format is sniffed per file, so the two sides can even mix.
 //
 // Usage:
 //
-//	benchdiff [-threshold 0.10] [-unit ns/op] old.txt new.txt
+//	benchdiff [-threshold 0.10] [-unit ns/op] old.txt new.json
 //
 // Exit status 1 when any benchmark regressed beyond the threshold.
 package main
@@ -68,5 +70,5 @@ func parseFile(path string) ([]benchfmt.Result, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return benchfmt.Parse(f)
+	return benchfmt.ParseAny(f)
 }

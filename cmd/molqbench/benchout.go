@@ -1,0 +1,197 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"molq/internal/benchfmt"
+	"molq/internal/core"
+	"molq/internal/dataset"
+	"molq/internal/query"
+	"molq/internal/voronoi"
+)
+
+// This file implements -benchout: a fixed microbenchmark suite over the
+// Fig-family workloads, run through testing.Benchmark and written as benchfmt
+// JSON (ns/op, B/op, allocs/op, plus cache-hit-rate for the cache
+// benchmarks). The output is diffable against any earlier run — or against
+// raw `go test -bench` text — with cmd/benchdiff, so a committed baseline
+// (BENCH_PR2.json) gates performance the same way bench_output.txt does.
+
+// benchSpec is one named benchmark in the suite.
+type benchSpec struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// buildBenchMOVD prepares one basic diagram for the overlap benchmarks
+// (mirrors the bench_test.go helper; setup happens outside the timed body).
+func buildBenchMOVD(name string, n, ti int, mode core.Mode) (*core.MOVD, error) {
+	pts := dataset.Generate(dataset.Config{Seed: int64(ti + 1)}, name, n)
+	objs := make([]core.Object, n)
+	for i, p := range pts {
+		objs[i] = core.Object{ID: i, Type: ti, Loc: p, TypeWeight: 1, ObjWeight: 1}
+	}
+	d, err := voronoi.Compute(pts, dataset.DefaultBounds)
+	if err != nil {
+		return nil, err
+	}
+	return core.FromVoronoi(d, objs, ti, mode)
+}
+
+// benchSuiteInput builds the repeated-solve workload for the cache
+// benchmarks: two object sets large enough that diagram generation dominates.
+func benchSuiteInput(n int) query.Input {
+	cfg := dataset.Config{Seed: 7}
+	sets := make([][]core.Object, 2)
+	for ti, name := range []string{dataset.STM, dataset.CH} {
+		pts := dataset.Generate(cfg, name, n)
+		set := make([]core.Object, n)
+		for i, p := range pts {
+			set[i] = core.Object{
+				ID: i, Type: ti, Loc: p,
+				TypeWeight: float64(ti + 1), ObjWeight: 1,
+			}
+		}
+		sets[ti] = set
+	}
+	return query.Input{Sets: sets, Bounds: dataset.DefaultBounds, Epsilon: 1e-3}
+}
+
+// benchSuite assembles the suite; quick shrinks the workloads the same way
+// -quick shrinks the figure sweeps.
+func benchSuite(quick bool) ([]benchSpec, error) {
+	overlapN := 2000
+	ovrCountN := 4000
+	cacheN := 2000
+	if quick {
+		overlapN, ovrCountN, cacheN = 500, 1000, 200
+	}
+
+	var specs []benchSpec
+	for _, mc := range []struct {
+		label string
+		mode  core.Mode
+	}{{"RRB", core.RRB}, {"MBRB", core.MBRB}} {
+		for _, sz := range []struct {
+			fig string
+			n   int
+		}{{"Fig11_OverlapTwoDiagrams", overlapN}, {"Fig12_OVRCounts", ovrCountN}} {
+			x, err := buildBenchMOVD(dataset.STM, sz.n, 0, mc.mode)
+			if err != nil {
+				return nil, err
+			}
+			y, err := buildBenchMOVD(dataset.CH, sz.n, 1, mc.mode)
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, benchSpec{
+				name: fmt.Sprintf("Benchmark%s/%s/n=%d", sz.fig, mc.label, sz.n),
+				fn: func(b *testing.B) {
+					var ovrs int
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						m, err := core.Overlap(x, y)
+						if err != nil {
+							b.Fatal(err)
+						}
+						ovrs = m.Len()
+					}
+					b.ReportMetric(float64(ovrs), "OVRs")
+				},
+			})
+		}
+	}
+
+	// Repeated-solve pair: cold resets the diagram cache before every solve,
+	// warm primes it once and then always hits. Combination pruning is on —
+	// the cache stores the pruned diagram, so warm solves skip that work too.
+	// The cache-hit-rate metric is computed from the cache's own counters
+	// over the timed iterations.
+	cold := benchSuiteInput(cacheN)
+	cold.PruneOverlap = true
+	cold.Cache = query.NewDiagramCache(0)
+	specs = append(specs, benchSpec{
+		name: fmt.Sprintf("BenchmarkCacheRepeatedSolve/cold/n=%d", cacheN),
+		fn: func(b *testing.B) {
+			b.ReportAllocs()
+			cold.Cache.Reset()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cold.Cache.Reset()
+				b.StartTimer()
+				if _, err := query.Solve(cold, query.RRB); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(cold.Cache.Stats().HitRate(), "cache-hit-rate")
+		},
+	})
+	warm := benchSuiteInput(cacheN)
+	warm.PruneOverlap = true
+	warm.Cache = query.NewDiagramCache(0)
+	specs = append(specs, benchSpec{
+		name: fmt.Sprintf("BenchmarkCacheRepeatedSolve/warm/n=%d", cacheN),
+		fn: func(b *testing.B) {
+			b.ReportAllocs()
+			warm.Cache.Reset()
+			if _, err := query.Solve(warm, query.RRB); err != nil { // prime
+				b.Fatal(err)
+			}
+			hm0 := warm.Cache.Stats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := query.Solve(warm, query.RRB); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st := warm.Cache.Stats()
+			hits, misses := st.Hits-hm0.Hits, st.Misses-hm0.Misses
+			b.ReportMetric(float64(hits)/float64(hits+misses), "cache-hit-rate")
+		},
+	})
+	return specs, nil
+}
+
+// runBenchSuite executes the suite and writes benchfmt JSON to path
+// ("-" for stdout). Progress goes to progress when non-nil.
+func runBenchSuite(path string, quick bool, progress io.Writer) error {
+	specs, err := benchSuite(quick)
+	if err != nil {
+		return err
+	}
+	results := make([]benchfmt.Result, 0, len(specs))
+	for _, spec := range specs {
+		if progress != nil {
+			fmt.Fprintf(progress, "benchout: running %s\n", spec.name)
+		}
+		r := testing.Benchmark(spec.fn)
+		metrics := map[string]float64{
+			"ns/op":     float64(r.NsPerOp()),
+			"B/op":      float64(r.AllocedBytesPerOp()),
+			"allocs/op": float64(r.AllocsPerOp()),
+		}
+		for unit, v := range r.Extra {
+			metrics[unit] = v
+		}
+		results = append(results, benchfmt.Result{
+			Name:       spec.name,
+			Iterations: int64(r.N),
+			Metrics:    metrics,
+		})
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return benchfmt.EncodeJSON(out, results)
+}

@@ -5,6 +5,7 @@
 //
 //	molqbench [-experiment fig8|fig9|fig10|fig11|fig12|fig13|fig14|ext1..ext6|all]
 //	          [-quick] [-seed N] [-v]
+//	molqbench -benchout BENCH_PR2.json [-quick] [-v]
 //
 // Full mode uses paper-scale parameters (the two-diagram overlap sweep goes
 // to 160,000 objects per side) and can take several minutes; -quick shrinks
@@ -31,8 +32,20 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed for datasets and weights")
 		verbose    = flag.Bool("v", false, "print progress while running")
 		format     = flag.String("format", "text", "output format: text, json or csv")
+		benchout   = flag.String("benchout", "", "run the microbenchmark suite instead of the figure sweeps and write benchfmt JSON to this file (\"-\" for stdout); diff runs with cmd/benchdiff")
 	)
 	flag.Parse()
+	if *benchout != "" {
+		var progress io.Writer
+		if *verbose {
+			progress = os.Stderr
+		}
+		if err := runBenchSuite(*benchout, *quick, progress); err != nil {
+			fmt.Fprintf(os.Stderr, "molqbench: benchout: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	switch *format {
 	case "text", "json", "csv":
 	default:

@@ -9,6 +9,7 @@ package benchfmt
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -18,10 +19,10 @@ import (
 
 // Result is one parsed benchmark line.
 type Result struct {
-	Name       string // with the -GOMAXPROCS suffix stripped
-	Iterations int64
+	Name       string `json:"name"` // with the -GOMAXPROCS suffix stripped
+	Iterations int64  `json:"iterations"`
 	// Metrics maps unit → value ("ns/op", "B/op", "allocs/op", custom units).
-	Metrics map[string]float64
+	Metrics map[string]float64 `json:"metrics"`
 }
 
 // Parse reads benchmark lines from r, ignoring everything else (test output,
@@ -71,6 +72,50 @@ func Parse(r io.Reader) ([]Result, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// EncodeJSON writes results as indented JSON — the machine-readable sibling
+// of the text format (cmd/molqbench -benchout emits it, cmd/benchdiff accepts
+// it interchangeably with `go test -bench` output).
+func EncodeJSON(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// DecodeJSON reads results written by EncodeJSON.
+func DecodeJSON(r io.Reader) ([]Result, error) {
+	var out []Result
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("benchfmt: bad JSON: %w", err)
+	}
+	return out, nil
+}
+
+// ParseAny sniffs the input format: a leading '[' means benchfmt JSON,
+// anything else is treated as `go test -bench` text. Lets tools accept either
+// without a format flag.
+func ParseAny(r io.Reader) ([]Result, error) {
+	br := bufio.NewReader(r)
+	for {
+		b, err := br.ReadByte()
+		if err == io.EOF {
+			return nil, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if b == ' ' || b == '\t' || b == '\n' || b == '\r' {
+			continue
+		}
+		if err := br.UnreadByte(); err != nil {
+			return nil, err
+		}
+		if b == '[' {
+			return DecodeJSON(br)
+		}
+		return Parse(br)
+	}
 }
 
 // Delta is the comparison of one benchmark across two runs.

@@ -1,7 +1,9 @@
 package benchfmt
 
 import (
+	"bytes"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -91,5 +93,58 @@ BenchmarkNew-8 	 10	 7 ns/op
 	}
 	if got := Regressions(deltas, "B/op", 0.10); len(got) != 0 {
 		t.Fatalf("B/op improved, not regressed: %+v", got)
+	}
+}
+
+// TestJSONRoundTrip checks EncodeJSON/DecodeJSON preserve results exactly and
+// ParseAny sniffs both formats (including leading whitespace before the '[').
+func TestJSONRoundTrip(t *testing.T) {
+	results := []Result{
+		{Name: "BenchmarkA/n=10", Iterations: 1234, Metrics: map[string]float64{
+			"ns/op": 456.5, "allocs/op": 7, "cache-hit-rate": 0.875,
+		}},
+		{Name: "BenchmarkB", Iterations: 1, Metrics: map[string]float64{"ns/op": 9}},
+	}
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(decoded, results) {
+		t.Fatalf("round trip changed results:\n%+v\n%+v", decoded, results)
+	}
+
+	sniffed, err := ParseAny(strings.NewReader("\n  " + buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sniffed, results) {
+		t.Fatalf("ParseAny(json) = %+v", sniffed)
+	}
+
+	text, err := ParseAny(strings.NewReader("BenchmarkT-8 \t 50 \t 20 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(text) != 1 || text[0].Name != "BenchmarkT" || text[0].Metrics["ns/op"] != 20 {
+		t.Fatalf("ParseAny(text) = %+v", text)
+	}
+
+	// JSON and text runs must be comparable against each other.
+	deltas := Compare(text, []Result{{Name: "BenchmarkT", Iterations: 50,
+		Metrics: map[string]float64{"ns/op": 30}}})
+	if len(deltas) != 1 || deltas[0].Ratio != 1.5 {
+		t.Fatalf("cross-format compare: %+v", deltas)
+	}
+
+	if _, err := DecodeJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	empty, err := ParseAny(strings.NewReader("   \n\t "))
+	if err != nil || empty != nil {
+		t.Fatalf("whitespace-only input: %v, %+v", err, empty)
 	}
 }

@@ -45,6 +45,21 @@ type OVR struct {
 // Key returns the canonical combination key of the OVR's POI group.
 func (o *OVR) Key() string { return CombinationKey(o.POIs) }
 
+// Clone returns a deep copy of the OVR: Region and POIs get fresh backing
+// arrays. Streaming emit callbacks must use it to keep an emitted OVR — the
+// emitted value's slices alias the sweep's pooled scratch buffers and are
+// overwritten by the next candidate pair.
+func (o *OVR) Clone() OVR {
+	c := OVR{MBR: o.MBR}
+	if o.Region != nil { // preserve nil-ness: MBRB OVRs carry no region
+		c.Region = o.Region.Clone()
+	}
+	if o.POIs != nil {
+		c.POIs = append(make([]Object, 0, len(o.POIs)), o.POIs...)
+	}
+	return c
+}
+
 // MOVD is a Minimum Overlapped Voronoi Diagram (Eq 13): an OVD with every
 // empty OVR removed. Types records which object-set indices of 𝔼 the MOVD
 // was generated from (sorted ascending).

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"molq/internal/geom"
 	"molq/internal/interval"
@@ -74,7 +75,7 @@ func OverlapPruned(a, b *MOVD, prune PruneFunc) (*MOVD, OverlapStats, error) {
 		Mode:   a.Mode,
 	}
 	stats, err := OverlapStream(a, b, prune, func(o *OVR) error {
-		result.OVRs = append(result.OVRs, *o)
+		result.OVRs = append(result.OVRs, o.Clone())
 		return nil
 	})
 	if err != nil {
@@ -87,8 +88,9 @@ func OverlapPruned(a, b *MOVD, prune PruneFunc) (*MOVD, OverlapStats, error) {
 // emit instead of materialising the result MOVD — the disk-based pipeline
 // (Sec 8 future work) spills the emitted OVRs straight to a file so the
 // output, which can dwarf both operands, never has to fit in memory. The
-// emitted pointer is only valid during the call; emit must copy what it
-// keeps.
+// emitted pointer and its Region/POIs slices are only valid during the call:
+// they alias the sweep's pooled scratch buffers and are overwritten by the
+// next candidate pair, so emit must deep-copy (OVR.Clone) what it keeps.
 func OverlapStream(a, b *MOVD, prune PruneFunc, emit func(*OVR) error) (OverlapStats, error) {
 	var stats OverlapStats
 	if err := checkOperands(a, b); err != nil {
@@ -108,6 +110,21 @@ func checkOperands(a, b *MOVD) error {
 	}
 	return nil
 }
+
+// sweepScratch bundles the allocation-heavy working state of one plane sweep:
+// the clipping buffers, the event queue, the two status trees (whose node
+// freelists survive Clear) and the merged-POI buffer the emitted OVR borrows.
+// Sweeps draw it from sweepScratchPool, so each concurrent strip of the
+// sharded parallel engine works on private scratch (race-free by
+// construction) while repeated sweeps reuse the grown buffers.
+type sweepScratch struct {
+	clip   polyclip.ClipBuf
+	events []event
+	status [2]interval.Tree[int32]
+	pois   []Object
+}
+
+var sweepScratchPool = sync.Pool{New: func() any { return new(sweepScratch) }}
 
 // sweep runs the Algorithm 2 plane sweep over the OVR index subsets subA and
 // subB (nil means every OVR of that operand). own, when non-nil, restricts
@@ -130,7 +147,19 @@ func sweep(a, b *MOVD, subA, subB []int32, own func(x, y *OVR) bool, prune Prune
 			n += len(m.OVRs)
 		}
 	}
-	events := make([]event, 0, 2*n)
+	scratch := sweepScratchPool.Get().(*sweepScratch)
+	defer func() {
+		// The trees are empty here in the normal case (every start event has
+		// a matching end event); after an aborted sweep Clear recycles the
+		// leftovers onto the freelists.
+		scratch.status[0].Clear()
+		scratch.status[1].Clear()
+		sweepScratchPool.Put(scratch)
+	}()
+	events := scratch.events[:0]
+	if cap(events) < 2*n {
+		events = make([]event, 0, 2*n)
+	}
 	for side, m := range operands {
 		add := func(i int32) {
 			r := m.OVRs[i].MBR
@@ -165,7 +194,8 @@ func sweep(a, b *MOVD, subA, subB []int32, own func(x, y *OVR) bool, prune Prune
 		}
 		return ei.idx < ej.idx
 	})
-	var status [2]interval.Tree[int32]
+	scratch.events = events // keep the (possibly grown) buffer for reuse
+	status := &scratch.status
 	var emitErr error
 	for _, e := range events {
 		if emitErr != nil {
@@ -190,7 +220,7 @@ func sweep(a, b *MOVD, subA, subB []int32, own func(x, y *OVR) bool, prune Prune
 				var out OVR
 				if mode == RRB {
 					stats.RegionTests++
-					region := polyclip.ConvexIntersect(ovr.Region, other.Region)
+					region := polyclip.ConvexIntersectBuf(&scratch.clip, ovr.Region, other.Region)
 					if region == nil {
 						return true
 					}
@@ -202,7 +232,8 @@ func sweep(a, b *MOVD, subA, subB []int32, own func(x, y *OVR) bool, prune Prune
 					}
 					out = OVR{MBR: mbr}
 				}
-				out.POIs = mergePOIs(ovr.POIs, other.POIs)
+				scratch.pois = mergePOIsInto(scratch.pois[:0], ovr.POIs, other.POIs)
+				out.POIs = scratch.pois
 				if prune != nil && prune(out.MBR, out.POIs) {
 					stats.PrunedOVRs++
 					return true
@@ -230,7 +261,13 @@ func sweep(a, b *MOVD, subA, subB []int32, own func(x, y *OVR) bool, prune Prune
 // produced here — so a single linear merge suffices on the hot ⊕ path; the
 // output keeps the same canonical order.
 func mergePOIs(a, b []Object) []Object {
-	out := make([]Object, 0, len(a)+len(b))
+	return mergePOIsInto(make([]Object, 0, len(a)+len(b)), a, b)
+}
+
+// mergePOIsInto is mergePOIs appending into dst (typically recycled sweep
+// scratch) instead of allocating; dst must not alias a or b.
+func mergePOIsInto(dst, a, b []Object) []Object {
+	out := dst
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		x, y := &a[i], &b[j]

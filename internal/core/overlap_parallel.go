@@ -80,7 +80,9 @@ func (s stripper) assign(ovrs []OVR) [][]int32 {
 // sequential sweep's; emission order depends on scheduling. emit is invoked
 // through a merge-emitter that serialises calls under a mutex, so a
 // non-reentrant emit (the spill writer, a slice append) needs no locking of
-// its own; the emitted pointer is only valid during the call. prune, by
+// its own; the emitted pointer and its Region/POIs slices are only valid
+// during the call (they alias the emitting strip's pooled sweep scratch —
+// deep-copy with OVR.Clone to keep them). prune, by
 // contrast, is called concurrently from all strip workers and must be safe
 // for concurrent use — the query layer's bound check reads a fixed upper
 // bound and qualifies.
@@ -158,7 +160,7 @@ func OverlapParallelPruned(a, b *MOVD, prune PruneFunc, workers int) (*MOVD, Ove
 		Mode:   a.Mode,
 	}
 	stats, err := OverlapStreamParallel(a, b, prune, workers, func(o *OVR) error {
-		result.OVRs = append(result.OVRs, *o)
+		result.OVRs = append(result.OVRs, o.Clone())
 		return nil
 	})
 	if err != nil {

@@ -166,6 +166,37 @@ func (pg Polygon) Dedup() Polygon {
 	return out
 }
 
+// DedupInPlace is Dedup compacting pg's own backing array instead of
+// allocating; the returned slice aliases pg. Allocation-free paths (the
+// clipping kernels, the Voronoi cell-fan walk) use it on scratch buffers.
+func (pg Polygon) DedupInPlace() Polygon {
+	if len(pg) == 0 {
+		return pg
+	}
+	out := pg[:0]
+	for _, p := range pg {
+		if len(out) == 0 || !out[len(out)-1].Eq(p) {
+			out = append(out, p)
+		}
+	}
+	for len(out) > 1 && out[0].Eq(out[len(out)-1]) {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+// EnsureCCWInPlace is EnsureCCW reversing pg's own backing array when the
+// vertices are clockwise; the returned slice aliases pg.
+func (pg Polygon) EnsureCCWInPlace() Polygon {
+	if pg.SignedArea() >= 0 {
+		return pg
+	}
+	for i, j := 0, len(pg)-1; i < j; i, j = i+1, j-1 {
+		pg[i], pg[j] = pg[j], pg[i]
+	}
+	return pg
+}
+
 // RectPolygon returns r as a counterclockwise Polygon.
 func RectPolygon(r Rect) Polygon {
 	c := r.Corners()

@@ -7,6 +7,7 @@
 //	POST /v1/engines/{name}/query — solve against a prepared engine with
 //	                                 fresh type weights
 //	POST /v1/score    — MWGD of candidate locations against inline sets
+//	GET  /v1/stats    — server status: engine count + diagram-cache stats
 //	GET  /v1/healthz  — liveness
 //
 // All handlers are safe for concurrent use; prepared engines are immutable
@@ -85,6 +86,37 @@ type SolveResponse struct {
 	// Alternatives holds ranked runner-up locations when TopK was
 	// requested (excluding the optimum itself).
 	Alternatives []AlternativeJSON `json:"alternatives,omitempty"`
+	// Cache reports the solve's diagram-cache lookups (absent when the
+	// request performed none, e.g. engine queries, which reuse a prepared
+	// diagram outright).
+	Cache *CacheJSON `json:"cache,omitempty"`
+}
+
+// CacheJSON mirrors query.CacheStats in response bodies.
+type CacheJSON struct {
+	Hits     int     `json:"hits"`
+	Misses   int     `json:"misses"`
+	Entries  int     `json:"entries"`
+	Bytes    int64   `json:"bytes"`
+	Capacity int64   `json:"capacity"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+func cacheJSON(cs query.CacheStats) CacheJSON {
+	return CacheJSON{
+		Hits:     cs.Hits,
+		Misses:   cs.Misses,
+		Entries:  cs.Entries,
+		Bytes:    cs.Bytes,
+		Capacity: cs.Capacity,
+		HitRate:  cs.HitRate(),
+	}
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Engines      int       `json:"engines"`
+	DiagramCache CacheJSON `json:"diagram_cache"`
 }
 
 // EngineRequest is the body of POST /v1/engines.
@@ -105,6 +137,11 @@ type EngineInfo struct {
 	OVRs         int      `json:"ovrs"`
 	Combinations int      `json:"combinations"`
 	PrepMicros   int64    `json:"prepare_us"`
+	// CacheHits/CacheMisses count the diagram-cache lookups of the engine's
+	// preparation: a warm creation (same data as an earlier solve or engine)
+	// skips Voronoi construction entirely.
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
 }
 
 // EngineQueryRequest is the body of POST /v1/engines/{name}/query.
@@ -138,12 +175,20 @@ type Server struct {
 	mux sync.RWMutex
 	eng map[string]*preparedEngine
 	h   *http.ServeMux
+	// cache memoizes basic Voronoi diagrams across solve and engine-create
+	// requests (query.DefaultDiagramCache unless overridden for tests).
+	cache *query.DiagramCache
 }
 
 // New returns a ready-to-serve API server.
 func New() *Server {
-	s := &Server{eng: make(map[string]*preparedEngine), h: http.NewServeMux()}
+	s := &Server{
+		eng:   make(map[string]*preparedEngine),
+		h:     http.NewServeMux(),
+		cache: query.DefaultDiagramCache,
+	}
 	s.h.HandleFunc("GET /v1/healthz", s.handleHealth)
+	s.h.HandleFunc("GET /v1/stats", s.handleStats)
 	s.h.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.h.HandleFunc("POST /v1/engines", s.handleEngineCreate)
 	s.h.HandleFunc("GET /v1/engines", s.handleEngineList)
@@ -177,6 +222,16 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mux.RLock()
+	engines := len(s.eng)
+	s.mux.RUnlock()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Engines:      engines,
+		DiagramCache: cacheJSON(s.cache.Stats()),
+	})
 }
 
 // buildInput converts request types into a query.Input.
@@ -280,6 +335,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	in.Workers = req.Workers
 	in.PruneOverlap = req.PruneOverlap
+	in.Cache = s.cache
 	res, err := query.Solve(in, m)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
@@ -292,6 +348,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		OVRs:     res.Stats.OVRs,
 		Groups:   res.Stats.Groups,
 		Micros:   res.Stats.TotalTime.Microseconds(),
+	}
+	if res.Stats.Cache.Hits+res.Stats.Cache.Misses > 0 {
+		cj := cacheJSON(res.Stats.Cache)
+		out.Cache = &cj
 	}
 	if req.TopK > 1 {
 		cands, err := query.TopK(in, m, req.TopK)
@@ -329,6 +389,7 @@ func (s *Server) handleEngineCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	in.Cache = s.cache
 	eng, err := query.NewEngine(in, m)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
@@ -345,6 +406,8 @@ func (s *Server) handleEngineCreate(w http.ResponseWriter, r *http.Request) {
 		OVRs:         eng.OVRs(),
 		Combinations: eng.Combinations(),
 		PrepMicros:   eng.PrepTime().Microseconds(),
+		CacheHits:    eng.CacheStats().Hits,
+		CacheMisses:  eng.CacheStats().Misses,
 	}
 	s.mux.Lock()
 	_, exists := s.eng[req.Name]

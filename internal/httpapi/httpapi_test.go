@@ -9,6 +9,8 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+
+	"molq/internal/query"
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
@@ -386,5 +388,104 @@ func TestConcurrentEngineUse(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// TestStatsEndpoint exercises GET /v1/stats and the cache fields threaded
+// through solve and engine responses. The server gets a private diagram cache
+// so other tests (which share query.DefaultDiagramCache) can't pollute the
+// counters.
+func TestStatsEndpoint(t *testing.T) {
+	srv := New()
+	srv.cache = query.NewDiagramCache(0)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	getStats := func() StatsResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stats status %d", resp.StatusCode)
+		}
+		var st StatsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	if st := getStats(); st.Engines != 0 || st.DiagramCache.Hits+st.DiagramCache.Misses != 0 {
+		t.Fatalf("fresh server stats: %+v", st)
+	}
+
+	solveReq := SolveRequest{
+		Method:  "rrb",
+		Bounds:  &[4]float64{0, 0, 100, 100},
+		Types:   sampleTypes(),
+		Epsilon: 1e-9,
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/solve", solveReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold solve: status %d: %s", resp.StatusCode, body)
+	}
+	var cold SolveResponse
+	if err := json.Unmarshal(body, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cache == nil || cold.Cache.Hits != 0 || cold.Cache.Misses != 3 {
+		t.Fatalf("cold solve cache: %+v", cold.Cache)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/solve", solveReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm solve: status %d: %s", resp.StatusCode, body)
+	}
+	var warm SolveResponse
+	if err := json.Unmarshal(body, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cache == nil || warm.Cache.Hits != 3 || warm.Cache.Misses != 0 {
+		t.Fatalf("warm solve cache: %+v", warm.Cache)
+	}
+	if warm.Cost != cold.Cost || warm.Location != cold.Location {
+		t.Fatalf("warm solve diverged: %+v vs %+v", warm, cold)
+	}
+
+	// Preparing an engine from the same data reuses the solve's diagrams.
+	engReq := EngineRequest{
+		Name:    "stats-probe",
+		Method:  "rrb",
+		Bounds:  &[4]float64{0, 0, 100, 100},
+		Types:   sampleTypes(),
+		Epsilon: 1e-9,
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/engines", engReq)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("engine create: status %d: %s", resp.StatusCode, body)
+	}
+	var info EngineInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.CacheHits != 3 || info.CacheMisses != 0 {
+		t.Fatalf("engine cache counters: hits=%d misses=%d, want 3/0", info.CacheHits, info.CacheMisses)
+	}
+
+	st := getStats()
+	if st.Engines != 1 {
+		t.Fatalf("stats engines=%d, want 1", st.Engines)
+	}
+	if st.DiagramCache.Hits != 6 || st.DiagramCache.Misses != 3 {
+		t.Fatalf("stats cache totals: %+v, want hits=6 misses=3", st.DiagramCache)
+	}
+	if st.DiagramCache.Entries != 3 || st.DiagramCache.Bytes <= 0 {
+		t.Fatalf("stats cache snapshot: %+v", st.DiagramCache)
+	}
+	if got, want := st.DiagramCache.HitRate, 6.0/9.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("stats hit_rate=%v, want %v", got, want)
 	}
 }

@@ -13,10 +13,15 @@ package interval
 // Tree is an interval tree mapping [Lo, Hi] intervals to values of type V.
 // Entries are identified by (Lo, ID); the caller chooses IDs that are unique
 // per stored entry. The zero value is an empty tree ready for use.
+//
+// Deleted nodes are kept on an internal freelist and reused by later inserts,
+// so a tree that is pooled across sweeps (the status structures of the ⊕
+// plane sweep) reaches a steady state where insertions allocate nothing.
 type Tree[V any] struct {
 	root *node[V]
 	size int
 	rng  uint64
+	free *node[V] // recycled nodes, chained through their right pointers
 }
 
 type node[V any] struct {
@@ -44,6 +49,28 @@ func (t *Tree[V]) nextPrio() uint64 {
 	x ^= x >> 27
 	t.rng = x
 	return x * 0x2545F4914F6CDD1D
+}
+
+// newNode pops a recycled node off the freelist, or allocates one.
+func (t *Tree[V]) newNode(lo, hi float64, id int, val V) *node[V] {
+	n := t.free
+	if n == nil {
+		n = new(node[V])
+	} else {
+		t.free = n.right
+	}
+	*n = node[V]{lo: lo, hi: hi, id: id, val: val, prio: t.nextPrio()}
+	return n
+}
+
+// recycle pushes a detached node onto the freelist, dropping its payload so
+// the tree does not retain references through pooled values.
+func (t *Tree[V]) recycle(n *node[V]) {
+	var zero V
+	n.val = zero
+	n.left = nil
+	n.right = t.free
+	t.free = n
 }
 
 // less orders entries by (lo, id).
@@ -94,7 +121,7 @@ func (t *Tree[V]) Insert(lo, hi float64, id int, val V) {
 
 func (t *Tree[V]) insert(n *node[V], lo, hi float64, id int, val V) (*node[V], bool) {
 	if n == nil {
-		nn := &node[V]{lo: lo, hi: hi, id: id, val: val, prio: t.nextPrio()}
+		nn := t.newNode(lo, hi, id, val)
 		nn.update()
 		return nn, true
 	}
@@ -124,31 +151,52 @@ func (t *Tree[V]) insert(n *node[V], lo, hi float64, id int, val V) (*node[V], b
 }
 
 // Delete removes the entry with start lo and identity id, reporting whether
-// it was present.
+// it was present. The removed node is recycled for reuse by later inserts.
 func (t *Tree[V]) Delete(lo float64, id int) bool {
 	deleted := false
-	t.root, deleted = deleteNode(t.root, lo, id)
+	t.root, deleted = t.deleteNode(t.root, lo, id)
 	if deleted {
 		t.size--
 	}
 	return deleted
 }
 
-func deleteNode[V any](n *node[V], lo float64, id int) (*node[V], bool) {
+func (t *Tree[V]) deleteNode(n *node[V], lo float64, id int) (*node[V], bool) {
 	if n == nil {
 		return nil, false
 	}
 	var deleted bool
 	switch {
 	case lo == n.lo && id == n.id:
-		return merge(n.left, n.right), true
+		merged := merge(n.left, n.right)
+		t.recycle(n)
+		return merged, true
 	case less(lo, id, n):
-		n.left, deleted = deleteNode(n.left, lo, id)
+		n.left, deleted = t.deleteNode(n.left, lo, id)
 	default:
-		n.right, deleted = deleteNode(n.right, lo, id)
+		n.right, deleted = t.deleteNode(n.right, lo, id)
 	}
 	n.update()
 	return n, deleted
+}
+
+// Clear removes every entry, recycling all nodes. It leaves the tree ready
+// for reuse with its freelist (and the priority generator state) intact —
+// cheaper than dropping the tree when the caller pools it across runs.
+func (t *Tree[V]) Clear() {
+	t.clear(t.root)
+	t.root = nil
+	t.size = 0
+}
+
+func (t *Tree[V]) clear(n *node[V]) {
+	if n == nil {
+		return
+	}
+	l, r := n.left, n.right
+	t.recycle(n) // rewrites n.right: detach children first
+	t.clear(l)
+	t.clear(r)
 }
 
 // merge joins two treaps where every key in a precedes every key in b.

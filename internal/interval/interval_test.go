@@ -192,3 +192,67 @@ func TestTreeStaysBalanced(t *testing.T) {
 		t.Fatalf("height %d too large for %d sorted inserts", h, n)
 	}
 }
+
+// TestClearAndReuse checks Clear empties the tree and that reuse after Clear
+// behaves like a fresh tree.
+func TestClearAndReuse(t *testing.T) {
+	var tr Tree[int]
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 100; i++ {
+			tr.Insert(float64(i), float64(i+10), i, i)
+		}
+		if tr.Len() != 100 {
+			t.Fatalf("round %d: Len = %d, want 100", round, tr.Len())
+		}
+		got := 0
+		tr.Overlapping(0, 1000, func(lo, hi float64, id, val int) bool { got++; return true })
+		if got != 100 {
+			t.Fatalf("round %d: query saw %d entries, want 100", round, got)
+		}
+		tr.Clear()
+		if tr.Len() != 0 {
+			t.Fatalf("round %d: Len after Clear = %d", round, tr.Len())
+		}
+		tr.Overlapping(0, 1000, func(lo, hi float64, id, val int) bool {
+			t.Fatalf("round %d: cleared tree reported an entry", round)
+			return false
+		})
+	}
+}
+
+// TestFreelistSteadyState checks that a tree which repeatedly fills and
+// drains stops allocating nodes once the freelist has grown to the
+// working-set size.
+func TestFreelistSteadyState(t *testing.T) {
+	var tr Tree[int]
+	cycle := func() {
+		for i := 0; i < 64; i++ {
+			tr.Insert(float64(i), float64(i+5), i, i)
+		}
+		for i := 0; i < 64; i++ {
+			if !tr.Delete(float64(i), i) {
+				t.Fatalf("Delete(%d) missed", i)
+			}
+		}
+	}
+	cycle() // warm the freelist
+	if avg := testing.AllocsPerRun(50, cycle); avg != 0 {
+		t.Errorf("steady-state insert/delete cycle allocates %v/op, want 0", avg)
+	}
+}
+
+// TestDeleteRecyclesIntoInsert checks deleted nodes actually come back from
+// the freelist (pointer identity across a delete/insert pair).
+func TestDeleteRecyclesIntoInsert(t *testing.T) {
+	var tr Tree[int]
+	tr.Insert(1, 2, 1, 11)
+	n := tr.root
+	tr.Delete(1, 1)
+	tr.Insert(3, 4, 3, 33)
+	if tr.root != n {
+		t.Fatal("insert after delete did not reuse the recycled node")
+	}
+	if tr.root.lo != 3 || tr.root.val != 33 {
+		t.Fatalf("recycled node carries stale state: %+v", tr.root)
+	}
+}

@@ -1,0 +1,150 @@
+package polyclip
+
+import (
+	"math"
+
+	"molq/internal/geom"
+)
+
+// This file implements the linear-time convex–convex intersection kernel: the
+// counterclockwise edge-advance ("rotating calipers chase") algorithm of
+// O'Rourke et al., which walks both boundaries once and therefore runs in
+// O(n+m) instead of the Sutherland–Hodgman cascade's O(n·m). The Voronoi
+// cells the RRB pipeline intersects (Sec 5.2) are convex and in general
+// position almost everywhere, which is exactly the regime the kernel is fast
+// in; every predicate is guarded by a tolerance band and any hit inside the
+// band abandons the kernel so the robust halfplane cascade decides instead.
+// The fallback keeps degenerate configurations — collinear overlapping edges
+// (common along the shared search-space boundary), touching vertices,
+// containment without boundary crossings — on the exact path.
+
+// onmMinVerts is the operand size at which the O(n+m) kernel takes over.
+// Triangles and quads stay on the halfplane cascade: at that size the
+// cascade's constant factor wins and several exact unit-test fixtures rely on
+// its vertex ordering.
+const onmMinVerts = 5
+
+// onmGuard is the relative half-width of the predicate guard band. It is
+// deliberately far wider than clipEps: a configuration within 1e-7 of
+// degeneracy costs one wasted kernel attempt, whereas a misclassified
+// predicate would corrupt the advance state.
+const onmGuard = 1e-7
+
+// convexIntersectONM intersects two convex counterclockwise polygons in
+// O(n+m), writing the result into buf.out. ok=false means the kernel
+// declined (a predicate fell inside its guard band, an edge was degenerate,
+// or the boundaries never properly crossed) and the caller must use the
+// halfplane cascade; ok=true with a nil polygon means a decisively empty
+// (zero-area) intersection.
+func convexIntersectONM(buf *ClipBuf, p, q geom.Polygon) (geom.Polygon, bool) {
+	n, m := len(p), len(q)
+	out := buf.out[:0]
+	defer func() { buf.out = out[:cap(out)][:0] }()
+
+	const (
+		unknown = iota
+		pIn     // P's boundary is currently the inner chain
+		qIn     // Q's boundary is currently the inner chain
+	)
+	inflag := unknown
+	a, b := 0, 0 // current edge = predecessor vertex → vertex a (resp. b)
+	aAdv, bAdv := 0, 0
+	for aAdv <= 2*n && bAdv <= 2*m {
+		a1 := (a + n - 1) % n
+		b1 := (b + m - 1) % m
+		pa0, pa1 := p[a1], p[a]
+		qb0, qb1 := q[b1], q[b]
+		ae := pa1.Sub(pa0)
+		be := qb1.Sub(qb0)
+		lenA, lenB := ae.Norm(), be.Norm()
+		if lenA < clipEps || lenB < clipEps {
+			return nil, false // degenerate edge: undefined direction
+		}
+		cross := ae.Cross(be)
+		if math.Abs(cross) <= onmGuard*lenA*lenB {
+			return nil, false // near-parallel edges: ambiguous advance rule
+		}
+		// Distance-scaled guard bands: Orient(u, v, w) = |uv| · dist(w, line).
+		guardA := onmGuard * lenA * (1 + lenA + lenB)
+		guardB := onmGuard * lenB * (1 + lenA + lenB)
+		aHB := geom.Orient(qb0, qb1, pa1) // head of P's edge vs Q's edge line
+		bHA := geom.Orient(pa0, pa1, qb1) // head of Q's edge vs P's edge line
+		if math.Abs(aHB) <= guardB || math.Abs(bHA) <= guardA {
+			return nil, false
+		}
+		// Proper-crossing test of the two current edges: both tails must also
+		// classify decisively against the opposite line.
+		aTB := geom.Orient(qb0, qb1, pa0)
+		bTA := geom.Orient(pa0, pa1, qb0)
+		if math.Abs(aTB) <= guardB || math.Abs(bTA) <= guardA {
+			return nil, false
+		}
+		if (aTB > 0) != (aHB > 0) && (bTA > 0) != (bHA > 0) {
+			// Proper crossing: record it and (re)classify the inner chain.
+			if inflag == unknown {
+				aAdv, bAdv = 0, 0 // restart cycle counting at the first crossing
+			}
+			if aHB > 0 {
+				inflag = pIn
+			} else {
+				inflag = qIn
+			}
+			out = append(out, lineIntersect(qb0, qb1, pa0, pa1))
+		}
+		// Advance rule: move the edge whose head cannot yet see the other
+		// edge's progress, emitting inner-chain vertices as they are passed.
+		if cross >= 0 {
+			if bHA > 0 {
+				if inflag == pIn {
+					out = append(out, pa1)
+				}
+				a = (a + 1) % n
+				aAdv++
+			} else {
+				if inflag == qIn {
+					out = append(out, qb1)
+				}
+				b = (b + 1) % m
+				bAdv++
+			}
+		} else {
+			if aHB > 0 {
+				if inflag == qIn {
+					out = append(out, qb1)
+				}
+				b = (b + 1) % m
+				bAdv++
+			} else {
+				if inflag == pIn {
+					out = append(out, pa1)
+				}
+				a = (a + 1) % n
+				aAdv++
+			}
+		}
+		if inflag != unknown && aAdv >= n && bAdv >= m {
+			break // both boundaries wrapped past the first crossing: closed
+		}
+	}
+	if inflag == unknown {
+		// Boundaries never properly crossed: disjoint, containment, or a
+		// touching configuration. All three are left to the halfplane
+		// cascade, which handles them exactly.
+		return nil, false
+	}
+	if aAdv > 2*n || bAdv > 2*m {
+		return nil, false // advance loop failed to close
+	}
+	res := dedupInPlace(out)
+	out = res
+	if res.IsEmpty() || res.Area() <= clipEps {
+		return nil, true
+	}
+	// Sanity bound: the intersection can never out-measure an operand. A
+	// violation means the advance state was silently corrupted — decline.
+	limit := math.Min(p.Area(), q.Area())
+	if res.Area() > limit*(1+1e-9)+clipEps {
+		return nil, false
+	}
+	return res, true
+}

@@ -4,9 +4,25 @@
 // Voronoi diagrams are intersections of convex cells and therefore convex, so
 // convex–convex clipping (Sutherland–Hodgman against each halfplane of the
 // clip polygon) is exact for every region the RRB approach manipulates.
+//
+// Two intersection kernels are provided behind one entry point:
+//
+//   - the Sutherland–Hodgman halfplane clipper (O(n·m), robust against every
+//     degeneracy because each halfplane is handled independently), and
+//   - an O(n+m) convex–convex kernel (onm.go) in the counterclockwise
+//     edge-advance style of O'Rourke, used for larger operands; it bails out
+//     to the halfplane clipper whenever a predicate lands inside its guard
+//     tolerance, so degenerate configurations always take the robust path.
+//
+// The hot ⊕ sweep calls the buffered variants (ConvexIntersectBuf /
+// ClipToRectBuf / ClipHalfplaneBuf) with a reusable ClipBuf, which makes a
+// region intersection allocation-free; the unbuffered functions remain for
+// callers that keep the result and draw scratch from an internal pool.
 package polyclip
 
 import (
+	"sync"
+
 	"molq/internal/geom"
 )
 
@@ -14,11 +30,41 @@ import (
 // halfplane. It is scaled by edge length inside the clipper.
 const clipEps = 1e-9
 
+// ClipBuf holds the scratch buffers one clipping call chain ping-pongs
+// between. A ClipBuf is not safe for concurrent use; give each goroutine its
+// own (the ⊕ sweep keeps one per sweepScratch, Compute one per call). The
+// zero value is ready for use, and buffers grow to the working-set size after
+// a few calls, after which clipping performs no allocations.
+//
+// Results returned by the *Buf functions alias the ClipBuf's internal storage
+// and are only valid until the next call using the same buffer; callers that
+// keep a result must Clone it.
+type ClipBuf struct {
+	a, b geom.Polygon  // Sutherland–Hodgman ping-pong buffers
+	out  geom.Polygon  // O(n+m) kernel output
+	rect [4]geom.Point // scratch for ClipToRectBuf's clip rectangle
+}
+
+// clipBufPool backs the unbuffered convenience wrappers.
+var clipBufPool = sync.Pool{New: func() any { return new(ClipBuf) }}
+
 // ConvexIntersect returns the intersection of two convex polygons, both given
 // in counterclockwise order. The result is a convex counterclockwise polygon,
 // or an empty polygon when the inputs do not overlap (or overlap only in a
-// degenerate zero-area set).
+// degenerate zero-area set). The result never aliases either input.
 func ConvexIntersect(subject, clip geom.Polygon) geom.Polygon {
+	buf := clipBufPool.Get().(*ClipBuf)
+	out := ConvexIntersectBuf(buf, subject, clip)
+	if out != nil {
+		out = out.Clone()
+	}
+	clipBufPool.Put(buf)
+	return out
+}
+
+// ConvexIntersectBuf is ConvexIntersect writing into buf's scratch storage:
+// the returned polygon aliases buf and is valid only until buf's next use.
+func ConvexIntersectBuf(buf *ClipBuf, subject, clip geom.Polygon) geom.Polygon {
 	if subject.IsEmpty() || clip.IsEmpty() {
 		return nil
 	}
@@ -29,49 +75,103 @@ func ConvexIntersect(subject, clip geom.Polygon) geom.Polygon {
 	if subject.Area() <= clipEps || clip.Area() <= clipEps {
 		return nil
 	}
-	out := subject
+	if len(subject) >= onmMinVerts && len(clip) >= onmMinVerts {
+		if out, ok := convexIntersectONM(buf, subject, clip); ok {
+			return out
+		}
+	}
+	return convexIntersectSH(buf, subject, clip)
+}
+
+// convexIntersectSH runs the Sutherland–Hodgman halfplane cascade inside
+// buf's ping-pong buffers. Operand checks (emptiness, zero area) are the
+// caller's job.
+func convexIntersectSH(buf *ClipBuf, subject, clip geom.Polygon) geom.Polygon {
+	cur := append(buf.a[:0], subject...)
+	oth := buf.b[:0]
+	curIsA := true
 	n := len(clip)
-	for i := 0; i < n && !out.IsEmpty(); i++ {
+	for i := 0; i < n && len(cur) >= 3; i++ {
 		a := clip[i]
 		b := clip[(i+1)%n]
-		out = clipHalfplane(out, a, b)
+		oth = clipHalfplaneInto(oth[:0], cur, a, b)
+		cur, oth = oth, cur
+		curIsA = !curIsA
 	}
-	out = out.Dedup()
-	if out.IsEmpty() || out.Area() <= clipEps {
+	cur = dedupInPlace(cur)
+	// Hand the (possibly grown) buffers back so capacity is kept.
+	if curIsA {
+		buf.a, buf.b = cur, oth
+	} else {
+		buf.a, buf.b = oth, cur
+	}
+	if cur.IsEmpty() || cur.Area() <= clipEps {
 		return nil
 	}
+	return cur
+}
+
+// ClipToRect intersects a convex polygon with an axis-aligned rectangle. The
+// result never aliases subject.
+func ClipToRect(subject geom.Polygon, r geom.Rect) geom.Polygon {
+	buf := clipBufPool.Get().(*ClipBuf)
+	out := ClipToRectBuf(buf, subject, r)
+	if out != nil {
+		out = out.Clone()
+	}
+	clipBufPool.Put(buf)
 	return out
 }
 
-// ClipToRect intersects a convex polygon with an axis-aligned rectangle.
-func ClipToRect(subject geom.Polygon, r geom.Rect) geom.Polygon {
-	return ConvexIntersect(subject, geom.RectPolygon(r))
+// ClipToRectBuf is ClipToRect writing into buf's scratch storage; the result
+// aliases buf and is valid only until buf's next use.
+func ClipToRectBuf(buf *ClipBuf, subject geom.Polygon, r geom.Rect) geom.Polygon {
+	buf.rect = r.Corners()
+	return ConvexIntersectBuf(buf, subject, buf.rect[:])
 }
 
 // ClipHalfplane clips a convex polygon against the closed halfplane to the
 // left of the directed line a→b, returning nil when nothing (of positive
 // area) remains. It is used directly by the weighted-Voronoi MBR derivation.
+// The result never aliases pg — even when the clip edge is degenerate — so
+// callers may mutate it freely.
 func ClipHalfplane(pg geom.Polygon, a, b geom.Point) geom.Polygon {
-	out := clipHalfplane(pg, a, b).Dedup()
+	buf := clipBufPool.Get().(*ClipBuf)
+	out := ClipHalfplaneBuf(buf, pg, a, b)
+	if out != nil {
+		out = out.Clone()
+	}
+	clipBufPool.Put(buf)
+	return out
+}
+
+// ClipHalfplaneBuf is ClipHalfplane writing into buf's scratch storage; the
+// result aliases buf and is valid only until buf's next use.
+func ClipHalfplaneBuf(buf *ClipBuf, pg geom.Polygon, a, b geom.Point) geom.Polygon {
+	out := dedupInPlace(clipHalfplaneInto(buf.a[:0], pg, a, b))
+	buf.a = out
 	if out.IsEmpty() || out.Area() <= clipEps {
 		return nil
 	}
 	return out
 }
 
-// clipHalfplane clips pg against the halfplane to the left of the directed
-// line a→b (the interior side for a counterclockwise clip polygon).
-func clipHalfplane(pg geom.Polygon, a, b geom.Point) geom.Polygon {
+// clipHalfplaneInto clips pg against the halfplane to the left of the
+// directed line a→b (the interior side for a counterclockwise clip polygon),
+// appending the surviving vertices to dst and returning it. When the clip
+// edge is degenerate (|ab| below tolerance) the halfplane is undefined and pg
+// is copied through unclipped — never returned by reference, so the caller
+// can mutate the output without corrupting pg's backing array.
+func clipHalfplaneInto(dst geom.Polygon, pg geom.Polygon, a, b geom.Point) geom.Polygon {
 	n := len(pg)
 	if n == 0 {
-		return nil
+		return dst
 	}
 	scale := a.Dist(b)
 	if scale < clipEps {
-		return pg
+		return append(dst, pg...)
 	}
 	tol := clipEps * scale
-	out := make(geom.Polygon, 0, n+4)
 	prev := pg[n-1]
 	prevSide := geom.Orient(a, b, prev)
 	for i := 0; i < n; i++ {
@@ -80,15 +180,21 @@ func clipHalfplane(pg geom.Polygon, a, b geom.Point) geom.Polygon {
 		switch {
 		case curSide >= -tol: // current inside (or on boundary)
 			if prevSide < -tol {
-				out = append(out, lineIntersect(a, b, prev, cur))
+				dst = append(dst, lineIntersect(a, b, prev, cur))
 			}
-			out = append(out, cur)
+			dst = append(dst, cur)
 		case prevSide >= -tol: // leaving the halfplane
-			out = append(out, lineIntersect(a, b, prev, cur))
+			dst = append(dst, lineIntersect(a, b, prev, cur))
 		}
 		prev, prevSide = cur, curSide
 	}
-	return out
+	return dst
+}
+
+// dedupInPlace removes consecutive duplicate vertices (within Eps) including
+// a duplicate closing vertex, compacting pg in place without allocating.
+func dedupInPlace(pg geom.Polygon) geom.Polygon {
+	return pg.DedupInPlace()
 }
 
 // lineIntersect returns the intersection of the infinite line a→b with the

@@ -1,0 +1,286 @@
+package query
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"sort"
+	"sync"
+
+	"molq/internal/core"
+	"molq/internal/geom"
+)
+
+// This file implements the fingerprinted diagram cache: a content-addressed,
+// byte-budgeted LRU memoizing diagrams at two levels. Level one is the
+// per-type basic MOVDs the VD Generator (Module 1 of Fig 3) produces; level
+// two is the final overlapped MOVD of the ⊕ chain (Module 2), keyed by the
+// ordered basic fingerprints, so a fully warm Solve runs only the optimizer.
+// A serving deployment re-derives the same diagrams over and over — every
+// Solve over an unchanged object set, every NewEngine preparing the same
+// data, every httpapi engine rebuilt after a restart. The cache keys on the
+// content of the object set (IDs, locations, both weights), the search
+// bounds, the boundary mode, the ς^o family and ε, so any semantic change
+// misses while re-orderings of the same set hit.
+//
+// Cached diagrams are shared: callers receive the same *core.MOVD and must
+// treat it as immutable. The whole pipeline already does — the sweep, the
+// optimizer folding and the engine only read OVRs.
+
+// fingerprint is the content hash identifying one basic diagram.
+type fingerprint [sha256.Size]byte
+
+// fingerprintSet hashes everything the basic MOVD of one object set depends
+// on. Per-object digests are sorted before the final hash, so two sets with
+// the same objects in different order produce the same fingerprint (the
+// basic diagram is a set-level construct; OVR order is irrelevant to ⊕ and
+// the optimizer). Epsilon does not influence the diagram itself but is
+// hashed anyway: it keeps the key aligned with the full solve configuration,
+// so a cache entry can never be blamed for a result produced under different
+// solver settings.
+func fingerprintSet(set []core.Object, ti int, bounds geom.Rect, mode core.Mode, kind WeightKind, epsilon float64) fingerprint {
+	digests := make([][sha256.Size]byte, len(set))
+	for i, o := range set {
+		var buf [48]byte
+		binary.LittleEndian.PutUint64(buf[0:], uint64(int64(o.ID)))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(int64(o.Type)))
+		binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(o.Loc.X))
+		binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(o.Loc.Y))
+		binary.LittleEndian.PutUint64(buf[32:], math.Float64bits(o.TypeWeight))
+		binary.LittleEndian.PutUint64(buf[40:], math.Float64bits(o.ObjWeight))
+		digests[i] = sha256.Sum256(buf[:])
+	}
+	sort.Slice(digests, func(i, j int) bool {
+		return bytes.Compare(digests[i][:], digests[j][:]) < 0
+	})
+	h := sha256.New()
+	var hdr [64]byte
+	hdr[0] = 1 // fingerprint format version
+	hdr[1] = byte(mode)
+	hdr[2] = byte(kind)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(int64(ti)))
+	binary.LittleEndian.PutUint64(hdr[16:], math.Float64bits(bounds.Min.X))
+	binary.LittleEndian.PutUint64(hdr[24:], math.Float64bits(bounds.Min.Y))
+	binary.LittleEndian.PutUint64(hdr[32:], math.Float64bits(bounds.Max.X))
+	binary.LittleEndian.PutUint64(hdr[40:], math.Float64bits(bounds.Max.Y))
+	binary.LittleEndian.PutUint64(hdr[48:], math.Float64bits(epsilon))
+	binary.LittleEndian.PutUint64(hdr[56:], uint64(len(set)))
+	h.Write(hdr[:])
+	for i := range digests {
+		h.Write(digests[i][:])
+	}
+	var fp fingerprint
+	h.Sum(fp[:0])
+	return fp
+}
+
+// fingerprintOverlap keys the final overlapped MOVD by the ordered basic
+// fingerprints plus the pruning flag. Everything else the overlap depends on
+// (bounds, mode, kind, ε, the sets themselves) is already inside the per-set
+// fingerprints; Workers is deliberately excluded because the sequential fold
+// and the parallel engine produce the identical diagram. Pruning changes the
+// retained combinations, so pruned and unpruned results never share an entry.
+func fingerprintOverlap(setFPs []fingerprint, pruned bool) fingerprint {
+	h := sha256.New()
+	var hdr [2]byte
+	hdr[0] = 2 // level tag: overlapped diagram
+	if pruned {
+		hdr[1] = 1
+	}
+	h.Write(hdr[:])
+	for i := range setFPs {
+		h.Write(setFPs[i][:])
+	}
+	var fp fingerprint
+	h.Sum(fp[:0])
+	return fp
+}
+
+// movdBytes estimates the retained size of a diagram: slice payloads plus a
+// fixed per-OVR overhead for headers and bookkeeping. An estimate is enough —
+// the budget bounds memory order-of-magnitude, not byte-exactly.
+func movdBytes(m *core.MOVD) int64 {
+	const (
+		ovrOverhead = 96 // OVR struct + slice headers
+		objectSize  = 48 // core.Object
+		vertexSize  = 16 // geom.Point
+	)
+	size := int64(128 + 8*len(m.Types))
+	for i := range m.OVRs {
+		o := &m.OVRs[i]
+		size += ovrOverhead + int64(len(o.Region))*vertexSize + int64(len(o.POIs))*objectSize
+	}
+	return size
+}
+
+// CacheStats reports diagram-cache effectiveness. Hits and Misses are scoped
+// to whatever produced the stats (one solve, one engine preparation, or the
+// cache's lifetime totals from DiagramCache.Stats); Entries, Bytes and
+// Capacity always snapshot the cache's current state.
+type CacheStats struct {
+	Hits     int   `json:"hits"`
+	Misses   int   `json:"misses"`
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	Capacity int64 `json:"capacity"`
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 when no lookups happened.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Add accumulates o's lookup counters into s (snapshot fields take o's
+// values, which are newer).
+func (s *CacheStats) Add(o CacheStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Entries = o.Entries
+	s.Bytes = o.Bytes
+	s.Capacity = o.Capacity
+}
+
+// DiagramCache memoizes basic MOVDs behind a byte-budgeted LRU. It is safe
+// for concurrent use; the per-type goroutines of a parallel buildBasics and
+// the httpapi's request handlers all share one instance. The zero value is
+// not usable — construct with NewDiagramCache.
+type DiagramCache struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	ll     *list.List // front = most recently used; values are *cacheEntry
+	items  map[fingerprint]*list.Element
+	hits   int
+	misses int
+}
+
+type cacheEntry struct {
+	key  fingerprint
+	movd *core.MOVD
+	size int64
+}
+
+// DefaultCacheBytes is the byte budget of the process-wide default cache:
+// large enough for the paper's biggest per-type diagrams (n=10000 RRB cells
+// are a few MB) across several object sets, small enough to be irrelevant
+// next to a serving process's working set.
+const DefaultCacheBytes int64 = 64 << 20
+
+// DefaultDiagramCache is the process-wide cache used when Input.Cache is nil.
+// Repeated Solve calls, NewEngine preparations and httpapi engines all share
+// it by default.
+var DefaultDiagramCache = NewDiagramCache(DefaultCacheBytes)
+
+// NewDiagramCache creates a cache evicting least-recently-used diagrams once
+// the estimated retained bytes exceed byteBudget (≤0 uses DefaultCacheBytes).
+func NewDiagramCache(byteBudget int64) *DiagramCache {
+	if byteBudget <= 0 {
+		byteBudget = DefaultCacheBytes
+	}
+	return &DiagramCache{
+		budget: byteBudget,
+		ll:     list.New(),
+		items:  make(map[fingerprint]*list.Element),
+	}
+}
+
+// get returns the cached diagram for key, bumping its recency.
+func (c *DiagramCache) get(key fingerprint) (*core.MOVD, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).movd, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// put inserts a freshly built diagram, evicting LRU entries past the byte
+// budget. A diagram larger than the whole budget is not cached at all. If the
+// key is already present (two goroutines raced on the same miss) the existing
+// entry wins, so all callers keep sharing one diagram.
+func (c *DiagramCache) put(key fingerprint, m *core.MOVD) {
+	size := movdBytes(m)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	if size > c.budget {
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, movd: m, size: size})
+	c.bytes += size
+	for c.bytes > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.bytes -= e.size
+	}
+}
+
+// Stats snapshots the cache state with lifetime hit/miss totals.
+func (c *DiagramCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:     c.hits,
+		Misses:   c.misses,
+		Entries:  c.ll.Len(),
+		Bytes:    c.bytes,
+		Capacity: c.budget,
+	}
+}
+
+// Reset drops every entry and zeroes the lifetime counters; benchmarks use
+// it to measure cold-cache behaviour without constructing fresh caches.
+func (c *DiagramCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[fingerprint]*list.Element)
+	c.bytes = 0
+	c.hits = 0
+	c.misses = 0
+}
+
+// GobEncode implements gob.GobEncoder: a cache is runtime wiring, not data —
+// engine snapshots never persist its contents (and Save nils the Input.Cache
+// field anyway; this hook only keeps gob's type registration happy).
+func (c *DiagramCache) GobEncode() ([]byte, error) { return nil, nil }
+
+// GobDecode implements gob.GobDecoder, restoring a usable empty cache with
+// the default budget.
+func (c *DiagramCache) GobDecode([]byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget = DefaultCacheBytes
+	c.bytes = 0
+	c.ll = list.New()
+	c.items = make(map[fingerprint]*list.Element)
+	return nil
+}
+
+// cache resolves which cache an input uses: its own, the process default, or
+// none.
+func (in *Input) diagramCache() *DiagramCache {
+	if in.DisableDiagramCache {
+		return nil
+	}
+	if in.Cache != nil {
+		return in.Cache
+	}
+	return DefaultDiagramCache
+}

@@ -1,0 +1,305 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"molq/internal/core"
+	"molq/internal/geom"
+)
+
+// cacheInput builds a deterministic two-type input wired to a private cache,
+// so tests never interfere through DefaultDiagramCache.
+func cacheInput(seed int64, cache *DiagramCache) Input {
+	in := randomInput(rand.New(rand.NewSource(seed)), []int{40, 30}, true)
+	in.Cache = cache
+	return in
+}
+
+// TestCacheHitOnRepeatAndReorder checks the fingerprint hits on an identical
+// re-solve and on the same sets in permuted order, and that the cached solve
+// returns the same answer.
+func TestCacheHitOnRepeatAndReorder(t *testing.T) {
+	cache := NewDiagramCache(0)
+	in := cacheInput(7, cache)
+	cold, err := Solve(in, RRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three lookups per two-set solve: one per basic diagram plus the
+	// overlapped diagram.
+	if cold.Stats.Cache.Hits != 0 || cold.Stats.Cache.Misses != 3 {
+		t.Fatalf("cold solve: hits=%d misses=%d, want 0/3", cold.Stats.Cache.Hits, cold.Stats.Cache.Misses)
+	}
+	if cold.Stats.Cache.Entries != 3 || cold.Stats.Cache.Bytes <= 0 {
+		t.Fatalf("cold solve left entries=%d bytes=%d", cold.Stats.Cache.Entries, cold.Stats.Cache.Bytes)
+	}
+
+	warm, err := Solve(in, RRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.Cache.Hits != 3 || warm.Stats.Cache.Misses != 0 {
+		t.Fatalf("warm solve: hits=%d misses=%d, want 3/0", warm.Stats.Cache.Hits, warm.Stats.Cache.Misses)
+	}
+	if warm.Loc != cold.Loc || warm.Cost != cold.Cost {
+		t.Fatalf("warm result (%v, %v) != cold (%v, %v)", warm.Loc, warm.Cost, cold.Loc, cold.Cost)
+	}
+
+	// Reverse every set: same content, different order — must still hit.
+	perm := in
+	perm.Sets = make([][]core.Object, len(in.Sets))
+	for ti, set := range in.Sets {
+		rev := make([]core.Object, len(set))
+		for i, o := range set {
+			rev[len(set)-1-i] = o
+		}
+		perm.Sets[ti] = rev
+	}
+	reordered, err := Solve(perm, RRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reordered.Stats.Cache.Hits != 3 {
+		t.Fatalf("reordered solve: hits=%d, want 3", reordered.Stats.Cache.Hits)
+	}
+	if math.Abs(reordered.Cost-cold.Cost) > 1e-9*(1+cold.Cost) {
+		t.Fatalf("reordered cost %v != cold cost %v", reordered.Cost, cold.Cost)
+	}
+}
+
+// TestCacheMissOnMutation checks every semantic change to the input produces
+// a fingerprint miss: moved object, changed ObjWeight, changed TypeWeight,
+// changed ID, different Bounds, Epsilon, Mode (method) and weight kind.
+func TestCacheMissOnMutation(t *testing.T) {
+	// Basic caching is per object set, so a mutation inside one set must miss
+	// for that set while the untouched set still hits (wantHits 1); input-wide
+	// changes (bounds, epsilon, kind) must miss for every set (wantHits 0).
+	// The overlapped diagram depends on every set, so it misses in all cases:
+	// misses = 3 - wantHits.
+	mutations := []struct {
+		name     string
+		mutate   func(in *Input)
+		wantHits int
+	}{
+		{"moved object", func(in *Input) {
+			in.Sets[0][3].Loc = in.Sets[0][3].Loc.Add(geom.Pt(0.5, 0))
+		}, 1},
+		{"changed ObjWeight", func(in *Input) {
+			in.Sets[1][0].ObjWeight *= 2
+		}, 1},
+		{"changed TypeWeight", func(in *Input) {
+			for i := range in.Sets[0] {
+				in.Sets[0][i].TypeWeight *= 3
+			}
+		}, 1},
+		{"changed ID", func(in *Input) {
+			in.Sets[0][5].ID += 1000
+		}, 1},
+		{"different Bounds", func(in *Input) {
+			in.Bounds = geom.NewRect(geom.Pt(0, 0), geom.Pt(999, 1000))
+		}, 0},
+		{"different Epsilon", func(in *Input) {
+			in.Epsilon = 1e-7
+		}, 0},
+		{"different weight kind", func(in *Input) {
+			in.ObjKinds = []WeightKind{AdditiveObjWeights, AdditiveObjWeights}
+		}, 0},
+	}
+	for _, tc := range mutations {
+		t.Run(tc.name, func(t *testing.T) {
+			cache := NewDiagramCache(0)
+			base := cacheInput(11, cache)
+			if _, err := Solve(base, MBRB); err != nil {
+				t.Fatal(err)
+			}
+			mutated := cacheInput(11, cache)
+			tc.mutate(&mutated)
+			res, err := Solve(mutated, MBRB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Cache.Hits != tc.wantHits || res.Stats.Cache.Misses != 3-tc.wantHits {
+				t.Fatalf("%s: hits=%d misses=%d, want %d/%d", tc.name,
+					res.Stats.Cache.Hits, res.Stats.Cache.Misses, tc.wantHits, 3-tc.wantHits)
+			}
+		})
+	}
+
+	// Mode is keyed too: the same input solved as RRB then MBRB shares
+	// nothing.
+	cache := NewDiagramCache(0)
+	in := cacheInput(11, cache)
+	if _, err := Solve(in, RRB); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(in, MBRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cache.Hits != 0 {
+		t.Fatalf("MBRB solve hit RRB entries: hits=%d", res.Stats.Cache.Hits)
+	}
+}
+
+// TestCacheDisabled checks DisableDiagramCache bypasses lookups entirely.
+func TestCacheDisabled(t *testing.T) {
+	cache := NewDiagramCache(0)
+	in := cacheInput(3, cache)
+	in.DisableDiagramCache = true
+	res, err := Solve(in, RRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cache != (CacheStats{}) {
+		t.Fatalf("disabled cache still reported stats: %+v", res.Stats.Cache)
+	}
+	if got := cache.Stats(); got.Entries != 0 || got.Hits+got.Misses != 0 {
+		t.Fatalf("disabled solve touched the cache: %+v", got)
+	}
+}
+
+// TestCacheEviction checks the LRU respects its byte budget and evicts the
+// least recently used diagram first.
+func TestCacheEviction(t *testing.T) {
+	// Build three single-type diagrams and size the budget to hold ~two.
+	r := rand.New(rand.NewSource(21))
+	inputs := make([]Input, 3)
+	for i := range inputs {
+		inputs[i] = randomInput(r, []int{30}, false)
+	}
+	probe := NewDiagramCache(1 << 30)
+	sizes := make([]int64, len(inputs))
+	for i := range inputs {
+		inputs[i].Cache = probe
+		if _, err := Solve(inputs[i], RRB); err != nil {
+			t.Fatal(err)
+		}
+		sizes[i] = probe.Stats().Bytes - sumInt64(sizes[:i])
+	}
+
+	budget := sizes[0] + sizes[1] + sizes[2]/2
+	cache := NewDiagramCache(budget)
+	for i := range inputs {
+		inputs[i].Cache = cache
+		if _, err := Solve(inputs[i], RRB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cache.Stats()
+	if st.Bytes > budget {
+		t.Fatalf("cache bytes %d exceed budget %d", st.Bytes, budget)
+	}
+	if st.Entries >= 3 {
+		t.Fatalf("no eviction happened: %d entries within budget %d", st.Entries, budget)
+	}
+	// inputs[0] was least recently used → must have been evicted → miss.
+	res, err := Solve(inputs[0], RRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cache.Misses != 1 {
+		t.Fatalf("evicted diagram did not miss: %+v", res.Stats.Cache)
+	}
+}
+
+func sumInt64(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// TestCacheOversizedEntryNotStored checks a diagram larger than the whole
+// budget is passed through without caching (and without evicting the world).
+func TestCacheOversizedEntryNotStored(t *testing.T) {
+	cache := NewDiagramCache(64) // far below any real diagram
+	in := cacheInput(5, cache)
+	if _, err := Solve(in, RRB); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversized diagrams were cached: %+v", st)
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines mixing
+// repeated, reordered and mutated inputs; run under -race this exercises the
+// LRU's locking and the shared-diagram read paths (parallel sweep included).
+func TestCacheConcurrent(t *testing.T) {
+	cache := NewDiagramCache(0)
+	base := cacheInput(13, cache)
+	baseRes, err := Solve(base, RRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 6; k++ {
+				in := cacheInput(13, cache)
+				switch (g + k) % 3 {
+				case 1: // permuted copy of the same sets → hit
+					for ti, set := range in.Sets {
+						rev := make([]core.Object, len(set))
+						for i, o := range set {
+							rev[len(set)-1-i] = o
+						}
+						in.Sets[ti] = rev
+					}
+				case 2: // distinct content → its own entries
+					in.Sets[0][0].Loc = geom.Pt(float64(g)+1, float64(k)+1)
+				}
+				in.Workers = 1 + (g+k)%3
+				res, err := Solve(in, RRB)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if (g+k)%3 != 2 && math.Abs(res.Cost-baseRes.Cost) > 1e-9*(1+baseRes.Cost) {
+					errs <- errMismatch(res.Cost, baseRes.Cost)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Hits == 0 || st.Entries == 0 {
+		t.Fatalf("concurrent run produced no hits: %+v", st)
+	}
+}
+
+type errMismatchT struct{ got, want float64 }
+
+func errMismatch(got, want float64) error { return errMismatchT{got, want} }
+func (e errMismatchT) Error() string {
+	return "cached solve cost mismatch"
+}
+
+// TestEngineUsesCache checks NewEngine shares diagram construction with
+// Solve through the cache and reports its lookups.
+func TestEngineUsesCache(t *testing.T) {
+	cache := NewDiagramCache(0)
+	in := cacheInput(17, cache)
+	if _, err := Solve(in, RRB); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(in, RRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := eng.CacheStats()
+	if cs.Hits != 3 || cs.Misses != 0 {
+		t.Fatalf("engine preparation: hits=%d misses=%d, want 3/0", cs.Hits, cs.Misses)
+	}
+}

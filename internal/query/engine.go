@@ -24,6 +24,8 @@ type Engine struct {
 	combos [][]core.Object
 	// prep captures how long Prepare took, for reporting.
 	prepTime time.Duration
+	// cacheStats records the diagram-cache lookups of the preparation.
+	cacheStats CacheStats
 }
 
 // NewEngine prepares an engine for the given input evaluating with method
@@ -46,15 +48,16 @@ func NewEngine(in Input, method Method) (*Engine, error) {
 	// Reuse the standard pipeline for modules 1-2 by running a solve with a
 	// captured MOVD would recompute the optimizer; instead build directly.
 	// Workers > 1 parallelises both modules exactly as Solve does.
-	basics, err := in.buildBasics(method, e.mode)
+	basics, fps, cacheStats, err := in.buildBasics(method, e.mode)
 	if err != nil {
 		return nil, err
 	}
 	var stats core.OverlapStats
-	acc, err := in.overlapChain(e.mode, nil, basics, &stats)
+	acc, err := in.cachedOverlapChain(e.mode, nil, basics, fps, &stats, &cacheStats)
 	if err != nil {
 		return nil, err
 	}
+	e.cacheStats = cacheStats
 	e.movd = acc
 	e.combos = acc.Groups()
 	e.prepTime = time.Since(start)
@@ -63,6 +66,10 @@ func NewEngine(in Input, method Method) (*Engine, error) {
 
 // PrepTime reports how long Prepare (VD generation + overlap) took.
 func (e *Engine) PrepTime() time.Duration { return e.prepTime }
+
+// CacheStats reports the diagram-cache hits and misses of the preparation's
+// VD stage (Entries/Bytes snapshot the cache as of preparation time).
+func (e *Engine) CacheStats() CacheStats { return e.cacheStats }
 
 // OVRs returns the size of the prepared MOVD.
 func (e *Engine) OVRs() int { return e.movd.Len() }

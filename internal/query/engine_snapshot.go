@@ -20,10 +20,14 @@ type engineSnapshot struct {
 	MOVD   *core.MOVD
 }
 
-// Save serialises the prepared engine.
+// Save serialises the prepared engine. The diagram cache is process wiring,
+// not engine state: it is stripped from the snapshot, and a loaded engine
+// joins whatever cache its new process configures.
 func (e *Engine) Save(w io.Writer) error {
+	in := e.in
+	in.Cache = nil
 	return gob.NewEncoder(w).Encode(engineSnapshot{
-		Input:  e.in,
+		Input:  in,
 		Method: e.method,
 		MOVD:   e.movd,
 	})

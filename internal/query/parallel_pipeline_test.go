@@ -21,6 +21,10 @@ func TestParallelPipelineMatchesSequential(t *testing.T) {
 				sizes[ti] = 6 + 2*ti
 			}
 			base := randomInput(r, sizes, true)
+			// This test compares the overlap engine's work counters between
+			// two identical solves; the diagram cache would (correctly) skip
+			// the second overlap entirely, so it must be off here.
+			base.DisableDiagramCache = true
 			for _, prune := range []bool{false, true} {
 				for _, spill := range []bool{false, true} {
 					label := fmt.Sprintf("%v/types=%d/prune=%v/spill=%v", method, types, prune, spill)

@@ -118,6 +118,14 @@ type Input struct {
 	// MOVD never resides in memory (the Sec-8 disk-based technique).
 	// Applies to RRB/MBRB with two or more object types.
 	SpillDir string
+	// Cache overrides the diagram cache memoizing per-type basic MOVDs
+	// across solves; nil uses the process-wide DefaultDiagramCache. See
+	// cache.go for the fingerprinting rules.
+	Cache *DiagramCache
+	// DisableDiagramCache rebuilds every basic diagram from scratch,
+	// bypassing the cache entirely (used by construction benchmarks and
+	// callers that mutate object sets in place between solves).
+	DisableDiagramCache bool
 }
 
 // kind returns the object weight function family of type ti.
@@ -142,6 +150,7 @@ type Stats struct {
 
 	Overlap core.OverlapStats // accumulated across sequential overlaps
 	Fermat  fermat.BatchStats
+	Cache   CacheStats // diagram-cache lookups of this solve's VD stage
 }
 
 // Result is the answer to a MOLQ.
@@ -237,24 +246,67 @@ func uniformWeights(set []core.Object) bool {
 }
 
 // buildBasics runs Module 1 of Fig 3 (the VD Generator) for every object
-// set, one goroutine per type when Workers > 1.
-func (in *Input) buildBasics(method Method, mode core.Mode) ([]*core.MOVD, error) {
+// set, one goroutine per type when Workers > 1. Each basic diagram is looked
+// up in the configured diagram cache first; a cached diagram is shared with
+// every other solve that hit the same fingerprint and must not be mutated
+// (the pipeline only reads basic MOVDs). The returned fingerprints (nil when
+// no cache is configured) key the overlap-level cache; the CacheStats counts
+// this call's hits and misses and snapshots the cache state.
+func (in *Input) buildBasics(method Method, mode core.Mode) ([]*core.MOVD, []fingerprint, CacheStats, error) {
 	basics := make([]*core.MOVD, len(in.Sets))
+	cache := in.diagramCache()
+	hits := make([]bool, len(in.Sets))
+	var fps []fingerprint
+	if cache != nil {
+		fps = make([]fingerprint, len(in.Sets))
+	}
 	buildOne := func(ti int) error {
 		set := in.Sets[ti]
+		var fp fingerprint
+		if cache != nil {
+			fp = fingerprintSet(set, ti, in.Bounds, mode, in.kind(ti), in.Epsilon)
+			fps[ti] = fp
+			if m, ok := cache.get(fp); ok {
+				basics[ti] = m
+				hits[ti] = true
+				return nil
+			}
+		}
+		var m *core.MOVD
+		var err error
 		if uniformWeights(set) {
 			// A uniform object weight preserves the nearest-site order for
 			// both ς^o families, so the ordinary Voronoi diagram is exact.
-			m, err := ordinaryBasic(set, ti, in.Bounds, mode)
-			basics[ti] = m
+			m, err = ordinaryBasic(set, ti, in.Bounds, mode)
+		} else if method == RRB {
+			return ErrWeightedRRB
+		} else {
+			m, err = weightedBasic(set, ti, in.Bounds, in.kind(ti))
+		}
+		if err != nil {
 			return err
 		}
-		if method == RRB {
-			return ErrWeightedRRB
-		}
-		m, err := weightedBasic(set, ti, in.Bounds, in.kind(ti))
 		basics[ti] = m
-		return err
+		if cache != nil {
+			cache.put(fp, m)
+		}
+		return nil
+	}
+	var cs CacheStats
+	finish := func() CacheStats {
+		if cache == nil {
+			return cs
+		}
+		for _, h := range hits {
+			if h {
+				cs.Hits++
+			} else {
+				cs.Misses++
+			}
+		}
+		snap := cache.Stats()
+		cs.Entries, cs.Bytes, cs.Capacity = snap.Entries, snap.Bytes, snap.Capacity
+		return cs
 	}
 	if in.Workers > 1 && len(in.Sets) > 1 {
 		var wg sync.WaitGroup
@@ -269,17 +321,48 @@ func (in *Input) buildBasics(method Method, mode core.Mode) ([]*core.MOVD, error
 		wg.Wait()
 		for _, err := range errs {
 			if err != nil {
-				return nil, err
+				return nil, nil, cs, err
 			}
 		}
 	} else {
 		for ti := range in.Sets {
 			if err := buildOne(ti); err != nil {
-				return nil, err
+				return nil, nil, cs, err
 			}
 		}
 	}
-	return basics, nil
+	return basics, fps, finish(), nil
+}
+
+// cachedOverlapChain wraps overlapChain with the level-two cache: the final
+// overlapped diagram is memoized under the ordered basic fingerprints, so a
+// repeat solve (or engine preparation) over unchanged data skips Module 2
+// entirely. Single-set inputs are not cached at this level — the "chain" is
+// the basic diagram itself, already a level-one entry. The lookup is counted
+// into cs alongside the basic-diagram hits and misses.
+func (in *Input) cachedOverlapChain(mode core.Mode, prune core.PruneFunc, movds []*core.MOVD, fps []fingerprint, stats *core.OverlapStats, cs *CacheStats) (*core.MOVD, error) {
+	cache := in.diagramCache()
+	if cache == nil || fps == nil || len(movds) < 2 || len(movds) != len(in.Sets) {
+		return in.overlapChain(mode, prune, movds, stats)
+	}
+	key := fingerprintOverlap(fps, prune != nil)
+	refresh := func() {
+		snap := cache.Stats()
+		cs.Entries, cs.Bytes, cs.Capacity = snap.Entries, snap.Bytes, snap.Capacity
+	}
+	if m, ok := cache.get(key); ok {
+		cs.Hits++
+		refresh()
+		return m, nil
+	}
+	cs.Misses++
+	acc, err := in.overlapChain(mode, prune, movds, stats)
+	if err != nil {
+		return nil, err
+	}
+	cache.put(key, acc)
+	refresh()
+	return acc, nil
 }
 
 // overlapChain runs Module 2 of Fig 3 over the given diagrams: the
@@ -317,13 +400,15 @@ func solveMOVD(in Input, method Method) (Result, error) {
 	res := Result{Method: method}
 	totalStart := time.Now()
 
-	// Module 1: VD Generator (basic MOVDs, Property 7).
+	// Module 1: VD Generator (basic MOVDs, Property 7), memoized through the
+	// fingerprinted diagram cache.
 	vdStart := time.Now()
-	basics, err := in.buildBasics(method, mode)
+	basics, fps, cacheStats, err := in.buildBasics(method, mode)
 	if err != nil {
 		return res, err
 	}
 	res.Stats.VDTime = time.Since(vdStart)
+	res.Stats.Cache = cacheStats
 
 	// Module 2: MOVD Overlapper (⊕ chain, Eq 27), optionally with
 	// combination pruning (Sec 8). With SpillDir the final — largest —
@@ -336,9 +421,12 @@ func solveMOVD(in Input, method Method) (Result, error) {
 	spillLast := in.SpillDir != "" && len(basics) >= 2
 	inMemory := basics
 	if spillLast {
+		// The spilled final overlap streams to disk and is never materialised,
+		// so the overlap-level cache does not apply (cachedOverlapChain sees a
+		// partial chain and falls through).
 		inMemory = basics[:len(basics)-1]
 	}
-	acc, err := in.overlapChain(mode, prune, inMemory, &res.Stats.Overlap)
+	acc, err := in.cachedOverlapChain(mode, prune, inMemory, fps, &res.Stats.Overlap, &res.Stats.Cache)
 	if err != nil {
 		return res, err
 	}

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"molq/internal/geom"
+	"molq/internal/polyclip"
 )
 
 // fortuneTriangle is one Delaunay triangle discovered at a circle event.
@@ -327,13 +328,16 @@ func cellsFromTriangulation(t *triangulation, sites []geom.Point, frameCount int
 		}
 	}
 	cells := make([]geom.Polygon, len(sites))
+	var clip polyclip.ClipBuf
+	var fan geom.Polygon
 	for si := range sites {
 		pi := int32(frameCount + si)
-		fan, err := t.cellAround(pi, vertTri, cc)
+		var err error
+		fan, err = t.cellAroundInto(fan[:0], pi, vertTri, cc)
 		if err != nil {
 			return nil, fmt.Errorf("voronoi: fortune site %d: %w", si, err)
 		}
-		cells[si] = clipCell(fan, bounds)
+		cells[si] = clipCell(&clip, fan, bounds)
 	}
 	return &Diagram{Sites: sites, Cells: cells, Bounds: bounds}, nil
 }

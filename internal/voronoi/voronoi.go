@@ -74,34 +74,45 @@ func Compute(sites []geom.Point, bounds geom.Rect) (*Diagram, error) {
 			vertTri[v] = int32(i)
 		}
 	}
+	// The fan walk and the clip reuse one scratch buffer pair across all
+	// cells; only the final clipped cell is retained (one allocation per
+	// site).
 	cells := make([]geom.Polygon, len(sites))
+	var clip polyclip.ClipBuf
+	var fan geom.Polygon
 	for si := range sites {
 		pi := vert[si]
 		if pi < 0 {
 			continue
 		}
-		fan, err := tr.cellAround(pi, vertTri, cc)
+		var err error
+		fan, err = tr.cellAroundInto(fan[:0], pi, vertTri, cc)
 		if err != nil {
 			return nil, fmt.Errorf("voronoi: site %d: %w", si, err)
 		}
-		cells[si] = clipCell(fan, bounds)
+		cells[si] = clipCell(&clip, fan, bounds)
 	}
 	return &Diagram{Sites: sites, Cells: cells, Bounds: bounds}, nil
 }
 
-// clipCell normalises a circumcenter fan and clips it to the search space.
-func clipCell(fan geom.Polygon, bounds geom.Rect) geom.Polygon {
-	return polyclip.ClipToRect(fan.EnsureCCW(), bounds)
+// clipCell normalises a circumcenter fan (in place — fan is scratch) and
+// clips it to the search space, returning a polygon the caller owns.
+func clipCell(buf *polyclip.ClipBuf, fan geom.Polygon, bounds geom.Rect) geom.Polygon {
+	out := polyclip.ClipToRectBuf(buf, fan.EnsureCCWInPlace(), bounds)
+	if out == nil {
+		return nil
+	}
+	return out.Clone()
 }
 
-// cellAround walks the triangle fan around vertex pi and returns the polygon
-// of circumcenters.
-func (t *triangulation) cellAround(pi int32, vertTri []int32, cc []geom.Point) (geom.Polygon, error) {
+// cellAroundInto walks the triangle fan around vertex pi and appends the
+// polygon of circumcenters to dst (typically a recycled scratch buffer).
+func (t *triangulation) cellAroundInto(dst geom.Polygon, pi int32, vertTri []int32, cc []geom.Point) (geom.Polygon, error) {
 	start := vertTri[pi]
 	if start == noTri {
 		return nil, fmt.Errorf("vertex %d has no incident triangle", pi)
 	}
-	var poly geom.Polygon
+	poly := dst
 	cur := start
 	for steps := 0; ; steps++ {
 		if steps > len(t.tris)+8 {
@@ -128,7 +139,7 @@ func (t *triangulation) cellAround(pi int32, vertTri []int32, cc []geom.Point) (
 		}
 		cur = next
 	}
-	return poly.Dedup(), nil
+	return poly.DedupInPlace(), nil
 }
 
 // DelaunayEdges returns the Delaunay triangulation edges among the given
