@@ -49,6 +49,7 @@ func run() error {
 		codes    = flag.String("codes", "STM,CH,SCH", "comma-separated GeoNames feature codes to use with -geonames")
 		outGJ    = flag.String("o", "", "write the result (optimum + POIs) as GeoJSON to this path")
 		validate = flag.Bool("validate", false, "cross-check the optimum against an independent grid scan of the cost field")
+		trace    = flag.Bool("trace", false, "record per-phase spans during the solve and print an indented flame summary")
 	)
 	flag.Parse()
 	files := flag.Args()
@@ -118,6 +119,7 @@ func run() error {
 		PruneOverlap: *prune,
 		Acceleration: *accel,
 		SpillDir:     *spillDir,
+		Trace:        *trace,
 	}, m)
 	if err != nil {
 		return err
@@ -148,6 +150,13 @@ func run() error {
 	tb.AddRow("  Weiszfeld iterations", fmt.Sprintf("%d", res.Stats.Fermat.TotalIters))
 	tb.AddRow("total time", stats.Dur(res.Stats.TotalTime))
 	tb.Render(os.Stdout)
+
+	if *trace && res.Stats.Trace != nil {
+		fmt.Println("\ntrace (phase durations match the table above):")
+		if err := res.Stats.Trace.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
 
 	if *validate {
 		field := func(p geom.Point) float64 {

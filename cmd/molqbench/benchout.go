@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"testing"
+	"time"
 
 	"molq/internal/benchfmt"
 	"molq/internal/core"
@@ -119,16 +120,20 @@ func benchSuite(quick bool) ([]benchSpec, error) {
 		fn: func(b *testing.B) {
 			b.ReportAllocs()
 			cold.Cache.Reset()
+			var phases phaseTotals
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				cold.Cache.Reset()
 				b.StartTimer()
-				if _, err := query.Solve(cold, query.RRB); err != nil {
+				res, err := query.Solve(cold, query.RRB)
+				if err != nil {
 					b.Fatal(err)
 				}
+				phases.add(res.Stats)
 			}
 			b.ReportMetric(cold.Cache.Stats().HitRate(), "cache-hit-rate")
+			phases.report(b)
 		},
 	})
 	warm := benchSuiteInput(cacheN)
@@ -143,18 +148,47 @@ func benchSuite(quick bool) ([]benchSpec, error) {
 				b.Fatal(err)
 			}
 			hm0 := warm.Cache.Stats()
+			var phases phaseTotals
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := query.Solve(warm, query.RRB); err != nil {
+				res, err := query.Solve(warm, query.RRB)
+				if err != nil {
 					b.Fatal(err)
 				}
+				phases.add(res.Stats)
 			}
 			st := warm.Cache.Stats()
 			hits, misses := st.Hits-hm0.Hits, st.Misses-hm0.Misses
 			b.ReportMetric(float64(hits)/float64(hits+misses), "cache-hit-rate")
+			phases.report(b)
 		},
 	})
 	return specs, nil
+}
+
+// phaseTotals accumulates per-phase solve durations across benchmark
+// iterations, so the emitted JSON attributes ns/op regressions to the
+// responsible Fig-3 module (benchdiff then diffs vd-ns/op, overlap-ns/op
+// and optimize-ns/op like any other metric).
+type phaseTotals struct {
+	vd, overlap, optimize time.Duration
+	n                     int
+}
+
+func (p *phaseTotals) add(st query.Stats) {
+	p.vd += st.VDTime
+	p.overlap += st.OverlapTime
+	p.optimize += st.OptimizeTime
+	p.n++
+}
+
+func (p *phaseTotals) report(b *testing.B) {
+	if p.n == 0 {
+		return
+	}
+	b.ReportMetric(float64(p.vd.Nanoseconds())/float64(p.n), "vd-ns/op")
+	b.ReportMetric(float64(p.overlap.Nanoseconds())/float64(p.n), "overlap-ns/op")
+	b.ReportMetric(float64(p.optimize.Nanoseconds())/float64(p.n), "optimize-ns/op")
 }
 
 // runBenchSuite executes the suite and writes benchfmt JSON to path

@@ -3,11 +3,18 @@
 //
 // Usage:
 //
-//	molqd [-addr :8080]
+//	molqd [-addr :8080] [-log-level info] [-pprof]
+//
+// Structured access and error logs (log/slog, text format) go to stderr;
+// -log-level selects debug, info, warn or error. -pprof additionally
+// mounts the net/http/pprof handlers under /debug/pprof/ for live CPU,
+// heap and goroutine profiling; leave it off on untrusted networks.
+// Prometheus metrics are always served at /v1/metrics.
 //
 // Example session:
 //
 //	curl -s localhost:8080/v1/healthz
+//	curl -s localhost:8080/v1/metrics
 //	curl -s -X POST localhost:8080/v1/solve -d '{
 //	  "method": "rrb",
 //	  "types": [
@@ -18,23 +25,66 @@ package main
 
 import (
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"strings"
 	"time"
 
 	"molq/internal/httpapi"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
+	)
 	flag.Parse()
+
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "molqd: %v\n", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	mux := http.NewServeMux()
+	mux.Handle("/", httpapi.New(httpapi.WithLogger(logger)))
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.New(),
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("molqd listening on %s", *addr)
+	logger.Info("molqd listening", "addr", *addr, "pprof", *pprofOn, "log_level", level.String())
 	if err := srv.ListenAndServe(); err != nil {
-		log.Fatal(err)
+		logger.Error("server exited", "err", err)
+		os.Exit(1)
+	}
+}
+
+// parseLevel maps a -log-level flag value to its slog level.
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", s)
 	}
 }

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"molq/internal/obs"
+)
+
+// Live counters over the ⊕ plane sweep, mirroring OverlapStats onto the
+// process-wide metrics registry so a serving deployment can watch sweep
+// load (and shard fan-out: Events grows with the strip count) without
+// rerunning offline benchmarks. Recorded once per completed sweep — four
+// atomic adds — so the per-event hot loop stays instrumentation-free.
+var (
+	sweepSweeps = obs.Default.Counter("molq_sweep_total",
+		"plane sweeps executed (one per sequential ⊕, one per strip of a sharded ⊕)")
+	sweepEvents = obs.Default.Counter("molq_sweep_events_total",
+		"start/end events processed by ⊕ plane sweeps")
+	sweepPairs = obs.Default.Counter("molq_sweep_candidate_pairs_total",
+		"OVR pairs whose x-ranges overlapped during ⊕ plane sweeps")
+	sweepOutput = obs.Default.Counter("molq_sweep_output_ovrs_total",
+		"OVRs emitted by ⊕ plane sweeps")
+	sweepPruned = obs.Default.Counter("molq_sweep_pruned_ovrs_total",
+		"OVRs discarded by a PruneFunc during ⊕ plane sweeps")
+)
+
+// recordSweep publishes one sweep's statistics to the registry.
+func recordSweep(st OverlapStats) {
+	sweepSweeps.Inc()
+	sweepEvents.Add(int64(st.Events))
+	sweepPairs.Add(int64(st.CandidatePairs))
+	sweepOutput.Add(int64(st.OutputOVRs))
+	sweepPruned.Add(int64(st.PrunedOVRs))
+}

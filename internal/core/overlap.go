@@ -97,6 +97,7 @@ func OverlapStream(a, b *MOVD, prune PruneFunc, emit func(*OVR) error) (OverlapS
 		return stats, err
 	}
 	err := sweep(a, b, nil, nil, nil, prune, &stats, emit)
+	recordSweep(stats)
 	return stats, err
 }
 

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
 
 	"molq/internal/geom"
+	"molq/internal/obs"
 )
 
 // This file is the parallel ⊕ engine. It parallelises the MOVD Overlapper —
@@ -87,6 +89,15 @@ func (s stripper) assign(ovrs []OVR) [][]int32 {
 // for concurrent use — the query layer's bound check reads a fixed upper
 // bound and qualifies.
 func OverlapStreamParallel(a, b *MOVD, prune PruneFunc, workers int, emit func(*OVR) error) (OverlapStats, error) {
+	return OverlapStreamParallelSpan(a, b, prune, workers, nil, emit)
+}
+
+// OverlapStreamParallelSpan is OverlapStreamParallel with optional
+// tracing: when span is non-nil, every strip sweep records a child span
+// carrying its events/pairs/OVRs counters, so a -trace flame summary
+// shows the shard balance of one ⊕. A nil span costs one pointer check
+// per strip.
+func OverlapStreamParallelSpan(a, b *MOVD, prune PruneFunc, workers int, span *obs.Span, emit func(*OVR) error) (OverlapStats, error) {
 	var total OverlapStats
 	if err := checkOperands(a, b); err != nil {
 		return total, err
@@ -95,7 +106,13 @@ func OverlapStreamParallel(a, b *MOVD, prune PruneFunc, workers int, emit func(*
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers <= 1 || a.Bounds.Height() <= 0 || len(a.OVRs) == 0 || len(b.OVRs) == 0 {
-		return OverlapStream(a, b, prune, emit)
+		st, err := OverlapStream(a, b, prune, emit)
+		if span != nil {
+			sp := span.Child("sweep")
+			setSweepAttrs(sp, st)
+			sp.End()
+		}
+		return st, err
 	}
 	strips := newStripper(a.Bounds, workers)
 	subA := strips.assign(a.OVRs)
@@ -130,8 +147,15 @@ func OverlapStreamParallel(a, b *MOVD, prune PruneFunc, workers int, emit func(*
 			own := func(x, y *OVR) bool {
 				return strips.index(math.Min(x.MBR.Max.Y, y.MBR.Max.Y)) == si
 			}
+			var stripSpan *obs.Span
+			if span != nil {
+				stripSpan = span.Child(fmt.Sprintf("strip %d", si))
+			}
 			var local OverlapStats
 			err := sweep(a, b, subA, subB, own, prune, &local, sharedEmit)
+			recordSweep(local)
+			setSweepAttrs(stripSpan, local)
+			stripSpan.End()
 			mu.Lock()
 			total.Add(local)
 			if err != nil && emitErr == nil {
@@ -154,12 +178,18 @@ func OverlapParallel(a, b *MOVD, workers int) (*MOVD, OverlapStats, error) {
 // OverlapParallelPruned is OverlapPruned evaluated by the sharded parallel
 // sweep. prune must be safe for concurrent use.
 func OverlapParallelPruned(a, b *MOVD, prune PruneFunc, workers int) (*MOVD, OverlapStats, error) {
+	return overlapParallelSpan(a, b, prune, workers, nil)
+}
+
+// overlapParallelSpan materialises one sharded ⊕ under an optional trace
+// span.
+func overlapParallelSpan(a, b *MOVD, prune PruneFunc, workers int, span *obs.Span) (*MOVD, OverlapStats, error) {
 	result := &MOVD{
 		Types:  typesUnion(a.Types, b.Types),
 		Bounds: a.Bounds,
 		Mode:   a.Mode,
 	}
-	stats, err := OverlapStreamParallel(a, b, prune, workers, func(o *OVR) error {
+	stats, err := OverlapStreamParallelSpan(a, b, prune, workers, span, func(o *OVR) error {
 		result.OVRs = append(result.OVRs, o.Clone())
 		return nil
 	})
@@ -167,6 +197,19 @@ func OverlapParallelPruned(a, b *MOVD, prune PruneFunc, workers int) (*MOVD, Ove
 		return nil, stats, err
 	}
 	return result, stats, nil
+}
+
+// setSweepAttrs annotates a span with one sweep's counters (nil-safe).
+func setSweepAttrs(sp *obs.Span, st OverlapStats) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("events", st.Events)
+	sp.SetAttr("pairs", st.CandidatePairs)
+	sp.SetAttr("ovrs", st.OutputOVRs)
+	if st.PrunedOVRs > 0 {
+		sp.SetAttr("pruned", st.PrunedOVRs)
+	}
 }
 
 // ParallelOverlap is SequentialOverlap evaluated as a balanced parallel
@@ -186,6 +229,13 @@ func ParallelOverlap(bounds geom.Rect, mode Mode, workers int, movds ...*MOVD) (
 // bound check, whose partial-combination lower bound is association
 // independent) and with the accumulated sweep statistics of all rounds.
 func ParallelOverlapPruned(bounds geom.Rect, mode Mode, workers int, prune PruneFunc, movds ...*MOVD) (*MOVD, OverlapStats, error) {
+	return ParallelOverlapPrunedSpan(bounds, mode, workers, prune, nil, movds...)
+}
+
+// ParallelOverlapPrunedSpan is ParallelOverlapPruned with optional
+// tracing: a non-nil span gets one child per pairwise ⊕ (named by
+// reduction round and pair), each carrying its strips' spans underneath.
+func ParallelOverlapPrunedSpan(bounds geom.Rect, mode Mode, workers int, prune PruneFunc, span *obs.Span, movds ...*MOVD) (*MOVD, OverlapStats, error) {
 	var stats OverlapStats
 	if len(movds) == 0 {
 		return Identity(bounds, mode), stats, nil
@@ -194,6 +244,7 @@ func ParallelOverlapPruned(bounds geom.Rect, mode Mode, workers int, prune Prune
 		workers = runtime.GOMAXPROCS(0)
 	}
 	cur := append([]*MOVD(nil), movds...)
+	round := 0
 	for len(cur) > 1 {
 		pairs := len(cur) / 2
 		next := make([]*MOVD, (len(cur)+1)/2)
@@ -208,11 +259,17 @@ func ParallelOverlapPruned(bounds geom.Rect, mode Mode, workers int, prune Prune
 		errs := make([]error, pairs)
 		var wg sync.WaitGroup
 		for pi := 0; pi < pairs; pi++ {
+			var pairSpan *obs.Span
+			if span != nil {
+				pairSpan = span.Child(fmt.Sprintf("⊕ round %d pair %d", round, pi))
+			}
 			wg.Add(1)
-			go func(pi int) {
+			go func(pi int, pairSpan *obs.Span) {
 				defer wg.Done()
-				next[pi], sts[pi], errs[pi] = OverlapParallelPruned(cur[2*pi], cur[2*pi+1], prune, perPair)
-			}(pi)
+				next[pi], sts[pi], errs[pi] = overlapParallelSpan(cur[2*pi], cur[2*pi+1], prune, perPair, pairSpan)
+				setSweepAttrs(pairSpan, sts[pi])
+				pairSpan.End()
+			}(pi, pairSpan)
 		}
 		wg.Wait()
 		for pi := range sts {
@@ -222,6 +279,7 @@ func ParallelOverlapPruned(bounds geom.Rect, mode Mode, workers int, prune Prune
 			stats.Add(sts[pi])
 		}
 		cur = next
+		round++
 	}
 	return cur[0], stats, nil
 }

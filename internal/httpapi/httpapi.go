@@ -7,23 +7,33 @@
 //	POST /v1/engines/{name}/query — solve against a prepared engine with
 //	                                 fresh type weights
 //	POST /v1/score    — MWGD of candidate locations against inline sets
-//	GET  /v1/stats    — server status: engine count + diagram-cache stats
-//	GET  /v1/healthz  — liveness
+//	GET  /v1/stats    — server status: engines, diagram cache, uptime,
+//	                    goroutines, build info
+//	GET  /v1/healthz  — liveness with diagnostic payload
+//	GET  /v1/metrics  — Prometheus text exposition of the obs registry
 //
-// All handlers are safe for concurrent use; prepared engines are immutable
-// after creation and stored under a read-write mutex.
+// Every request passes through the middleware stack of middleware.go:
+// request-ID assignment, panic recovery, per-route metrics and structured
+// access logs. All handlers are safe for concurrent use; prepared engines
+// are immutable after creation and stored under a read-write mutex.
 package httpapi
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"molq/internal/core"
 	"molq/internal/geom"
+	"molq/internal/obs"
 	"molq/internal/query"
 )
 
@@ -113,11 +123,49 @@ func cacheJSON(cs query.CacheStats) CacheJSON {
 	}
 }
 
+// BuildJSON carries build/version info from runtime/debug.ReadBuildInfo.
+type BuildJSON struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
-	Engines      int       `json:"engines"`
-	DiagramCache CacheJSON `json:"diagram_cache"`
+	Engines       int       `json:"engines"`
+	DiagramCache  CacheJSON `json:"diagram_cache"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	Goroutines    int       `json:"goroutines"`
+	Build         BuildJSON `json:"build"`
 }
+
+// HealthResponse is the body of GET /v1/healthz: liveness plus enough
+// diagnostics that a probe log alone narrows an incident.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Goroutines    int     `json:"goroutines"`
+	Version       string  `json:"version,omitempty"`
+}
+
+// buildJSON resolves build info once; ReadBuildInfo walks the embedded
+// module table on every call.
+var buildOnce = sync.OnceValue(func() BuildJSON {
+	b := BuildJSON{GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Module = info.Main.Path
+	b.Version = info.Main.Version
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			b.Revision = s.Value
+		}
+	}
+	return b
+})
 
 // EngineRequest is the body of POST /v1/engines.
 type EngineRequest struct {
@@ -178,23 +226,67 @@ type Server struct {
 	// cache memoizes basic Voronoi diagrams across solve and engine-create
 	// requests (query.DefaultDiagramCache unless overridden for tests).
 	cache *query.DiagramCache
+	// log receives structured access and error records (discarded unless
+	// WithLogger is given — molqd passes its slog handler).
+	log *slog.Logger
+	// metrics is the registry /v1/metrics exposes (obs.Default unless
+	// overridden).
+	metrics *obs.Registry
+	// start anchors the uptime reported by /v1/stats and /v1/healthz.
+	start time.Time
+	// wrapped is the full middleware-wrapped handler ServeHTTP delegates to.
+	wrapped http.Handler
+}
+
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithLogger directs the server's structured access and error logs to l.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) {
+		if l != nil {
+			s.log = l
+		}
+	}
+}
+
+// WithMetrics exposes reg at /v1/metrics instead of obs.Default (tests use
+// private registries to keep golden output independent of process history).
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Server) {
+		if reg != nil {
+			s.metrics = reg
+		}
+	}
 }
 
 // New returns a ready-to-serve API server.
-func New() *Server {
+func New(opts ...Option) *Server {
 	s := &Server{
-		eng:   make(map[string]*preparedEngine),
-		h:     http.NewServeMux(),
-		cache: query.DefaultDiagramCache,
+		eng:     make(map[string]*preparedEngine),
+		h:       http.NewServeMux(),
+		cache:   query.DefaultDiagramCache,
+		log:     slog.New(slog.NewTextHandler(io.Discard, nil)),
+		metrics: obs.Default,
+		start:   time.Now(),
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	s.h.HandleFunc("GET /v1/healthz", s.handleHealth)
 	s.h.HandleFunc("GET /v1/stats", s.handleStats)
+	s.h.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.h.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.h.HandleFunc("POST /v1/engines", s.handleEngineCreate)
 	s.h.HandleFunc("GET /v1/engines", s.handleEngineList)
 	s.h.HandleFunc("DELETE /v1/engines/{name}", s.handleEngineDelete)
 	s.h.HandleFunc("POST /v1/engines/{name}/query", s.handleEngineQuery)
 	s.h.HandleFunc("POST /v1/score", s.handleScore)
+	s.wrapped = s.middleware(s.h)
+	// Process-level gauges, sampled at scrape time. Registration is
+	// idempotent (first wins), so repeated Server constructions are safe.
+	obs.Default.GaugeFunc("molq_goroutines", "goroutines in the process",
+		func() float64 { return float64(runtime.NumGoroutine()) })
 	return s
 }
 
@@ -207,7 +299,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Body != nil {
 		r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
 	}
-	s.h.ServeHTTP(w, r)
+	s.wrapped.ServeHTTP(w, r)
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -221,7 +313,12 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+		Version:       buildOnce().Version,
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -229,9 +326,20 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	engines := len(s.eng)
 	s.mux.RUnlock()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Engines:      engines,
-		DiagramCache: cacheJSON(s.cache.Stats()),
+		Engines:       engines,
+		DiagramCache:  cacheJSON(s.cache.Stats()),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+		Build:         buildOnce(),
 	})
+}
+
+// handleMetrics serves the Prometheus text exposition of the registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.metrics.WriteProm(w); err != nil {
+		s.log.Error("metrics exposition failed", "err", err)
+	}
 }
 
 // buildInput converts request types into a query.Input.

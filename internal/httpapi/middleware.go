@@ -1,0 +1,142 @@
+package httpapi
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"time"
+
+	"molq/internal/obs"
+)
+
+// This file is the server's middleware stack, outermost first:
+//
+//	request ID → panic recovery → metrics + access log → router
+//
+// Every request gets an X-Request-Id (incoming IDs are honored so traces
+// correlate across services), a per-route latency observation, a request
+// counter by route and status class, and a structured access-log line. A
+// handler panic is logged with its stack and answered with a JSON 500
+// instead of killing the daemon (net/http would only kill the goroutine,
+// but the client would see a torn connection and nothing would be logged).
+
+// Request metrics on the process-wide registry. Routes are the ServeMux
+// patterns (bounded cardinality — path wildcards like {name} are not
+// expanded), plus "unmatched" for requests no pattern accepts.
+var (
+	httpRequests = obs.Default.CounterVec("molq_http_requests_total",
+		"HTTP requests served, by route pattern and status class",
+		"route", "class")
+	httpLatency = obs.Default.HistogramVec("molq_http_request_seconds",
+		"HTTP request latency in seconds, by route pattern", nil,
+		"route")
+	httpInflight = obs.Default.Gauge("molq_http_inflight_requests",
+		"HTTP requests currently being served")
+	httpPanics = obs.Default.Counter("molq_http_panics_total",
+		"handler panics recovered by the middleware")
+)
+
+// requestIDHeader is both the request and response header carrying the ID.
+const requestIDHeader = "X-Request-Id"
+
+// statusRecorder captures the status code a handler writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.status = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if !r.wrote {
+		r.status = http.StatusOK
+		r.wrote = true
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// newRequestID returns 16 hex characters of crypto randomness — unique
+// enough to correlate logs, cheap enough for every request.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusClass buckets a status code for the request counter ("2xx"…).
+func statusClass(code int) string {
+	switch {
+	case code < 200:
+		return "1xx"
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// middleware wraps next with the full stack described above.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get(requestIDHeader)
+		if reqID == "" {
+			reqID = newRequestID()
+		}
+		w.Header().Set(requestIDHeader, reqID)
+
+		// The route label is the matched ServeMux pattern, resolved before
+		// serving so the label is available even if the handler panics.
+		route := "unmatched"
+		if _, pattern := s.h.Handler(r); pattern != "" {
+			route = pattern
+		}
+
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		httpInflight.Inc()
+		start := time.Now()
+		defer func() {
+			elapsed := time.Since(start)
+			if p := recover(); p != nil {
+				httpPanics.Inc()
+				s.log.Error("handler panic",
+					"request_id", reqID,
+					"route", route,
+					"panic", p,
+					"stack", string(debug.Stack()))
+				if !rec.wrote {
+					writeErr(rec, http.StatusInternalServerError, "internal server error")
+				}
+			}
+			httpInflight.Dec()
+			httpRequests.With(route, statusClass(rec.status)).Inc()
+			httpLatency.With(route).Observe(elapsed.Seconds())
+			lvl := slog.LevelInfo
+			if rec.status >= 500 {
+				lvl = slog.LevelError
+			}
+			s.log.Log(r.Context(), lvl, "request",
+				"request_id", reqID,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"route", route,
+				"status", rec.status,
+				"duration_ms", float64(elapsed.Microseconds())/1000)
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}

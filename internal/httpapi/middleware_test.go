@@ -1,0 +1,173 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"molq/internal/obs"
+)
+
+// solveBody is a minimal valid /v1/solve request reused by scrape tests.
+const solveBody = `{"types":[
+	{"objects":[{"x":10,"y":10},{"x":90,"y":20}]},
+	{"objects":[{"x":20,"y":70},{"x":70,"y":60}]}
+]}`
+
+// TestRequestIDGenerated checks every response carries a non-empty
+// X-Request-Id when the client sent none.
+func TestRequestIDGenerated(t *testing.T) {
+	srv := New()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	id := rec.Header().Get("X-Request-Id")
+	if len(id) != 16 {
+		t.Fatalf("generated request id = %q, want 16 hex chars", id)
+	}
+}
+
+// TestRequestIDPropagated checks an incoming X-Request-Id is honored and
+// echoed, and lands in the access log.
+func TestRequestIDPropagated(t *testing.T) {
+	var logBuf bytes.Buffer
+	srv := New(WithLogger(slog.New(slog.NewTextHandler(&logBuf, nil))))
+	req := httptest.NewRequest("GET", "/v1/healthz", nil)
+	req.Header.Set("X-Request-Id", "trace-me-123")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-Id"); got != "trace-me-123" {
+		t.Fatalf("echoed request id = %q, want trace-me-123", got)
+	}
+	if !strings.Contains(logBuf.String(), "request_id=trace-me-123") {
+		t.Fatalf("access log missing propagated id:\n%s", logBuf.String())
+	}
+}
+
+// TestPanicRecovery checks a handler panic becomes a JSON 500 with the
+// stack logged, instead of a torn connection.
+func TestPanicRecovery(t *testing.T) {
+	var logBuf bytes.Buffer
+	srv := New(WithLogger(slog.New(slog.NewTextHandler(&logBuf, nil))))
+	srv.h.HandleFunc("GET /v1/boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	before := obs.Default.Counter("molq_http_panics_total", "").Value()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	var body errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("panic response is not JSON: %v (%s)", err, rec.Body.String())
+	}
+	if body.Error == "" {
+		t.Fatal("empty error message in 500 body")
+	}
+	log := logBuf.String()
+	if !strings.Contains(log, "kaboom") || !strings.Contains(log, "middleware_test.go") {
+		t.Fatalf("panic log missing message or stack:\n%s", log)
+	}
+	if got := obs.Default.Counter("molq_http_panics_total", "").Value(); got != before+1 {
+		t.Fatalf("panic counter = %d, want %d", got, before+1)
+	}
+}
+
+// TestMetricsScrape checks /v1/metrics serves Prometheus text including
+// the request metrics of earlier requests, the diagram-cache counters and
+// the sweep counters.
+func TestMetricsScrape(t *testing.T) {
+	srv := New()
+	// obs.Default is process-wide (other tests in this package also move
+	// its counters), so assert deltas, not absolute values.
+	solveCounter := httpRequests.With("POST /v1/solve", "2xx")
+	before := solveCounter.Value()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/solve", strings.NewReader(solveBody)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("solve status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := solveCounter.Value(); got != before+1 {
+		t.Errorf("solve request counter = %d, want %d", got, before+1)
+	}
+
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE molq_http_requests_total counter",
+		`molq_http_requests_total{route="POST /v1/solve",class="2xx"}`,
+		"# TYPE molq_http_request_seconds histogram",
+		`molq_http_request_seconds_bucket{route="POST /v1/solve",le="+Inf"}`,
+		"molq_http_inflight_requests",
+		"molq_diagram_cache_hits_total",
+		"molq_diagram_cache_misses_total",
+		"molq_sweep_events_total",
+		"molq_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestUnmatchedRouteLabel checks requests outside the API surface count
+// under the bounded "unmatched" label rather than per-path series.
+func TestUnmatchedRouteLabel(t *testing.T) {
+	srv := New()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/no/such/path", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/metrics", nil))
+	if !strings.Contains(rec.Body.String(), `molq_http_requests_total{route="unmatched",class="4xx"}`) {
+		t.Error("exposition missing unmatched route counter")
+	}
+}
+
+// TestHealthzPayload checks the liveness probe carries diagnostics.
+func TestHealthzPayload(t *testing.T) {
+	srv := New()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/healthz", nil))
+	var h HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Goroutines <= 0 || h.UptimeSeconds < 0 {
+		t.Fatalf("healthz payload = %+v", h)
+	}
+}
+
+// TestStatsPayload checks /v1/stats gained uptime, goroutines and build
+// info alongside the existing engine/cache fields.
+func TestStatsPayload(t *testing.T) {
+	srv := New()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats", nil))
+	var st StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Goroutines <= 0 || st.UptimeSeconds < 0 {
+		t.Fatalf("stats payload = %+v", st)
+	}
+	if st.Build.GoVersion == "" {
+		t.Fatal("stats missing build info")
+	}
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterGaugeConcurrent hammers one counter and one gauge from many
+// goroutines; run under -race this doubles as the data-race check.
+func TestCounterGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "test counter")
+	g := r.Gauge("g", "test gauge")
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got, want := g.Value(), float64(workers*perWorker)*0.5; got != want {
+		t.Errorf("gauge = %g, want %g", got, want)
+	}
+}
+
+// TestHistogramConcurrent checks observation counts and sums survive
+// concurrent Observe calls.
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "test histogram", []float64{1, 2})
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(1.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("count = %d, want %d", got, workers*perWorker)
+	}
+	if got, want := h.Sum(), 1.5*workers*perWorker; got != want {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+}
+
+// TestHistogramBuckets pins the le semantics: bounds are inclusive upper
+// bounds, buckets are cumulative, +Inf equals the total count.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 10} {
+		h.Observe(v)
+	}
+	// le=1: 0.5, 1 → 2; le=2: +1.5, 2 → 4; le=5: +3 → 5; +Inf: 6.
+	for i, want := range []int64{2, 4, 5} {
+		if got := h.BucketCount(i); got != want {
+			t.Errorf("bucket %d cumulative = %d, want %d", i, got, want)
+		}
+	}
+	if got := h.Count(); got != 6 {
+		t.Errorf("count = %d, want 6", got)
+	}
+	if got := h.Sum(); got != 18 {
+		t.Errorf("sum = %g, want 18", got)
+	}
+}
+
+// TestGetOrCreate pins the registration contract: same name returns the
+// same instance; a kind mismatch panics.
+func TestGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help")
+	b := r.Counter("x_total", "help")
+	if a != b {
+		t.Error("re-registering a counter returned a different instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering x_total as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "help")
+}
+
+// TestPromExposition is the golden test for the text format.
+func TestPromExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("molq_things_total", "things processed")
+	c.Add(42)
+	g := r.Gauge("molq_level", "current level")
+	g.Set(2.5)
+	v := r.CounterVec("molq_reqs_total", "requests", "route", "class")
+	v.With("GET /v1/solve", "2xx").Add(3)
+	v.With(`we"ird`, "5xx").Inc()
+	h := r.Histogram("molq_lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP molq_lat_seconds latency
+# TYPE molq_lat_seconds histogram
+molq_lat_seconds_bucket{le="0.1"} 1
+molq_lat_seconds_bucket{le="1"} 2
+molq_lat_seconds_bucket{le="+Inf"} 3
+molq_lat_seconds_sum 3.55
+molq_lat_seconds_count 3
+# HELP molq_level current level
+# TYPE molq_level gauge
+molq_level 2.5
+# HELP molq_reqs_total requests
+# TYPE molq_reqs_total counter
+molq_reqs_total{route="GET /v1/solve",class="2xx"} 3
+molq_reqs_total{route="we\"ird",class="5xx"} 1
+# HELP molq_things_total things processed
+# TYPE molq_things_total counter
+molq_things_total 42
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestGaugeFunc checks callback gauges appear in the exposition and that
+// re-registration keeps the first callback.
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("molq_up", "uptime", func() float64 { return 7 })
+	r.GaugeFunc("molq_up", "uptime", func() float64 { return 99 })
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "molq_up 7\n") {
+		t.Errorf("exposition missing first-registered gauge func value:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,213 @@
+// Package obs is the stdlib-only observability substrate of the MOLQ
+// pipeline: a lightweight span tracer (this file) and a metrics registry
+// with Prometheus text exposition (metrics.go). The paper's evaluation
+// (Sec 6, Figs 11–14) is organised around per-module cost — VD generation
+// vs. MOVD overlap vs. optimization — and obs makes those numbers
+// first-class at runtime instead of offline-benchmark-only: query.Solve
+// emits a span per Fig-3 module, the ⊕ engine emits a span per shard, and
+// the same instrumentation points feed live counters scrapeable from
+// molqd's GET /v1/metrics.
+//
+// Everything here is safe for concurrent use and cheap when disabled: a
+// nil *Span no-ops every method with a single pointer check, so the hot
+// paths carry no instrumentation cost unless a caller asked for a trace.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Attr is one key=value annotation on a span. Values are pre-formatted to
+// strings at set time so rendering never re-touches pipeline state.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Span is one timed region of a trace. Spans form a tree via Child; the
+// root is created by StartSpan. All methods are nil-safe — a nil *Span is
+// the disabled tracer — and safe for concurrent use, so parallel shards of
+// one phase may create children and set attributes concurrently.
+type Span struct {
+	Name      string
+	StartTime time.Time     // wall clock at StartSpan (carries monotonic reading)
+	Duration  time.Duration // fixed by End/EndWith; 0 while running
+
+	mu       sync.Mutex
+	attrs    []Attr
+	children []*Span
+	ended    bool
+}
+
+// StartSpan begins a new root span. The embedded monotonic clock of
+// time.Now makes Duration immune to wall-clock steps.
+func StartSpan(name string) *Span {
+	return &Span{Name: name, StartTime: time.Now()}
+}
+
+// Child begins a sub-span. Returns nil when s is nil, so call chains on a
+// disabled trace cost one pointer check per hop.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := StartSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End fixes the span's duration from the monotonic clock. Repeated calls
+// keep the first duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.Duration = time.Since(s.StartTime)
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// EndWith fixes the span's duration to an externally measured value. The
+// query pipeline uses it to make span durations byte-identical to the
+// Stats phase durations, so a -trace flame summary and the stats table
+// never disagree.
+func (s *Span) EndWith(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.Duration = d
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr annotates the span. Supported value kinds are formatted
+// compactly (ints, floats, durations, strings); everything else goes
+// through fmt.Sprint.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	var str string
+	switch v := value.(type) {
+	case string:
+		str = v
+	case int:
+		str = strconv.Itoa(v)
+	case int64:
+		str = strconv.FormatInt(v, 10)
+	case float64:
+		str = strconv.FormatFloat(v, 'g', 6, 64)
+	case time.Duration:
+		str = v.String()
+	case bool:
+		str = strconv.FormatBool(v)
+	default:
+		str = fmt.Sprint(v)
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: str})
+	s.mu.Unlock()
+}
+
+// Attrs returns a copy of the span's annotations in insertion order.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// Children returns a copy of the span's direct children.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Find returns the first span named name in a depth-first walk of the
+// tree rooted at s (s itself included), or nil.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children() {
+		if m := c.Find(name); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// Render writes the span tree as an indented text flame summary: one line
+// per span with its duration, its share of the root's duration, and its
+// attributes. Children print in creation order.
+func (s *Span) Render(w io.Writer) error {
+	if s == nil {
+		_, err := fmt.Fprintln(w, "(no trace)")
+		return err
+	}
+	root := s.Duration
+	return s.render(w, 0, root)
+}
+
+func (s *Span) render(w io.Writer, depth int, root time.Duration) error {
+	pct := ""
+	if depth > 0 && root > 0 {
+		pct = fmt.Sprintf("%5.1f%%", 100*float64(s.Duration)/float64(root))
+	}
+	line := fmt.Sprintf("%-*s%-24s %12s %7s", 2*depth, "", s.Name, s.Duration.Round(time.Microsecond), pct)
+	if attrs := s.Attrs(); len(attrs) > 0 {
+		line += "  ["
+		for i, a := range attrs {
+			if i > 0 {
+				line += " "
+			}
+			line += a.Key + "=" + a.Value
+		}
+		line += "]"
+	}
+	if _, err := fmt.Fprintln(w, line); err != nil {
+		return err
+	}
+	for _, c := range s.Children() {
+		if err := c.render(w, depth+1, root); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SortChildrenByStart orders the direct children by their start times;
+// parallel shards register in scheduling order, and a deterministic order
+// reads better in flame summaries.
+func (s *Span) SortChildrenByStart() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	sort.SliceStable(s.children, func(i, j int) bool {
+		return s.children[i].StartTime.Before(s.children[j].StartTime)
+	})
+	s.mu.Unlock()
+}

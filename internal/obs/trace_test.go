@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSpanIsNoOp pins the disabled-tracer contract: every method on a
+// nil *Span is safe and Child keeps returning nil.
+func TestNilSpanIsNoOp(t *testing.T) {
+	var s *Span
+	c := s.Child("x")
+	if c != nil {
+		t.Fatal("nil.Child returned non-nil")
+	}
+	c.SetAttr("k", 1)
+	c.End()
+	c.EndWith(time.Second)
+	c.SortChildrenByStart()
+	if c.Find("x") != nil {
+		t.Error("nil.Find returned non-nil")
+	}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no trace") {
+		t.Errorf("nil render = %q", sb.String())
+	}
+}
+
+// TestSpanTree checks parent/child structure, EndWith exactness, attrs
+// and Find.
+func TestSpanTree(t *testing.T) {
+	root := StartSpan("solve")
+	vd := root.Child("vd-build")
+	vd.SetAttr("cache_hits", 2)
+	vd.EndWith(3 * time.Millisecond)
+	ov := root.Child("overlap")
+	ov.Child("⊕ 1").End()
+	ov.EndWith(5 * time.Millisecond)
+	root.EndWith(10 * time.Millisecond)
+
+	if got := root.Find("vd-build"); got == nil || got.Duration != 3*time.Millisecond {
+		t.Fatalf("Find(vd-build) = %+v", got)
+	}
+	if got := root.Find("⊕ 1"); got == nil {
+		t.Fatal("Find did not descend to grandchildren")
+	}
+	if got := root.Find("missing"); got != nil {
+		t.Fatal("Find invented a span")
+	}
+	if kids := root.Children(); len(kids) != 2 || kids[0].Name != "vd-build" {
+		t.Fatalf("children = %v", kids)
+	}
+	attrs := vd.Attrs()
+	if len(attrs) != 1 || attrs[0].Key != "cache_hits" || attrs[0].Value != "2" {
+		t.Fatalf("attrs = %v", attrs)
+	}
+
+	var sb strings.Builder
+	if err := root.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"solve", "vd-build", "overlap", "cache_hits=2", "30.0%", "50.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Children indent deeper than the root.
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[1], "  ") || strings.HasPrefix(lines[0], " ") {
+		t.Errorf("unexpected indentation:\n%s", out)
+	}
+}
+
+// TestSpanConcurrentChildren registers children and attributes from many
+// goroutines (parallel shard pattern); -race verifies the locking.
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := StartSpan("overlap")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := root.Child("strip")
+			c.SetAttr("i", i)
+			c.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Children()); got != 16 {
+		t.Fatalf("children = %d, want 16", got)
+	}
+}
+
+// TestEndKeepsFirstDuration pins that a second End/EndWith cannot rewrite
+// an ended span.
+func TestEndKeepsFirstDuration(t *testing.T) {
+	s := StartSpan("x")
+	s.EndWith(time.Second)
+	s.End()
+	s.EndWith(time.Minute)
+	if s.Duration != time.Second {
+		t.Fatalf("duration = %v, want 1s", s.Duration)
+	}
+}

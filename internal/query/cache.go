@@ -11,6 +11,19 @@ import (
 
 	"molq/internal/core"
 	"molq/internal/geom"
+	"molq/internal/obs"
+)
+
+// Live diagram-cache counters on the process-wide metrics registry,
+// aggregated across every DiagramCache instance (a serving process holds
+// one; tests may hold more). The per-instance CacheStats stay exact.
+var (
+	cacheHitsMetric = obs.Default.Counter("molq_diagram_cache_hits_total",
+		"diagram-cache lookups that returned a memoized MOVD")
+	cacheMissesMetric = obs.Default.Counter("molq_diagram_cache_misses_total",
+		"diagram-cache lookups that fell through to diagram construction")
+	cacheEvictionsMetric = obs.Default.Counter("molq_diagram_cache_evictions_total",
+		"diagrams evicted from a cache to stay under its byte budget")
 )
 
 // This file implements the fingerprinted diagram cache: a content-addressed,
@@ -196,9 +209,11 @@ func (c *DiagramCache) get(key fingerprint) (*core.MOVD, bool) {
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
+		cacheHitsMetric.Inc()
 		return el.Value.(*cacheEntry).movd, true
 	}
 	c.misses++
+	cacheMissesMetric.Inc()
 	return nil, false
 }
 
@@ -228,6 +243,7 @@ func (c *DiagramCache) put(key fingerprint, m *core.MOVD) {
 		c.ll.Remove(back)
 		delete(c.items, e.key)
 		c.bytes -= e.size
+		cacheEvictionsMetric.Inc()
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"molq/internal/core"
 	"molq/internal/fermat"
 	"molq/internal/geom"
+	"molq/internal/obs"
 )
 
 // Engine answers repeated MOLQs over a fixed set of POI data. The key
@@ -48,12 +49,12 @@ func NewEngine(in Input, method Method) (*Engine, error) {
 	// Reuse the standard pipeline for modules 1-2 by running a solve with a
 	// captured MOVD would recompute the optimizer; instead build directly.
 	// Workers > 1 parallelises both modules exactly as Solve does.
-	basics, fps, cacheStats, err := in.buildBasics(method, e.mode)
+	basics, fps, cacheStats, err := in.buildBasics(method, e.mode, nil)
 	if err != nil {
 		return nil, err
 	}
 	var stats core.OverlapStats
-	acc, err := in.cachedOverlapChain(e.mode, nil, basics, fps, &stats, &cacheStats)
+	acc, err := in.cachedOverlapChain(e.mode, nil, basics, fps, &stats, &cacheStats, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -91,6 +92,11 @@ func (e *Engine) Query(typeWeights []float64) (Result, error) {
 		}
 	}
 	res := Result{Method: e.method}
+	var root *obs.Span
+	if e.in.Trace {
+		root = obs.StartSpan("engine-query/" + e.method.String())
+		res.Stats.Trace = root
+	}
 	start := time.Now()
 	groups := make([]fermat.Group, len(e.combos))
 	offsets := make([]float64, len(e.combos))
@@ -127,6 +133,13 @@ func (e *Engine) Query(typeWeights []float64) (Result, error) {
 	res.Stats.Fermat = batch.Stats
 	res.Stats.OptimizeTime = time.Since(start)
 	res.Stats.TotalTime = res.Stats.OptimizeTime
+	if root != nil {
+		optSpan := root.Child("optimize")
+		optSpan.SetAttr("groups", res.Stats.Groups)
+		optSpan.SetAttr("weiszfeld_iters", batch.Stats.TotalIters)
+		optSpan.EndWith(res.Stats.OptimizeTime)
+		root.EndWith(res.Stats.TotalTime)
+	}
 	return res, nil
 }
 

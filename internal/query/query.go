@@ -24,6 +24,7 @@ import (
 	"molq/internal/core"
 	"molq/internal/fermat"
 	"molq/internal/geom"
+	"molq/internal/obs"
 	"molq/internal/voronoi"
 	"molq/internal/weighted"
 )
@@ -126,6 +127,13 @@ type Input struct {
 	// bypassing the cache entirely (used by construction benchmarks and
 	// callers that mutate object sets in place between solves).
 	DisableDiagramCache bool
+	// Trace records a span tree over the solve — one span per Fig-3 module,
+	// one per pairwise ⊕ (with per-strip children under the parallel
+	// engine), one per Fermat-Weber batch — exported on Result.Stats.Trace.
+	// The phase span durations are set from the same measurements as the
+	// Stats phase durations, so the two always agree. Off (the default),
+	// the pipeline carries no tracing overhead beyond nil checks.
+	Trace bool
 }
 
 // kind returns the object weight function family of type ti.
@@ -151,6 +159,10 @@ type Stats struct {
 	Overlap core.OverlapStats // accumulated across sequential overlaps
 	Fermat  fermat.BatchStats
 	Cache   CacheStats // diagram-cache lookups of this solve's VD stage
+
+	// Trace is the solve's span tree when Input.Trace was set (nil
+	// otherwise). Phase span durations equal the phase durations above.
+	Trace *obs.Span `json:"-"`
 }
 
 // Result is the answer to a MOLQ.
@@ -252,7 +264,7 @@ func uniformWeights(set []core.Object) bool {
 // (the pipeline only reads basic MOVDs). The returned fingerprints (nil when
 // no cache is configured) key the overlap-level cache; the CacheStats counts
 // this call's hits and misses and snapshots the cache state.
-func (in *Input) buildBasics(method Method, mode core.Mode) ([]*core.MOVD, []fingerprint, CacheStats, error) {
+func (in *Input) buildBasics(method Method, mode core.Mode, span *obs.Span) ([]*core.MOVD, []fingerprint, CacheStats, error) {
 	basics := make([]*core.MOVD, len(in.Sets))
 	cache := in.diagramCache()
 	hits := make([]bool, len(in.Sets))
@@ -261,6 +273,11 @@ func (in *Input) buildBasics(method Method, mode core.Mode) ([]*core.MOVD, []fin
 		fps = make([]fingerprint, len(in.Sets))
 	}
 	buildOne := func(ti int) error {
+		var sp *obs.Span
+		if span != nil {
+			sp = span.Child(fmt.Sprintf("vd type %d", ti))
+			defer sp.End()
+		}
 		set := in.Sets[ti]
 		var fp fingerprint
 		if cache != nil {
@@ -269,8 +286,11 @@ func (in *Input) buildBasics(method Method, mode core.Mode) ([]*core.MOVD, []fin
 			if m, ok := cache.get(fp); ok {
 				basics[ti] = m
 				hits[ti] = true
+				sp.SetAttr("cache", "hit")
+				sp.SetAttr("ovrs", m.Len())
 				return nil
 			}
+			sp.SetAttr("cache", "miss")
 		}
 		var m *core.MOVD
 		var err error
@@ -287,6 +307,7 @@ func (in *Input) buildBasics(method Method, mode core.Mode) ([]*core.MOVD, []fin
 			return err
 		}
 		basics[ti] = m
+		sp.SetAttr("ovrs", m.Len())
 		if cache != nil {
 			cache.put(fp, m)
 		}
@@ -340,10 +361,10 @@ func (in *Input) buildBasics(method Method, mode core.Mode) ([]*core.MOVD, []fin
 // entirely. Single-set inputs are not cached at this level — the "chain" is
 // the basic diagram itself, already a level-one entry. The lookup is counted
 // into cs alongside the basic-diagram hits and misses.
-func (in *Input) cachedOverlapChain(mode core.Mode, prune core.PruneFunc, movds []*core.MOVD, fps []fingerprint, stats *core.OverlapStats, cs *CacheStats) (*core.MOVD, error) {
+func (in *Input) cachedOverlapChain(mode core.Mode, prune core.PruneFunc, movds []*core.MOVD, fps []fingerprint, stats *core.OverlapStats, cs *CacheStats, span *obs.Span) (*core.MOVD, error) {
 	cache := in.diagramCache()
 	if cache == nil || fps == nil || len(movds) < 2 || len(movds) != len(in.Sets) {
-		return in.overlapChain(mode, prune, movds, stats)
+		return in.overlapChain(mode, prune, movds, stats, span)
 	}
 	key := fingerprintOverlap(fps, prune != nil)
 	refresh := func() {
@@ -353,10 +374,12 @@ func (in *Input) cachedOverlapChain(mode core.Mode, prune core.PruneFunc, movds 
 	if m, ok := cache.get(key); ok {
 		cs.Hits++
 		refresh()
+		span.SetAttr("cache", "hit")
 		return m, nil
 	}
 	cs.Misses++
-	acc, err := in.overlapChain(mode, prune, movds, stats)
+	span.SetAttr("cache", "miss")
+	acc, err := in.overlapChain(mode, prune, movds, stats, span)
 	if err != nil {
 		return nil, err
 	}
@@ -370,9 +393,9 @@ func (in *Input) cachedOverlapChain(mode core.Mode, prune core.PruneFunc, movds 
 // sweeps within each ⊕, balanced reduction across the chain) when
 // Workers > 1. Both produce the same final diagram; the parallel path's
 // statistics depend on sharding and reduction shape.
-func (in *Input) overlapChain(mode core.Mode, prune core.PruneFunc, movds []*core.MOVD, stats *core.OverlapStats) (*core.MOVD, error) {
+func (in *Input) overlapChain(mode core.Mode, prune core.PruneFunc, movds []*core.MOVD, stats *core.OverlapStats, span *obs.Span) (*core.MOVD, error) {
 	if in.Workers > 1 {
-		acc, st, err := core.ParallelOverlapPruned(in.Bounds, mode, in.Workers, prune, movds...)
+		acc, st, err := core.ParallelOverlapPrunedSpan(in.Bounds, mode, in.Workers, prune, span, movds...)
 		if err != nil {
 			return nil, err
 		}
@@ -380,12 +403,20 @@ func (in *Input) overlapChain(mode core.Mode, prune core.PruneFunc, movds []*cor
 		return acc, nil
 	}
 	acc := movds[0]
-	for _, m := range movds[1:] {
+	for i, m := range movds[1:] {
+		var sp *obs.Span
+		if span != nil {
+			sp = span.Child(fmt.Sprintf("⊕ %d", i+1))
+		}
 		next, st, err := core.OverlapPruned(acc, m, prune)
 		if err != nil {
 			return nil, err
 		}
 		stats.Add(st)
+		sp.SetAttr("events", st.Events)
+		sp.SetAttr("pairs", st.CandidatePairs)
+		sp.SetAttr("ovrs", st.OutputOVRs)
+		sp.End()
 		acc = next
 	}
 	return acc, nil
@@ -398,25 +429,39 @@ func solveMOVD(in Input, method Method) (Result, error) {
 		mode = core.MBRB
 	}
 	res := Result{Method: method}
+	var root *obs.Span
+	if in.Trace {
+		root = obs.StartSpan("solve/" + method.String())
+		res.Stats.Trace = root
+	}
 	totalStart := time.Now()
 
 	// Module 1: VD Generator (basic MOVDs, Property 7), memoized through the
 	// fingerprinted diagram cache.
+	vdSpan := root.Child("vd-build")
 	vdStart := time.Now()
-	basics, fps, cacheStats, err := in.buildBasics(method, mode)
+	basics, fps, cacheStats, err := in.buildBasics(method, mode, vdSpan)
 	if err != nil {
 		return res, err
 	}
 	res.Stats.VDTime = time.Since(vdStart)
 	res.Stats.Cache = cacheStats
+	vdSpan.SetAttr("cache_hits", cacheStats.Hits)
+	vdSpan.SetAttr("cache_misses", cacheStats.Misses)
+	vdSpan.EndWith(res.Stats.VDTime)
 
 	// Module 2: MOVD Overlapper (⊕ chain, Eq 27), optionally with
 	// combination pruning (Sec 8). With SpillDir the final — largest —
 	// overlap streams to disk instead of materialising.
+	ovSpan := root.Child("overlap")
 	ovStart := time.Now()
 	var prune core.PruneFunc
 	if in.PruneOverlap {
-		prune = in.pruneFunc(in.upperBound())
+		pruneSpan := ovSpan.Child("prune-bound")
+		u := in.upperBound()
+		pruneSpan.SetAttr("upper_bound", u)
+		pruneSpan.End()
+		prune = in.pruneFunc(u)
 	}
 	spillLast := in.SpillDir != "" && len(basics) >= 2
 	inMemory := basics
@@ -426,18 +471,22 @@ func solveMOVD(in Input, method Method) (Result, error) {
 		// partial chain and falls through).
 		inMemory = basics[:len(basics)-1]
 	}
-	acc, err := in.cachedOverlapChain(mode, prune, inMemory, fps, &res.Stats.Overlap, &res.Stats.Cache)
+	acc, err := in.cachedOverlapChain(mode, prune, inMemory, fps, &res.Stats.Overlap, &res.Stats.Cache, ovSpan)
 	if err != nil {
 		return res, err
 	}
 	if spillLast {
-		return in.finishSpilled(res, acc, basics[len(basics)-1], prune, ovStart, totalStart)
+		return in.finishSpilled(res, acc, basics[len(basics)-1], prune, ovStart, totalStart, root, ovSpan)
 	}
 	res.Stats.OverlapTime = time.Since(ovStart)
 	res.Stats.OVRs = acc.Len()
 	res.Stats.PointsManaged = acc.PointsManaged()
+	ovSpan.SetAttr("ovrs", res.Stats.OVRs)
+	ovSpan.SortChildrenByStart()
+	ovSpan.EndWith(res.Stats.OverlapTime)
 
 	// Module 3: Optimizer (Sec 5.4).
+	optSpan := root.Child("optimize")
 	optStart := time.Now()
 	combos := acc.Groups()
 	groups := make([]fermat.Group, len(combos))
@@ -460,9 +509,14 @@ func solveMOVD(in Input, method Method) (Result, error) {
 	}
 	res.Stats.OptimizeTime = time.Since(optStart)
 	res.Stats.Fermat = batch.Stats
+	optSpan.SetAttr("groups", res.Stats.Groups)
+	optSpan.SetAttr("weiszfeld_iters", batch.Stats.TotalIters)
+	optSpan.SetAttr("prefiltered", batch.Stats.Prefiltered)
+	optSpan.EndWith(res.Stats.OptimizeTime)
 	res.Loc = batch.Loc
 	res.Cost = batch.Cost
 	res.Stats.TotalTime = time.Since(totalStart)
+	root.EndWith(res.Stats.TotalTime)
 	return res, nil
 }
 
@@ -497,6 +551,12 @@ func weightedBasic(set []core.Object, ti int, bounds geom.Rect, kind WeightKind)
 // combination's optimal cost.
 func solveSSC(in Input) (Result, error) {
 	res := Result{Method: SSC}
+	var root *obs.Span
+	if in.Trace {
+		root = obs.StartSpan("solve/SSC")
+		res.Stats.Trace = root
+	}
+	optSpan := root.Child("optimize")
 	start := time.Now()
 	opt := in.options()
 	idx := make([]int, len(in.Sets))
@@ -564,5 +624,10 @@ func solveSSC(in Input) (Result, error) {
 	d := time.Since(start)
 	res.Stats.OptimizeTime = d
 	res.Stats.TotalTime = d
+	optSpan.SetAttr("combinations", res.Stats.Combinations)
+	optSpan.SetAttr("problems", res.Stats.Fermat.Problems)
+	optSpan.SetAttr("prefiltered", res.Stats.Fermat.Prefiltered)
+	optSpan.EndWith(d)
+	root.EndWith(d)
 	return res, nil
 }

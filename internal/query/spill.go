@@ -6,6 +6,7 @@ import (
 
 	"molq/internal/core"
 	"molq/internal/fermat"
+	"molq/internal/obs"
 	"molq/internal/store"
 )
 
@@ -20,6 +21,7 @@ func (in *Input) finishSpilled(
 	acc, last *core.MOVD,
 	prune core.PruneFunc,
 	ovStart, totalStart time.Time,
+	root, ovSpan *obs.Span,
 ) (Result, error) {
 	tmp, err := os.CreateTemp(in.SpillDir, "molq-spill-*.movd")
 	if err != nil {
@@ -29,16 +31,23 @@ func (in *Input) finishSpilled(
 	tmp.Close()
 	defer os.Remove(path)
 
+	spillSpan := ovSpan.Child("⊕ spill")
 	st, err := store.OverlapToFileWorkers(acc, last, prune, path, in.Workers)
 	if err != nil {
 		return res, err
 	}
+	spillSpan.SetAttr("events", st.Events)
+	spillSpan.SetAttr("ovrs", st.OutputOVRs)
+	spillSpan.End()
 	res.Stats.Overlap.Add(st)
 	res.Stats.OverlapTime = time.Since(ovStart)
 	res.Stats.OVRs = st.OutputOVRs
 	res.Stats.PointsManaged = st.OutputPoints
+	ovSpan.SetAttr("ovrs", res.Stats.OVRs)
+	ovSpan.EndWith(res.Stats.OverlapTime)
 
 	// Streaming optimizer (Alg 5 over the spill file).
+	optSpan := root.Child("optimize")
 	optStart := time.Now()
 	additive := map[int]bool{}
 	for ti := range in.Sets {
@@ -70,5 +79,8 @@ func (in *Input) finishSpilled(
 	res.Loc = batch.Loc
 	res.Cost = batch.Cost
 	res.Stats.TotalTime = time.Since(totalStart)
+	optSpan.SetAttr("groups", res.Stats.Groups)
+	optSpan.EndWith(res.Stats.OptimizeTime)
+	root.EndWith(res.Stats.TotalTime)
 	return res, nil
 }

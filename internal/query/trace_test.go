@@ -1,0 +1,181 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"molq/internal/core"
+	"molq/internal/geom"
+)
+
+// traceInput builds a small three-type instance for trace tests.
+func traceInput(t testing.TB) Input {
+	t.Helper()
+	mk := func(ti int, pts ...geom.Point) []core.Object {
+		set := make([]core.Object, len(pts))
+		for i, p := range pts {
+			set[i] = core.Object{ID: i, Type: ti, Loc: p, TypeWeight: 1, ObjWeight: 1}
+		}
+		return set
+	}
+	return Input{
+		Sets: [][]core.Object{
+			mk(0, geom.Pt(10, 10), geom.Pt(90, 20), geom.Pt(40, 80)),
+			mk(1, geom.Pt(20, 70), geom.Pt(70, 60)),
+			mk(2, geom.Pt(50, 30), geom.Pt(30, 40)),
+		},
+		Bounds:              geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100)),
+		DisableDiagramCache: true,
+	}
+}
+
+// TestSolveTraceOff pins the default: no Input.Trace, no span tree.
+func TestSolveTraceOff(t *testing.T) {
+	res, err := Solve(traceInput(t), RRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Trace != nil {
+		t.Fatal("Stats.Trace non-nil without Input.Trace")
+	}
+}
+
+// TestSolveTracePhases checks the span tree exists, has the three Fig-3
+// module spans, and that their durations equal the Stats phase durations
+// exactly (they are set from the same measurement).
+func TestSolveTracePhases(t *testing.T) {
+	for _, method := range []Method{RRB, MBRB} {
+		in := traceInput(t)
+		in.Trace = true
+		in.PruneOverlap = true
+		res, err := Solve(in, method)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := res.Stats.Trace
+		if root == nil {
+			t.Fatalf("%v: no trace", method)
+		}
+		if root.Duration != res.Stats.TotalTime {
+			t.Errorf("%v: root duration %v != TotalTime %v", method, root.Duration, res.Stats.TotalTime)
+		}
+		vd := root.Find("vd-build")
+		if vd == nil || vd.Duration != res.Stats.VDTime {
+			t.Errorf("%v: vd-build span mismatch (span=%v, stats=%v)", method, vd, res.Stats.VDTime)
+		}
+		if got := len(vd.Children()); got != len(in.Sets) {
+			t.Errorf("%v: vd-build has %d children, want %d", method, got, len(in.Sets))
+		}
+		ov := root.Find("overlap")
+		if ov == nil || ov.Duration != res.Stats.OverlapTime {
+			t.Errorf("%v: overlap span mismatch", method)
+		}
+		if ov.Find("prune-bound") == nil {
+			t.Errorf("%v: missing prune-bound span under overlap", method)
+		}
+		if ov.Find("⊕ 1") == nil || ov.Find("⊕ 2") == nil {
+			t.Errorf("%v: missing per-⊕ spans", method)
+		}
+		opt := root.Find("optimize")
+		if opt == nil || opt.Duration != res.Stats.OptimizeTime {
+			t.Errorf("%v: optimize span mismatch", method)
+		}
+	}
+}
+
+// TestSolveTraceParallel checks the sharded engine emits per-pair and
+// per-strip spans.
+func TestSolveTraceParallel(t *testing.T) {
+	in := traceInput(t)
+	in.Trace = true
+	in.Workers = 4
+	res, err := Solve(in, RRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov := res.Stats.Trace.Find("overlap")
+	if ov == nil {
+		t.Fatal("no overlap span")
+	}
+	foundPair, foundStrip := false, false
+	for _, c := range ov.Children() {
+		if strings.HasPrefix(c.Name, "⊕ round") {
+			foundPair = true
+			for _, g := range c.Children() {
+				if strings.HasPrefix(g.Name, "strip ") || g.Name == "sweep" {
+					foundStrip = true
+				}
+			}
+		}
+	}
+	if !foundPair || !foundStrip {
+		t.Fatalf("parallel trace missing pair/strip spans (pair=%v strip=%v)", foundPair, foundStrip)
+	}
+}
+
+// TestSolveTraceSSC checks the SSC path traces its single optimize phase.
+func TestSolveTraceSSC(t *testing.T) {
+	in := traceInput(t)
+	in.Trace = true
+	res, err := Solve(in, SSC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := res.Stats.Trace
+	if root == nil || root.Duration != res.Stats.TotalTime {
+		t.Fatal("SSC trace missing or duration mismatch")
+	}
+	opt := root.Find("optimize")
+	if opt == nil || opt.Duration != res.Stats.OptimizeTime {
+		t.Fatal("SSC optimize span mismatch")
+	}
+}
+
+// TestEngineQueryTrace checks Engine.Query honors Input.Trace.
+func TestEngineQueryTrace(t *testing.T) {
+	in := traceInput(t)
+	in.Trace = true
+	eng, err := NewEngine(in, RRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := res.Stats.Trace
+	if root == nil {
+		t.Fatal("engine query produced no trace")
+	}
+	opt := root.Find("optimize")
+	if opt == nil || opt.Duration != res.Stats.OptimizeTime {
+		t.Fatal("engine optimize span mismatch")
+	}
+}
+
+// TestSolveTraceSpill checks the out-of-core path still closes the phase
+// spans with the Stats durations.
+func TestSolveTraceSpill(t *testing.T) {
+	in := traceInput(t)
+	in.Trace = true
+	in.SpillDir = t.TempDir()
+	res, err := Solve(in, RRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := res.Stats.Trace
+	if root == nil || root.Duration != res.Stats.TotalTime {
+		t.Fatal("spill trace missing or duration mismatch")
+	}
+	ov := root.Find("overlap")
+	if ov == nil || ov.Duration != res.Stats.OverlapTime {
+		t.Fatal("spill overlap span mismatch")
+	}
+	if ov.Find("⊕ spill") == nil {
+		t.Fatal("missing ⊕ spill span")
+	}
+	opt := root.Find("optimize")
+	if opt == nil || opt.Duration != res.Stats.OptimizeTime {
+		t.Fatal("spill optimize span mismatch")
+	}
+}
