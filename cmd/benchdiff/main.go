@@ -22,8 +22,8 @@ import (
 
 func main() {
 	var (
-		threshold = flag.Float64("threshold", 0.10, "relative slowdown that counts as a regression")
-		unit      = flag.String("unit", "ns/op", "metric unit to gate on")
+		threshold = flag.Float64("threshold", 0.10, "relative change in the bad direction that counts as a regression")
+		unit      = flag.String("unit", "ns/op", "metric unit to gate on (qps and cache-hit-rate gate on drops, everything else on increases)")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -55,7 +55,11 @@ func main() {
 	tb.Render(os.Stdout)
 	regs := benchfmt.Regressions(deltas, *unit, *threshold)
 	if len(regs) > 0 {
-		fmt.Printf("\n%d regression(s) beyond %.0f%%:\n", len(regs), *threshold*100)
+		direction := "slower/bigger"
+		if benchfmt.HigherIsBetter(*unit) {
+			direction = "lower"
+		}
+		fmt.Printf("\n%d regression(s) beyond %.0f%% (%s %s):\n", len(regs), *threshold*100, direction, *unit)
 		for _, d := range regs {
 			fmt.Printf("  %s: %.4g -> %.4g %s (%.2fx)\n", d.Name, d.Old, d.New, d.Unit, d.Ratio)
 		}

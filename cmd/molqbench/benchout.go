@@ -3,7 +3,9 @@ package main
 import (
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -163,6 +165,50 @@ func benchSuite(quick bool) ([]benchSpec, error) {
 			phases.report(b)
 		},
 	})
+	// Batched-query pair: the same 16 weight vectors answered one Query at a
+	// time vs one QueryBatch over a prepared engine — the serving-path
+	// amortization this suite gates (batch16 must beat seq16).
+	engineN := 600
+	if quick {
+		engineN = 150
+	}
+	engIn := benchSuiteInput(engineN)
+	engIn.Workers = runtime.GOMAXPROCS(0)
+	eng, err := query.NewEngine(engIn, query.RRB)
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(61))
+	vecs := make([][]float64, 16)
+	for i := range vecs {
+		vecs[i] = []float64{0.5 + 9.5*r.Float64(), 0.5 + 9.5*r.Float64()}
+	}
+	specs = append(specs,
+		benchSpec{
+			name: fmt.Sprintf("BenchmarkEngineQueryBatch/seq16/n=%d", engineN),
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for _, tw := range vecs {
+						if _, err := eng.Query(tw); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			},
+		},
+		benchSpec{
+			name: fmt.Sprintf("BenchmarkEngineQueryBatch/batch16/n=%d", engineN),
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.QueryBatch(vecs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+	)
 	return specs, nil
 }
 
@@ -191,12 +237,12 @@ func (p *phaseTotals) report(b *testing.B) {
 	b.ReportMetric(float64(p.optimize.Nanoseconds())/float64(p.n), "optimize-ns/op")
 }
 
-// runBenchSuite executes the suite and writes benchfmt JSON to path
-// ("-" for stdout). Progress goes to progress when non-nil.
-func runBenchSuite(path string, quick bool, progress io.Writer) error {
+// collectBenchSuite executes the suite and returns its benchfmt results.
+// Progress goes to progress when non-nil.
+func collectBenchSuite(quick bool, progress io.Writer) ([]benchfmt.Result, error) {
 	specs, err := benchSuite(quick)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	results := make([]benchfmt.Result, 0, len(specs))
 	for _, spec := range specs {
@@ -218,6 +264,11 @@ func runBenchSuite(path string, quick bool, progress io.Writer) error {
 			Metrics:    metrics,
 		})
 	}
+	return results, nil
+}
+
+// writeBenchJSON writes results as benchfmt JSON to path ("-" for stdout).
+func writeBenchJSON(path string, results []benchfmt.Result) error {
 	out := os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)

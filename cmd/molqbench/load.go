@@ -1,0 +1,268 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"molq/internal/benchfmt"
+	"molq/internal/httpapi"
+	"molq/internal/obs"
+)
+
+// This file implements -load: a closed-duration, open-loop QPS load harness
+// against the HTTP API. It drives a fixed mix of request classes —
+// engine queries against a prepared engine (the cheap serving path), warm
+// solves that hit the diagram cache, and cold solves whose jittered
+// geometry forces a full Voronoi build — at a target arrival rate, measures
+// client-side latency into obs histograms, and reports achieved QPS with
+// p50/p95/p99 per class as benchfmt results (mergeable into the -benchout
+// suite file). With no -target it boots an in-process httpapi server on a
+// loopback port, so the smoke path needs no prior daemon.
+
+// loadOptions configures one load run.
+type loadOptions struct {
+	target   string        // base URL of a running server; "" self-hosts
+	duration time.Duration // how long to keep offering load
+	qps      float64       // target arrival rate across all classes
+	workers  int           // concurrent client connections (≤0: 2·GOMAXPROCS)
+	progress io.Writer     // optional progress/log sink
+}
+
+// loadBuckets resolve sub-millisecond engine queries and multi-hundred-ms
+// cold solves in the same histogram.
+var loadBuckets = []float64{
+	0.00025, 0.0005, 0.001, 0.002, 0.004, 0.008, 0.016, 0.032,
+	0.064, 0.125, 0.25, 0.5, 1, 2, 4,
+}
+
+// loadOps are the request classes of the mix. Of every 10 arrivals, 7 are
+// engine queries, 2 warm solves, 1 a cold solve.
+var loadOps = []string{"engine-query", "warm-solve", "cold-solve"}
+
+func opFor(i uint64) string {
+	switch i % 10 {
+	case 7, 8:
+		return "warm-solve"
+	case 9:
+		return "cold-solve"
+	default:
+		return "engine-query"
+	}
+}
+
+// loadTypes is the shared inline geometry of the solve classes and the
+// prepared engine. jitter displaces one object, changing the set's
+// fingerprint so the diagram cache cannot serve the request.
+func loadTypes(jitter float64) []httpapi.TypeJSON {
+	return []httpapi.TypeJSON{
+		{Name: "school", Objects: []httpapi.ObjectJSON{
+			{X: 20, Y: 30}, {X: 80, Y: 40}, {X: 45, Y: 70}, {X: 15 + jitter, Y: 55},
+		}},
+		{Name: "market", Objects: []httpapi.ObjectJSON{
+			{X: 10, Y: 80}, {X: 60, Y: 20}, {X: 75, Y: 75},
+		}},
+	}
+}
+
+// runLoad executes the harness and returns one benchfmt result per request
+// class plus an "overall" aggregate. It fails when not a single request
+// succeeded — a dead target must fail the run, not report 0 QPS quietly.
+func runLoad(opt loadOptions) ([]benchfmt.Result, error) {
+	if opt.workers <= 0 {
+		opt.workers = 2 * runtime.GOMAXPROCS(0)
+	}
+	if opt.qps <= 0 {
+		return nil, fmt.Errorf("load: target qps must be positive, got %g", opt.qps)
+	}
+	base := opt.target
+	if base == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("load: self-host listen: %v", err)
+		}
+		api := httpapi.New(httpapi.WithAdmission(2*runtime.GOMAXPROCS(0), 256))
+		srv := &http.Server{Handler: api}
+		go srv.Serve(ln)
+		defer srv.Close()
+		base = "http://" + ln.Addr().String()
+		if opt.progress != nil {
+			fmt.Fprintf(opt.progress, "load: self-hosted server at %s\n", base)
+		}
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Prepare the engine the engine-query class hits; 409 means an earlier
+	// run of this harness already created it on a long-lived target.
+	engReq, _ := json.Marshal(httpapi.EngineRequest{
+		Name:   "loadbench",
+		Bounds: &[4]float64{0, 0, 100, 100},
+		Types:  loadTypes(0),
+	})
+	resp, err := client.Post(base+"/v1/engines", "application/json", bytes.NewReader(engReq))
+	if err != nil {
+		return nil, fmt.Errorf("load: engine create: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+		return nil, fmt.Errorf("load: engine create: status %d", resp.StatusCode)
+	}
+
+	reg := obs.NewRegistry()
+	latency := reg.HistogramVec("load_latency_seconds", "client-side latency", loadBuckets, "op")
+	allLatency := reg.Histogram("load_latency_all_seconds", "client-side latency, all classes", loadBuckets)
+	okCount := reg.CounterVec("load_ok_total", "2xx responses", "op")
+	shedCount := reg.Counter("load_shed_total", "429 responses")
+	errCount := reg.Counter("load_errors_total", "transport errors and non-2xx/429 statuses")
+	var dropped atomic.Int64
+
+	warmBody, _ := json.Marshal(httpapi.SolveRequest{
+		Bounds: &[4]float64{0, 0, 100, 100}, Types: loadTypes(0),
+	})
+	queryBody := func(i uint64) []byte {
+		w := 1 + float64(i%17)/4
+		b, _ := json.Marshal(httpapi.EngineQueryRequest{TypeWeights: []float64{w, 1}})
+		return b
+	}
+	coldBody := func(i uint64) []byte {
+		b, _ := json.Marshal(httpapi.SolveRequest{
+			Bounds: &[4]float64{0, 0, 100, 100},
+			Types:  loadTypes(0.001 * float64(i+1)),
+		})
+		return b
+	}
+
+	do := func(i uint64) {
+		op := opFor(i)
+		var url string
+		var body []byte
+		switch op {
+		case "engine-query":
+			url, body = base+"/v1/engines/loadbench/query", queryBody(i)
+		case "warm-solve":
+			url, body = base+"/v1/solve", warmBody
+		default:
+			url, body = base+"/v1/solve", coldBody(i)
+		}
+		start := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		elapsed := time.Since(start)
+		if err != nil {
+			errCount.Inc()
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			shedCount.Inc()
+		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+			latency.With(op).Observe(elapsed.Seconds())
+			allLatency.Observe(elapsed.Seconds())
+			okCount.With(op).Inc()
+		default:
+			errCount.Inc()
+		}
+	}
+
+	// Open-loop arrivals: the dispatcher offers jobs at the target rate and
+	// never blocks on a slow server — a full queue counts the arrival as
+	// dropped, so the achieved QPS reflects what the server kept up with.
+	jobs := make(chan uint64, 4*opt.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				do(i)
+			}
+		}()
+	}
+	interval := time.Duration(float64(time.Second) / opt.qps)
+	start := time.Now()
+	deadline := start.Add(opt.duration)
+	var offered uint64
+	for next := start; next.Before(deadline); next = next.Add(interval) {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		select {
+		case jobs <- offered:
+		default:
+			dropped.Add(1)
+		}
+		offered++
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	quantiles := func(h *obs.Histogram) (p50, p95, p99 float64) {
+		return h.Quantile(0.50) * 1000, h.Quantile(0.95) * 1000, h.Quantile(0.99) * 1000
+	}
+	var results []benchfmt.Result
+	totalOK := int64(0)
+	for _, op := range loadOps {
+		n := okCount.With(op).Value()
+		totalOK += n
+		if n == 0 {
+			continue
+		}
+		h := latency.With(op)
+		p50, p95, p99 := quantiles(h)
+		results = append(results, benchfmt.Result{
+			Name:       "BenchmarkLoad/" + op,
+			Iterations: n,
+			Metrics: map[string]float64{
+				"qps":    float64(n) / elapsed.Seconds(),
+				"p50-ms": p50, "p95-ms": p95, "p99-ms": p99,
+			},
+		})
+	}
+	if totalOK == 0 {
+		return nil, fmt.Errorf("load: no successful requests in %v (errors=%d shed=%d dropped=%d)",
+			elapsed.Round(time.Millisecond), errCount.Value(), shedCount.Value(), dropped.Load())
+	}
+	p50, p95, p99 := quantiles(allLatency)
+	overall := benchfmt.Result{
+		Name:       "BenchmarkLoad/overall",
+		Iterations: totalOK,
+		Metrics: map[string]float64{
+			"qps":    float64(totalOK) / elapsed.Seconds(),
+			"p50-ms": p50, "p95-ms": p95, "p99-ms": p99,
+			"shed":     float64(shedCount.Value()),
+			"errors":   float64(errCount.Value()),
+			"dropped":  float64(dropped.Load()),
+			"duration": elapsed.Seconds(),
+		},
+	}
+	results = append(results, overall)
+	if opt.progress != nil {
+		fmt.Fprintf(opt.progress, "load: %d ok / %d offered in %v (%.1f qps achieved, target %.1f; shed=%d errors=%d dropped=%d)\n",
+			totalOK, offered, elapsed.Round(time.Millisecond),
+			float64(totalOK)/elapsed.Seconds(), opt.qps,
+			shedCount.Value(), errCount.Value(), dropped.Load())
+	}
+	return results, nil
+}
+
+// printLoadTable renders the load results as an aligned text table.
+func printLoadTable(w io.Writer, results []benchfmt.Result) {
+	fmt.Fprintf(w, "%-28s %10s %10s %10s %10s\n", "class", "requests", "qps", "p50-ms", "p99-ms")
+	for _, r := range results {
+		if r.Metrics["qps"] == 0 && r.Iterations == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-28s %10d %10.1f %10.3f %10.3f\n",
+			r.Name, r.Iterations, r.Metrics["qps"], r.Metrics["p50-ms"], r.Metrics["p99-ms"])
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"molq/internal/benchfmt"
 	"molq/internal/experiments"
 	"molq/internal/stats"
 )
@@ -33,16 +34,47 @@ func main() {
 		verbose    = flag.Bool("v", false, "print progress while running")
 		format     = flag.String("format", "text", "output format: text, json or csv")
 		benchout   = flag.String("benchout", "", "run the microbenchmark suite instead of the figure sweeps and write benchfmt JSON to this file (\"-\" for stdout); diff runs with cmd/benchdiff")
+		load       = flag.Bool("load", false, "run the QPS load harness against -target (or a self-hosted server); combined with -benchout its results are appended to the suite file")
+		target     = flag.String("target", "", "base URL of a running molqd for -load (empty: boot an in-process server)")
+		loadDur    = flag.Duration("load-duration", 5*time.Second, "how long -load offers traffic")
+		loadQPS    = flag.Float64("load-qps", 50, "target arrival rate for -load, requests/second")
+		loadWork   = flag.Int("load-workers", 0, "concurrent -load client connections (0: 2×GOMAXPROCS)")
 	)
 	flag.Parse()
-	if *benchout != "" {
+	if *benchout != "" || *load {
 		var progress io.Writer
 		if *verbose {
 			progress = os.Stderr
 		}
-		if err := runBenchSuite(*benchout, *quick, progress); err != nil {
-			fmt.Fprintf(os.Stderr, "molqbench: benchout: %v\n", err)
-			os.Exit(1)
+		var results []benchfmt.Result
+		if *benchout != "" {
+			rs, err := collectBenchSuite(*quick, progress)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "molqbench: benchout: %v\n", err)
+				os.Exit(1)
+			}
+			results = append(results, rs...)
+		}
+		if *load {
+			rs, err := runLoad(loadOptions{
+				target:   *target,
+				duration: *loadDur,
+				qps:      *loadQPS,
+				workers:  *loadWork,
+				progress: os.Stderr,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "molqbench: load: %v\n", err)
+				os.Exit(1)
+			}
+			printLoadTable(os.Stdout, rs)
+			results = append(results, rs...)
+		}
+		if *benchout != "" {
+			if err := writeBenchJSON(*benchout, results); err != nil {
+				fmt.Fprintf(os.Stderr, "molqbench: benchout: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

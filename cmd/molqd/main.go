@@ -4,12 +4,19 @@
 // Usage:
 //
 //	molqd [-addr :8080] [-log-level info] [-pprof]
+//	      [-max-concurrent 0] [-max-queue 64] [-smoke]
 //
 // Structured access and error logs (log/slog, text format) go to stderr;
 // -log-level selects debug, info, warn or error. -pprof additionally
 // mounts the net/http/pprof handlers under /debug/pprof/ for live CPU,
 // heap and goroutine profiling; leave it off on untrusted networks.
 // Prometheus metrics are always served at /v1/metrics.
+//
+// -max-concurrent > 0 bounds how many CPU-heavy requests (solve, engine
+// create/query, score) run at once; up to -max-queue more wait and the rest
+// are shed with 429 + Retry-After. -smoke boots the server, answers one
+// health check and one solve against itself, then exits 0 — the CI
+// boot-and-serve gate (pass -addr 127.0.0.1:0 for an ephemeral port).
 //
 // Example session:
 //
@@ -27,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -41,6 +49,9 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
+		maxConc  = flag.Int("max-concurrent", 0, "max simultaneous CPU-heavy requests (0: unlimited)")
+		maxQueue = flag.Int("max-queue", 64, "requests allowed to wait for a slot before shedding with 429")
+		smoke    = flag.Bool("smoke", false, "boot, self-check /v1/healthz and one solve, then exit")
 	)
 	flag.Parse()
 
@@ -52,7 +63,10 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	mux := http.NewServeMux()
-	mux.Handle("/", httpapi.New(httpapi.WithLogger(logger)))
+	mux.Handle("/", httpapi.New(
+		httpapi.WithLogger(logger),
+		httpapi.WithAdmission(*maxConc, *maxQueue),
+	))
 	if *pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -61,16 +75,66 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	logger.Info("molqd listening", "addr", *addr, "pprof", *pprofOn, "log_level", level.String())
-	if err := srv.ListenAndServe(); err != nil {
+	logger.Info("molqd listening", "addr", ln.Addr().String(), "pprof", *pprofOn,
+		"log_level", level.String(), "max_concurrent", *maxConc, "max_queue", *maxQueue)
+	if *smoke {
+		go srv.Serve(ln)
+		if err := smokeCheck("http://" + ln.Addr().String()); err != nil {
+			logger.Error("smoke check failed", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("smoke check passed")
+		srv.Close()
+		return
+	}
+	if err := srv.Serve(ln); err != nil {
 		logger.Error("server exited", "err", err)
 		os.Exit(1)
 	}
+}
+
+// smokeCheck exercises the booted server end to end: a liveness probe and
+// one real solve through the full middleware + admission stack.
+func smokeCheck(base string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	var lastErr error
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); time.Sleep(50 * time.Millisecond) {
+		resp, err := client.Get(base + "/v1/healthz")
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			lastErr = nil
+			break
+		}
+		lastErr = fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	if lastErr != nil {
+		return fmt.Errorf("healthz: %w", lastErr)
+	}
+	body := `{"types":[
+		{"name":"school","objects":[{"x":20,"y":30,"type_weight":2},{"x":80,"y":40,"type_weight":2}]},
+		{"name":"market","objects":[{"x":10,"y":80},{"x":60,"y":20}]}]}`
+	resp, err := client.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("solve: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("solve status %d", resp.StatusCode)
+	}
+	return nil
 }
 
 // parseLevel maps a -log-level flag value to its slog level.

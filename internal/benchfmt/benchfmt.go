@@ -172,15 +172,37 @@ func worstFor(ds []Delta, name string) float64 {
 	return worst
 }
 
-// Regressions filters deltas whose ratio exceeds 1+threshold for the given
-// unit (default ns/op when unit is empty).
+// HigherIsBetter reports the regression direction of a metric unit. For
+// most units (latency, bytes, allocations) smaller is better and a ratio
+// above 1 regresses; for throughput and effectiveness units — QPS from the
+// load harness, cache hit rates — bigger is better and a ratio below 1
+// regresses.
+func HigherIsBetter(unit string) bool {
+	switch unit {
+	case "qps", "cache-hit-rate", "OVRs", "ops/s":
+		return true
+	default:
+		return false
+	}
+}
+
+// Regressions filters deltas that moved the wrong way beyond threshold for
+// the given unit (default ns/op when unit is empty): Ratio > 1+threshold
+// for lower-is-better units, Ratio < 1-threshold for higher-is-better ones
+// (see HigherIsBetter).
 func Regressions(ds []Delta, unit string, threshold float64) []Delta {
 	if unit == "" {
 		unit = "ns/op"
 	}
+	higher := HigherIsBetter(unit)
 	var out []Delta
 	for _, d := range ds {
-		if d.Unit == unit && d.Ratio > 1+threshold {
+		if d.Unit != unit {
+			continue
+		}
+		if higher && d.Ratio < 1-threshold {
+			out = append(out, d)
+		} else if !higher && d.Ratio > 1+threshold {
 			out = append(out, d)
 		}
 	}

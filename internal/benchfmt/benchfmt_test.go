@@ -96,6 +96,47 @@ BenchmarkNew-8 	 10	 7 ns/op
 	}
 }
 
+// TestRegressionsHigherIsBetter checks throughput-style units gate on drops:
+// a qps decrease beyond threshold regresses, an increase never does — the
+// mirror image of ns/op.
+func TestRegressionsHigherIsBetter(t *testing.T) {
+	for _, unit := range []string{"qps", "cache-hit-rate"} {
+		if !HigherIsBetter(unit) {
+			t.Fatalf("HigherIsBetter(%q) = false", unit)
+		}
+	}
+	for _, unit := range []string{"ns/op", "B/op", "allocs/op", "p99-ms", "vd-ns/op"} {
+		if HigherIsBetter(unit) {
+			t.Fatalf("HigherIsBetter(%q) = true", unit)
+		}
+	}
+
+	deltas := []Delta{
+		{Name: "BenchmarkLoad/overall", Unit: "qps", Old: 100, New: 80, Ratio: 0.80},
+		{Name: "BenchmarkLoad/engine-query", Unit: "qps", Old: 100, New: 150, Ratio: 1.50},
+		{Name: "BenchmarkLoad/warm-solve", Unit: "qps", Old: 100, New: 95, Ratio: 0.95},
+		{Name: "BenchmarkLoad/overall", Unit: "p99-ms", Old: 10, New: 20, Ratio: 2.0},
+	}
+	regs := Regressions(deltas, "qps", 0.10)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkLoad/overall" {
+		t.Fatalf("qps regressions: %+v", regs)
+	}
+	// Latency on the same deltas still gates on increases.
+	regs = Regressions(deltas, "p99-ms", 0.10)
+	if len(regs) != 1 || regs[0].Ratio != 2.0 {
+		t.Fatalf("p99-ms regressions: %+v", regs)
+	}
+	// A hit-rate drop within threshold passes.
+	hr := []Delta{{Name: "BenchmarkCacheRepeatedSolve/warm", Unit: "cache-hit-rate", Old: 1.0, New: 0.95, Ratio: 0.95}}
+	if got := Regressions(hr, "cache-hit-rate", 0.10); len(got) != 0 {
+		t.Fatalf("within-threshold drop flagged: %+v", got)
+	}
+	hr[0].New, hr[0].Ratio = 0.5, 0.5
+	if got := Regressions(hr, "cache-hit-rate", 0.10); len(got) != 1 {
+		t.Fatalf("hit-rate collapse not flagged: %+v", got)
+	}
+}
+
 // TestJSONRoundTrip checks EncodeJSON/DecodeJSON preserve results exactly and
 // ParseAny sniffs both formats (including leading whitespace before the '[').
 func TestJSONRoundTrip(t *testing.T) {

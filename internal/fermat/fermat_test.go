@@ -321,10 +321,21 @@ func TestBatchMixedFastPaths(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Stats.ExactSolves != 4 {
-		t.Fatalf("all 4 groups should use exact paths, got %d", res.Stats.ExactSolves)
+	// The zero-cost single point sets the bound; the 1- and 2-point groups
+	// solve exactly (no prefilter below 3 points) and the 3-point and
+	// collinear groups are discarded by the two-point prefilter.
+	if res.Stats.ExactSolves != 2 || res.Stats.Prefiltered != 2 {
+		t.Fatalf("want 2 exact solves + 2 prefiltered, got %+v", res.Stats)
 	}
 	if res.GroupIndex != 0 || res.Cost != 0 {
 		t.Fatalf("single-point group should win with zero cost, got %+v", res)
+	}
+	// Without the cost bound every group takes its exact fast path.
+	seq, err := SequentialBatch(groups, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Stats.ExactSolves != 4 {
+		t.Fatalf("all 4 groups should use exact paths unbounded, got %+v", seq.Stats)
 	}
 }

@@ -1,0 +1,267 @@
+package fermat
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the batched-serving entry point of the optimizer: many
+// independent Algorithm-5 batches — one per user weight vector in
+// Engine.QueryBatch — evaluated over a single shared worker pool. Spinning a
+// pool per batch (what repeated CostBoundBatchParallel calls do) pays
+// goroutine startup and teardown once per weight vector; the multi-batch
+// pays it once per request and keeps every worker busy across vector
+// boundaries, so a straggler vector cannot idle the pool. Each batch keeps
+// its own global cost bound (bounds never transfer across weight vectors —
+// a cheap optimum under one user's weights certifies nothing about
+// another's), so every batch returns exactly what its sequential solve
+// would.
+
+// BatchProblem is one independent cost-bound batch inside a multi-batch: the
+// groups of one weight vector plus their constant cost offsets (nil means
+// all zeros, as in CostBoundBatchOffsets). PairDist, when non-nil, carries
+// d(g[0].P, g[1].P) for every group so the two-point prefilter costs one
+// multiply instead of a sqrt per offer — the distances depend only on the
+// geometry, which multi-batch problems share across weight vectors, so the
+// caller computes them once for the whole batch. Entries for groups shorter
+// than two points are ignored.
+type BatchProblem struct {
+	Groups   []Group
+	Offsets  []float64
+	PairDist []float64
+}
+
+// ErrBadPairDist reports a malformed PairDist slice.
+var ErrBadPairDist = errors.New("fermat: pair distances length does not match groups")
+
+// twoPointCost returns the exact optimum of g[:2] given the precomputed
+// distance between the two points: the optimum sits at the heavier point and
+// pays the lighter weight over the full distance (see solve2).
+func twoPointCost(g Group, d float64) float64 {
+	w := g[0].W
+	if g[1].W < w {
+		w = g[1].W
+	}
+	return w * d
+}
+
+// solve2Precomputed is solve2 with the cost already known (twoPointCost over
+// a precomputed distance): the heavier endpoint wins and no sqrt is needed.
+// For a 2-point group the "prefilter" cost IS the exact optimum, so batched
+// callers answer these groups with a multiply and a compare.
+func solve2Precomputed(g Group, twoCost float64) Result {
+	loc := g[0].P
+	if g[1].W > g[0].W {
+		loc = g[1].P
+	}
+	return Result{Loc: loc, Cost: twoCost, Exact: true}
+}
+
+// CostBoundMultiBatch solves every problem with Algorithm 5 and returns one
+// BatchResult per problem, in order. workers ≤ 0 means GOMAXPROCS; workers
+// ≤ 1 (or a single small problem) runs sequentially. Tasks are fanned
+// problem-major over the shared pool: all of problem 0's groups, then
+// problem 1's, so early tasks of one problem tighten its cost bound before
+// most of its groups are attempted — the same scan order Algorithm 5 relies
+// on for pruning, up to scheduling.
+func CostBoundMultiBatch(problems []BatchProblem, opt Options, workers int) ([]BatchResult, error) {
+	if len(problems) == 0 {
+		return nil, nil
+	}
+	total := 0
+	starts := make([]int, len(problems)+1)
+	for pi, p := range problems {
+		if len(p.Groups) == 0 {
+			return nil, ErrNoPoints
+		}
+		if p.Offsets != nil && len(p.Offsets) != len(p.Groups) {
+			return nil, ErrBadOffsets
+		}
+		if p.PairDist != nil && len(p.PairDist) != len(p.Groups) {
+			return nil, ErrBadPairDist
+		}
+		starts[pi] = total
+		total += len(p.Groups)
+	}
+	starts[len(problems)] = total
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		// Sequential path: warm-start each problem's scan at the previous
+		// problem's winning group. The problems of one multi-batch share
+		// their geometry (same candidate combinations, different weights), so
+		// the previous winner is usually competitive again; evaluating it
+		// first drops the cost bound immediately and the two-point prefilter
+		// then discards most other groups before any Weiszfeld iterations.
+		// The optimum is scan-order independent, so every problem still
+		// returns exactly its own Algorithm-5 answer.
+		out := make([]BatchResult, len(problems))
+		first := 0
+		for pi, p := range problems {
+			if first < 0 || first >= len(p.Groups) {
+				first = 0
+			}
+			res, err := costBoundBatchOrdered(p, opt, first)
+			if err != nil {
+				return nil, err
+			}
+			out[pi] = res
+			first = res.GroupIndex
+		}
+		return out, nil
+	}
+	opt = opt.norm()
+
+	bounds := make([]*atomicMin, len(problems))
+	for pi := range bounds {
+		bounds[pi] = newAtomicMin()
+	}
+	var next atomic.Int64
+	var mu sync.Mutex
+	merged := make([]BatchResult, len(problems))
+	for pi := range merged {
+		merged[pi] = BatchResult{Cost: math.Inf(1), GroupIndex: -1}
+	}
+	var firstErr error
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			locals := make([]BatchResult, len(problems))
+			touched := make([]bool, len(problems))
+			for {
+				task := int(next.Add(1) - 1)
+				if task >= total {
+					break
+				}
+				// Map the flat task index to (problem, group) via the
+				// prefix sums: pi is the last start ≤ task.
+				pi := sort.SearchInts(starts, task+1) - 1
+				gi := task - starts[pi]
+				p := problems[pi]
+				g := p.Groups[gi]
+				local := &locals[pi]
+				if !touched[pi] {
+					touched[pi] = true
+					local.Cost = math.Inf(1)
+					local.GroupIndex = -1
+				}
+				if len(g) == 0 {
+					continue
+				}
+				off := 0.0
+				if p.Offsets != nil {
+					off = p.Offsets[gi]
+				}
+				two := math.NaN()
+				if p.PairDist != nil && len(g) >= 2 {
+					two = twoPointCost(g, p.PairDist[gi])
+				}
+				res, ok, err := solveGroupBounded(g, off, two, opt, bounds[pi], &local.Stats)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				if !ok {
+					continue
+				}
+				total := res.Cost + off
+				bounds[pi].update(total)
+				if total < local.Cost {
+					local.Cost = total
+					local.Loc = res.Loc
+					local.GroupIndex = gi
+				}
+			}
+			mu.Lock()
+			for pi := range locals {
+				if !touched[pi] {
+					continue
+				}
+				local := &locals[pi]
+				m := &merged[pi]
+				m.Stats.Problems += local.Stats.Problems
+				m.Stats.ExactSolves += local.Stats.ExactSolves
+				m.Stats.Prefiltered += local.Stats.Prefiltered
+				m.Stats.PrunedGroups += local.Stats.PrunedGroups
+				m.Stats.TotalIters += local.Stats.TotalIters
+				if local.GroupIndex >= 0 && local.Cost < m.Cost {
+					m.Cost = local.Cost
+					m.Loc = local.Loc
+					m.GroupIndex = local.GroupIndex
+				}
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for pi := range merged {
+		if merged[pi].GroupIndex < 0 {
+			return nil, ErrNoPoints
+		}
+	}
+	return merged, nil
+}
+
+// costBoundBatchOrdered is CostBoundBatchOffsets scanning group `first`
+// before the rest — the warm-start order of the sequential multi-batch. It
+// reuses the Streamer (the exact Algorithm-5 loop), feeds it precomputed
+// two-point costs when the problem carries pair distances, and maps the
+// winner back to the caller's group numbering: streamer slot 0 is `first`,
+// and every group before `first` is shifted up by one.
+func costBoundBatchOrdered(p BatchProblem, opt Options, first int) (BatchResult, error) {
+	s := NewStreamer(opt, true)
+	offerAt := func(gi int) error {
+		g := p.Groups[gi]
+		off := 0.0
+		if p.Offsets != nil {
+			off = p.Offsets[gi]
+		}
+		two := math.NaN()
+		if p.PairDist != nil && len(g) >= 2 {
+			two = twoPointCost(g, p.PairDist[gi])
+		}
+		return s.OfferTwoPointCost(g, off, two)
+	}
+	if err := offerAt(first); err != nil {
+		res, _ := s.Result()
+		return res, err
+	}
+	for gi := range p.Groups {
+		if gi == first {
+			continue
+		}
+		if err := offerAt(gi); err != nil {
+			res, _ := s.Result()
+			return res, err
+		}
+	}
+	res, err := s.Result()
+	if err != nil {
+		return res, err
+	}
+	switch {
+	case res.GroupIndex == 0:
+		res.GroupIndex = first
+	case res.GroupIndex <= first:
+		res.GroupIndex--
+	}
+	return res, nil
+}

@@ -1,0 +1,87 @@
+package fermat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"molq/internal/geom"
+)
+
+// randomProblems builds n independent batches over shared point geometry
+// with per-batch weights, like QueryBatch's per-weight-vector problems.
+func randomProblems(r *rand.Rand, n, groups, pts int) []BatchProblem {
+	base := make([][]geom.Point, groups)
+	for gi := range base {
+		ps := make([]geom.Point, pts)
+		for i := range ps {
+			ps[i] = geom.Pt(r.Float64()*100, r.Float64()*100)
+		}
+		base[gi] = ps
+	}
+	out := make([]BatchProblem, n)
+	for pi := range out {
+		gs := make([]Group, groups)
+		offs := make([]float64, groups)
+		for gi, ps := range base {
+			g := make(Group, len(ps))
+			for i, p := range ps {
+				g[i] = WeightedPoint{P: p, W: 0.5 + r.Float64()*4}
+			}
+			gs[gi] = g
+			offs[gi] = r.Float64() * 2
+		}
+		out[pi] = BatchProblem{Groups: gs, Offsets: offs}
+	}
+	return out
+}
+
+// TestMultiBatchMatchesSequential checks the shared-pool multi-batch returns
+// exactly the per-problem optima of independent sequential solves, at every
+// worker count.
+func TestMultiBatchMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	problems := randomProblems(r, 9, 12, 6)
+	opt := Options{Epsilon: 1e-9}
+	want := make([]BatchResult, len(problems))
+	for pi, p := range problems {
+		res, err := CostBoundBatchOffsets(p.Groups, p.Offsets, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[pi] = res
+	}
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		got, err := CostBoundMultiBatch(problems, opt, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results for %d problems", workers, len(got), len(problems))
+		}
+		for pi := range got {
+			if math.Abs(got[pi].Cost-want[pi].Cost) > 1e-6*(1+want[pi].Cost) {
+				t.Fatalf("workers=%d problem %d: cost %v, want %v", workers, pi, got[pi].Cost, want[pi].Cost)
+			}
+			if got[pi].Loc.Dist(want[pi].Loc) > 1e-4 {
+				t.Fatalf("workers=%d problem %d: loc %v, want %v", workers, pi, got[pi].Loc, want[pi].Loc)
+			}
+		}
+	}
+}
+
+// TestMultiBatchValidation covers the error surface: empty input, an empty
+// problem, and mismatched offsets.
+func TestMultiBatchValidation(t *testing.T) {
+	if out, err := CostBoundMultiBatch(nil, Options{}, 4); err != nil || out != nil {
+		t.Fatalf("empty input: got (%v, %v)", out, err)
+	}
+	g := Group{{P: geom.Pt(0, 0), W: 1}, {P: geom.Pt(1, 1), W: 1}}
+	if _, err := CostBoundMultiBatch([]BatchProblem{{Groups: nil}}, Options{}, 4); err != ErrNoPoints {
+		t.Fatalf("empty problem: got %v, want ErrNoPoints", err)
+	}
+	bad := []BatchProblem{{Groups: []Group{g}, Offsets: []float64{1, 2}}}
+	if _, err := CostBoundMultiBatch(bad, Options{}, 4); err != ErrBadOffsets {
+		t.Fatalf("bad offsets: got %v, want ErrBadOffsets", err)
+	}
+}

@@ -37,6 +37,55 @@ func (m *atomicMin) update(v float64) bool {
 	}
 }
 
+// solveGroupBounded evaluates one group with constant offset off against the
+// shared cost bound, accumulating work counters into st. ok is false when the
+// group was prefiltered or pruned (res is then meaningless). twoCost is a
+// caller-precomputed two-point optimum for the prefilter, NaN to compute it
+// here (see Streamer.OfferTwoPointCost). This is the per-task body shared by
+// CostBoundBatchParallel and CostBoundMultiBatch.
+func solveGroupBounded(g Group, off, twoCost float64, opt Options, bound *atomicMin, st *BatchStats) (res Result, ok bool, err error) {
+	st.Problems++
+	// Two-point prefilter first, exactly as Streamer.Offer: valid for every
+	// group of ≥ 3 positive-weight points, including the ones the exact fast
+	// paths below handle.
+	if len(g) >= 3 {
+		if cb := bound.load(); !math.IsInf(cb, 1) {
+			if math.IsNaN(twoCost) {
+				twoCost = solve2(g[:2]).Cost
+			}
+			if twoCost+off > cb {
+				st.Prefiltered++
+				return res, false, nil
+			}
+		}
+	}
+	if len(g) == 2 && !math.IsNaN(twoCost) {
+		st.ExactSolves++
+		return solve2Precomputed(g, twoCost), true, nil
+	}
+	fast := len(g) <= 3
+	if !fast {
+		if _, cok := collinear(g); cok {
+			fast = true
+		}
+	}
+	if fast {
+		res, err = Solve(g, opt)
+		if err != nil {
+			return res, false, err
+		}
+		st.ExactSolves++
+		return res, true, nil
+	}
+	res = weiszfeldDynamic(g, opt, func() float64 { return bound.load() - off })
+	st.TotalIters += res.Iters
+	if res.Pruned {
+		st.PrunedGroups++
+		return res, false, nil
+	}
+	return res, true, nil
+}
+
 // CostBoundBatchParallel is CostBoundBatchOffsets distributed over `workers`
 // goroutines (≤0 means GOMAXPROCS). All workers share the global cost bound
 // through an atomic, so a good early optimum found by one worker prunes the
@@ -88,41 +137,17 @@ func CostBoundBatchParallel(groups []Group, offsets []float64, opt Options, work
 				if offsets != nil {
 					off = offsets[gi]
 				}
-				local.Stats.Problems++
-				var res Result
-				var err error
-				fast := len(g) <= 3
-				if !fast {
-					if _, ok := collinear(g); ok {
-						fast = true
+				res, ok, err := solveGroupBounded(g, off, math.NaN(), opt, bound, &local.Stats)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
 					}
+					mu.Unlock()
+					return
 				}
-				if fast {
-					res, err = Solve(g, opt)
-					if err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						mu.Unlock()
-						return
-					}
-					local.Stats.ExactSolves++
-				} else {
-					cb := bound.load()
-					if !math.IsInf(cb, 1) {
-						two := solve2(g[:2])
-						if two.Cost+off > cb {
-							local.Stats.Prefiltered++
-							continue
-						}
-					}
-					res = weiszfeldDynamic(g, opt, func() float64 { return bound.load() - off })
-					local.Stats.TotalIters += res.Iters
-					if res.Pruned {
-						local.Stats.PrunedGroups++
-						continue
-					}
+				if !ok {
+					continue
 				}
 				total := res.Cost + off
 				bound.update(total)

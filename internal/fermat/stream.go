@@ -37,12 +37,40 @@ func NewStreamerVariant(opt Options, prefilter, iterBound bool) *Streamer {
 // Offer processes one Fermat-Weber problem with constant cost offset off.
 // Empty groups are ignored.
 func (s *Streamer) Offer(g Group, off float64) error {
+	return s.offer(g, off, math.NaN())
+}
+
+// OfferTwoPointCost is Offer with a caller-supplied two-point optimum cost
+// for the prefilter. The optimum of g[:2] is min(W₀,W₁)·d(P₀,P₁) and the
+// distance does not depend on the weights, so batched callers evaluating the
+// same geometry under many weight vectors precompute the distances once and
+// skip the per-offer sqrt (see CostBoundMultiBatch). Pass NaN to have the
+// prefilter computed from the group itself.
+func (s *Streamer) OfferTwoPointCost(g Group, off, twoCost float64) error {
+	return s.offer(g, off, twoCost)
+}
+
+func (s *Streamer) offer(g Group, off, twoCost float64) error {
 	gi := s.count
 	s.count++
 	if len(g) == 0 {
 		return nil
 	}
 	s.best.Stats.Problems++
+	// Alg 5 lines 9-12 / Alg 1 lines 4-5: with positive weights the optimum
+	// of any two-point subset lower-bounds the full group's optimal cost, so
+	// the prefilter applies to every group of ≥ 3 points — including the
+	// 3-point and collinear ones the exact fast paths handle below. For
+	// n-type queries with small n this is the only pruning that ever fires.
+	if s.prefilter && len(g) >= 3 && !math.IsInf(s.cbound, 1) {
+		if math.IsNaN(twoCost) {
+			twoCost = solve2(g[:2]).Cost
+		}
+		if twoCost+off > s.cbound {
+			s.best.Stats.Prefiltered++
+			return nil
+		}
+	}
 	var res Result
 	var err error
 	fast := len(g) <= 3
@@ -52,6 +80,9 @@ func (s *Streamer) Offer(g Group, off float64) error {
 		}
 	}
 	switch {
+	case len(g) == 2 && !math.IsNaN(twoCost):
+		res = solve2Precomputed(g, twoCost)
+		s.best.Stats.ExactSolves++
 	case fast:
 		res, err = Solve(g, s.opt)
 		if err != nil {
@@ -59,13 +90,6 @@ func (s *Streamer) Offer(g Group, off float64) error {
 		}
 		s.best.Stats.ExactSolves++
 	default:
-		if s.prefilter && !math.IsInf(s.cbound, 1) {
-			two := solve2(g[:2])
-			if two.Cost+off > s.cbound {
-				s.best.Stats.Prefiltered++
-				return nil
-			}
-		}
 		bound := math.Inf(1)
 		if s.iterBound {
 			bound = s.cbound - off

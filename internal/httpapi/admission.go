@@ -1,0 +1,98 @@
+package httpapi
+
+import (
+	"net/http"
+	"sync/atomic"
+
+	"molq/internal/obs"
+)
+
+// Admission control for the CPU-bound endpoints (solve, engine creation,
+// engine queries, scoring). Without it a burst of concurrent solves all enter
+// the optimizer at once, each running its own worker fan-out: the goroutines
+// pile up, every request slows down together, and the tail latency collapses
+// long before any of them fails. The gate bounds how many solves run
+// simultaneously, lets a short queue absorb bursts, and sheds the rest with
+// 429 + Retry-After so clients back off instead of timing out.
+
+var (
+	solveQueueDepth = obs.Default.Gauge("molq_solve_queue_depth",
+		"requests waiting for a solve slot")
+	solveActive = obs.Default.Gauge("molq_solve_active",
+		"requests currently holding a solve slot")
+	solveRejected = obs.Default.Counter("molq_solve_rejected_total",
+		"requests shed by admission control with 429")
+)
+
+// solveGate is a bounded semaphore with a bounded wait queue. A nil gate
+// admits everything (the default: admission is opt-in via WithAdmission).
+type solveGate struct {
+	sem      chan struct{}
+	waiting  atomic.Int64
+	maxQueue int64
+}
+
+func newSolveGate(maxConcurrent, maxQueue int) *solveGate {
+	if maxConcurrent <= 0 {
+		return nil
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &solveGate{
+		sem:      make(chan struct{}, maxConcurrent),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// acquire claims a solve slot, queueing behind at most maxQueue other
+// requests. It reports false when the queue is full or the client gave up
+// while waiting — in both cases the caller must not run the solve and must
+// not release.
+func (g *solveGate) acquire(r *http.Request) bool {
+	if g == nil {
+		return true
+	}
+	select {
+	case g.sem <- struct{}{}:
+		solveActive.Inc()
+		return true
+	default:
+	}
+	if g.waiting.Add(1) > g.maxQueue {
+		g.waiting.Add(-1)
+		return false
+	}
+	solveQueueDepth.Inc()
+	defer func() {
+		solveQueueDepth.Dec()
+		g.waiting.Add(-1)
+	}()
+	select {
+	case g.sem <- struct{}{}:
+		solveActive.Inc()
+		return true
+	case <-r.Context().Done():
+		return false
+	}
+}
+
+func (g *solveGate) release() {
+	if g == nil {
+		return
+	}
+	solveActive.Dec()
+	<-g.sem
+}
+
+// admit runs the gate for one request. When the request is shed it writes
+// the 429 itself and returns false; on true the caller owes g.release().
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	if s.gate.acquire(r) {
+		return true
+	}
+	solveRejected.Inc()
+	w.Header().Set("Retry-After", "1")
+	writeErr(w, http.StatusTooManyRequests, "server at solve capacity, retry later")
+	return false
+}

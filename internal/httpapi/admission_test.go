@@ -1,0 +1,201 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestEngineQueryBatchBodies drives the batched engine-query endpoint with
+// all three accepted body shapes and checks the batch answers agree with the
+// single-vector form.
+func TestEngineQueryBatchBodies(t *testing.T) {
+	ts := newTestServer(t)
+	create := EngineRequest{
+		Name:   "batcher",
+		Bounds: &[4]float64{0, 0, 100, 100},
+		Types:  sampleTypes(),
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/engines", create); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", resp.StatusCode, body)
+	}
+	vecs := [][]float64{{1, 1}, {50, 1}, {1, 50}}
+	want := make([]SolveResponse, len(vecs))
+	for i, v := range vecs {
+		resp, body := postJSON(t, ts.URL+"/v1/engines/batcher/query", EngineQueryRequest{TypeWeights: v})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("single query %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(name string, body []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/engines/batcher/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out EngineBatchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", name, resp.StatusCode)
+		}
+		if len(out.Results) != len(vecs) {
+			t.Fatalf("%s: %d results for %d vectors", name, len(out.Results), len(vecs))
+		}
+		for i, r := range out.Results {
+			if math.Abs(r.Cost-want[i].Cost) > 1e-9*(1+want[i].Cost) {
+				t.Fatalf("%s vector %d: cost %v, want %v", name, i, r.Cost, want[i].Cost)
+			}
+		}
+	}
+	obj, err := json.Marshal(EngineBatchQueryRequest{TypeWeights: vecs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("object body", obj)
+	bare, err := json.Marshal(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("bare array body", bare)
+	check("whitespace body", []byte(" { \"type_weights\" : [ [1,1], [50,1], [1,50] ] } "))
+
+	// A bad vector anywhere fails the whole batch.
+	resp, _ := postJSON(t, ts.URL+"/v1/engines/batcher/query", EngineBatchQueryRequest{
+		TypeWeights: [][]float64{{1, 1}, {1}},
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("short vector in batch: status %d", resp.StatusCode)
+	}
+}
+
+// TestAdmissionSheds checks the gate: with capacity 1 and no queue, a second
+// concurrent solve is answered 429 with Retry-After while the first holds
+// the slot.
+func TestAdmissionSheds(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	srv := New(WithAdmission(1, 0))
+	// Wrap the server so the first admitted request parks inside the handler
+	// chain while holding its solve slot.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("X-Park") == "1" {
+			if srv.gate.acquire(r) {
+				close(entered)
+				<-release
+				srv.gate.release()
+				w.WriteHeader(http.StatusOK)
+				return
+			}
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		srv.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/healthz", nil)
+		req.Header.Set("X-Park", "1")
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+
+	// Slot held, queue empty → the solve must be shed immediately.
+	body, _ := json.Marshal(SolveRequest{Bounds: &[4]float64{0, 0, 100, 100}, Types: sampleTypes()})
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("429 body not a JSON error: %v %+v", err, e)
+	}
+	close(release)
+	wg.Wait()
+
+	// Slot free again: the same request succeeds.
+	resp2, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("after release: status %d", resp2.StatusCode)
+	}
+}
+
+// TestAdmissionQueue checks a waiter parked in the queue is admitted once
+// the slot frees instead of being shed.
+func TestAdmissionQueue(t *testing.T) {
+	gate := newSolveGate(1, 4)
+	r := httptest.NewRequest(http.MethodPost, "/v1/solve", nil)
+	if !gate.acquire(r) {
+		t.Fatal("first acquire failed")
+	}
+	got := make(chan bool)
+	go func() { got <- gate.acquire(r) }()
+	// The waiter must be queued, not rejected; free the slot and it enters.
+	select {
+	case ok := <-got:
+		t.Fatalf("queued acquire returned early: %v", ok)
+	default:
+	}
+	gate.release()
+	if ok := <-got; !ok {
+		t.Fatal("queued acquire rejected after release")
+	}
+	gate.release()
+}
+
+// TestStatsCoalesced checks /v1/stats exposes the cache's coalesced-wait
+// counter.
+func TestStatsCoalesced(t *testing.T) {
+	ts := newTestServer(t)
+	body, _ := json.Marshal(SolveRequest{Bounds: &[4]float64{0, 0, 100, 100}, Types: sampleTypes()})
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	raw := json.RawMessage{}
+	if err := json.NewDecoder(sresp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	var probe struct {
+		DiagramCache map[string]json.RawMessage `json:"diagram_cache"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := probe.DiagramCache["coalesced"]; !ok {
+		t.Fatalf("stats diagram_cache missing coalesced field: %s", raw)
+	}
+}

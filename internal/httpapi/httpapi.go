@@ -102,24 +102,28 @@ type SolveResponse struct {
 	Cache *CacheJSON `json:"cache,omitempty"`
 }
 
-// CacheJSON mirrors query.CacheStats in response bodies.
+// CacheJSON mirrors query.CacheStats in response bodies. Coalesced counts
+// lookups that waited on another request's in-flight build of the same
+// diagram instead of building their own copy.
 type CacheJSON struct {
-	Hits     int     `json:"hits"`
-	Misses   int     `json:"misses"`
-	Entries  int     `json:"entries"`
-	Bytes    int64   `json:"bytes"`
-	Capacity int64   `json:"capacity"`
-	HitRate  float64 `json:"hit_rate"`
+	Hits      int     `json:"hits"`
+	Misses    int     `json:"misses"`
+	Coalesced int     `json:"coalesced"`
+	Entries   int     `json:"entries"`
+	Bytes     int64   `json:"bytes"`
+	Capacity  int64   `json:"capacity"`
+	HitRate   float64 `json:"hit_rate"`
 }
 
 func cacheJSON(cs query.CacheStats) CacheJSON {
 	return CacheJSON{
-		Hits:     cs.Hits,
-		Misses:   cs.Misses,
-		Entries:  cs.Entries,
-		Bytes:    cs.Bytes,
-		Capacity: cs.Capacity,
-		HitRate:  cs.HitRate(),
+		Hits:      cs.Hits,
+		Misses:    cs.Misses,
+		Coalesced: cs.Coalesced,
+		Entries:   cs.Entries,
+		Bytes:     cs.Bytes,
+		Capacity:  cs.Capacity,
+		HitRate:   cs.HitRate(),
 	}
 }
 
@@ -192,9 +196,27 @@ type EngineInfo struct {
 	CacheMisses int `json:"cache_misses"`
 }
 
-// EngineQueryRequest is the body of POST /v1/engines/{name}/query.
+// EngineQueryRequest is the body of POST /v1/engines/{name}/query. The
+// endpoint also accepts a batched form — "type_weights" holding an array of
+// weight vectors, or the body being a bare top-level array of vectors — which
+// answers every vector in one Engine.QueryBatch pass and responds with
+// EngineBatchResponse instead of SolveResponse.
 type EngineQueryRequest struct {
 	TypeWeights []float64 `json:"type_weights"`
+}
+
+// EngineBatchQueryRequest is the batched body of POST
+// /v1/engines/{name}/query.
+type EngineBatchQueryRequest struct {
+	TypeWeights [][]float64 `json:"type_weights"`
+}
+
+// EngineBatchResponse answers a batched engine query: one result per weight
+// vector, in request order. Micros is the wall clock of the whole batch (the
+// vectors are solved together, so per-vector times are not attributable).
+type EngineBatchResponse struct {
+	Results []SolveResponse `json:"results"`
+	Micros  int64           `json:"elapsed_us"`
 }
 
 // ScoreRequest is the body of POST /v1/score.
@@ -234,6 +256,8 @@ type Server struct {
 	metrics *obs.Registry
 	// start anchors the uptime reported by /v1/stats and /v1/healthz.
 	start time.Time
+	// gate bounds concurrent solves (nil: admission disabled).
+	gate *solveGate
 	// wrapped is the full middleware-wrapped handler ServeHTTP delegates to.
 	wrapped http.Handler
 }
@@ -257,6 +281,16 @@ func WithMetrics(reg *obs.Registry) Option {
 		if reg != nil {
 			s.metrics = reg
 		}
+	}
+}
+
+// WithAdmission bounds the CPU-heavy endpoints (solve, engine create, engine
+// query, score) to maxConcurrent simultaneous requests with up to maxQueue
+// more waiting; the rest are shed with 429 + Retry-After. maxConcurrent ≤ 0
+// disables admission (the default).
+func WithAdmission(maxConcurrent, maxQueue int) Option {
+	return func(s *Server) {
+		s.gate = newSolveGate(maxConcurrent, maxQueue)
 	}
 }
 
@@ -426,6 +460,10 @@ func parseMethod(m string, allowSSC bool) (query.Method, error) {
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.gate.release()
 	var req SolveRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -478,6 +516,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleEngineCreate(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.gate.release()
 	var req EngineRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -563,27 +605,125 @@ func (s *Server) handleEngineQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "engine %q not found", name)
 		return
 	}
-	var req EngineQueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	res, err := pe.eng.Query(req.TypeWeights)
+	vecs, batch, err := parseEngineQueryBody(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.gate.release()
+	if !batch {
+		res, err := pe.eng.Query(vecs[0])
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, solveResponse(res))
+		return
+	}
+	out, err := pe.eng.QueryBatch(vecs)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, SolveResponse{
+	resp := EngineBatchResponse{Results: make([]SolveResponse, len(out))}
+	for i, res := range out {
+		resp.Results[i] = solveResponse(res)
+		// Per-vector times are the shared batch clock; report it once.
+		resp.Results[i].Micros = 0
+	}
+	if len(out) > 0 {
+		resp.Micros = out[0].Stats.TotalTime.Microseconds()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// solveResponse converts an engine query result into the response shape.
+func solveResponse(res query.Result) SolveResponse {
+	return SolveResponse{
 		Location: PointJSON{X: res.Loc.X, Y: res.Loc.Y},
 		Cost:     res.Cost,
 		Method:   res.Method.String(),
 		OVRs:     res.Stats.OVRs,
 		Groups:   res.Stats.Groups,
 		Micros:   res.Stats.TotalTime.Microseconds(),
-	})
+	}
+}
+
+// parseEngineQueryBody accepts the three body shapes of the engine query
+// endpoint: {"type_weights":[…]} (single vector), {"type_weights":[[…],…]}
+// (batch), and a bare top-level [[…],…] (batch). Single-vector requests
+// return a one-element vecs with batch=false.
+func parseEngineQueryBody(body []byte) (vecs [][]float64, batch bool, err error) {
+	first := firstByte(body)
+	if first == '[' {
+		var b [][]float64
+		if err := json.Unmarshal(body, &b); err != nil {
+			return nil, false, err
+		}
+		return b, true, nil
+	}
+	var raw struct {
+		TypeWeights json.RawMessage `json:"type_weights"`
+	}
+	if err := json.Unmarshal(body, &raw); err != nil {
+		return nil, false, err
+	}
+	if nestedArray(raw.TypeWeights) {
+		var b EngineBatchQueryRequest
+		if err := json.Unmarshal(body, &b); err != nil {
+			return nil, false, err
+		}
+		return b.TypeWeights, true, nil
+	}
+	var one EngineQueryRequest
+	if err := json.Unmarshal(body, &one); err != nil {
+		return nil, false, err
+	}
+	return [][]float64{one.TypeWeights}, false, nil
+}
+
+func jsonSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+// firstByte returns the first non-whitespace byte of b (0 when none).
+func firstByte(b []byte) byte {
+	for _, c := range b {
+		if !jsonSpace(c) {
+			return c
+		}
+	}
+	return 0
+}
+
+// nestedArray reports whether b is a JSON array whose first element is
+// itself an array ("[[…" modulo whitespace).
+func nestedArray(b []byte) bool {
+	i := 0
+	for i < len(b) && jsonSpace(b[i]) {
+		i++
+	}
+	if i >= len(b) || b[i] != '[' {
+		return false
+	}
+	i++
+	for i < len(b) && jsonSpace(b[i]) {
+		i++
+	}
+	return i < len(b) && b[i] == '['
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.gate.release()
 	var req ScoreRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)

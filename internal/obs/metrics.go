@@ -111,6 +111,36 @@ func (h *Histogram) BucketCount(i int) int64 {
 	return total
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution by linear interpolation inside the bucket the rank falls
+// into — the same estimate Prometheus's histogram_quantile gives. It
+// returns NaN for an empty histogram or out-of-range q. Ranks landing in
+// the +Inf bucket return the largest finite bound: the histogram does not
+// know how far beyond it the observations went.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || q < 0 || q > 1 || len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, b := range h.bounds {
+		c := h.counts[i].Load()
+		if float64(cum)+float64(c) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			if c == 0 {
+				return b
+			}
+			return lower + (b-lower)*(rank-float64(cum))/float64(c)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // DefBuckets are latency buckets in seconds, spanning sub-millisecond
 // solves to multi-second paper-scale workloads.
 var DefBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -78,6 +79,36 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 	if got := h.Sum(); got != 18 {
 		t.Errorf("sum = %g, want 18", got)
+	}
+}
+
+// TestHistogramQuantile pins the interpolation: uniform observations over
+// [0,10) in buckets {1..10} put the q-quantile at ≈ 10q, empty histograms
+// answer NaN, and ranks beyond the last bound clamp to it.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "quantile test", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram should answer NaN")
+	}
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) / 100) // uniform over [0, 10)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 5}, {0.95, 9.5}, {0.99, 9.9}, {1, 10},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 0.15 {
+			t.Errorf("Quantile(%g) = %g, want ≈ %g", tc.q, got, tc.want)
+		}
+	}
+	if !math.IsNaN(h.Quantile(-0.1)) || !math.IsNaN(h.Quantile(1.1)) {
+		t.Error("out-of-range q should answer NaN")
+	}
+	// Observations beyond every bound: the quantile clamps to the last one.
+	h2 := r.Histogram("q2", "overflow test", []float64{1, 2})
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Errorf("overflowed histogram Quantile = %g, want clamp to 2", got)
 	}
 }
 

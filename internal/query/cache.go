@@ -24,6 +24,8 @@ var (
 		"diagram-cache lookups that fell through to diagram construction")
 	cacheEvictionsMetric = obs.Default.Counter("molq_diagram_cache_evictions_total",
 		"diagrams evicted from a cache to stay under its byte budget")
+	cacheCoalescedMetric = obs.Default.Counter("molq_diagram_cache_coalesced_waits_total",
+		"cache misses that waited on another goroutine's in-flight build instead of duplicating it")
 )
 
 // This file implements the fingerprinted diagram cache: a content-addressed,
@@ -133,11 +135,15 @@ func movdBytes(m *core.MOVD) int64 {
 // cache's lifetime totals from DiagramCache.Stats); Entries, Bytes and
 // Capacity always snapshot the cache's current state.
 type CacheStats struct {
-	Hits     int   `json:"hits"`
-	Misses   int   `json:"misses"`
-	Entries  int   `json:"entries"`
-	Bytes    int64 `json:"bytes"`
-	Capacity int64 `json:"capacity"`
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+	// Coalesced counts misses that did not build: the diagram was already
+	// being built by another goroutine, so the lookup blocked on that one
+	// in-flight construction instead of duplicating it.
+	Coalesced int   `json:"coalesced,omitempty"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Capacity  int64 `json:"capacity"`
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 when no lookups happened.
@@ -153,6 +159,7 @@ func (s CacheStats) HitRate() float64 {
 func (s *CacheStats) Add(o CacheStats) {
 	s.Hits += o.Hits
 	s.Misses += o.Misses
+	s.Coalesced += o.Coalesced
 	s.Entries = o.Entries
 	s.Bytes = o.Bytes
 	s.Capacity = o.Capacity
@@ -168,8 +175,14 @@ type DiagramCache struct {
 	bytes  int64
 	ll     *list.List // front = most recently used; values are *cacheEntry
 	items  map[fingerprint]*list.Element
-	hits   int
-	misses int
+	// inflight coalesces concurrent misses on one fingerprint: the first
+	// misser registers a flight and builds; everyone else arriving before the
+	// build finishes blocks on the flight's done channel and shares the one
+	// result (or the one error) instead of duplicating the construction.
+	inflight  map[fingerprint]*flight
+	hits      int
+	misses    int
+	coalesced int
 }
 
 type cacheEntry struct {
@@ -177,6 +190,22 @@ type cacheEntry struct {
 	movd *core.MOVD
 	size int64
 }
+
+// flight is one in-progress diagram build other lookups can wait on.
+type flight struct {
+	done chan struct{} // closed when movd/err are final
+	movd *core.MOVD
+	err  error
+}
+
+// lookupOutcome classifies what a getOrBuild lookup did.
+type lookupOutcome uint8
+
+const (
+	lookupHit       lookupOutcome = iota // served from the cache
+	lookupBuilt                          // missed and ran the build itself
+	lookupCoalesced                      // missed but waited on an in-flight build
+)
 
 // DefaultCacheBytes is the byte budget of the process-wide default cache:
 // large enough for the paper's biggest per-type diagrams (n=10000 RRB cells
@@ -196,9 +225,10 @@ func NewDiagramCache(byteBudget int64) *DiagramCache {
 		byteBudget = DefaultCacheBytes
 	}
 	return &DiagramCache{
-		budget: byteBudget,
-		ll:     list.New(),
-		items:  make(map[fingerprint]*list.Element),
+		budget:   byteBudget,
+		ll:       list.New(),
+		items:    make(map[fingerprint]*list.Element),
+		inflight: make(map[fingerprint]*flight),
 	}
 }
 
@@ -217,14 +247,57 @@ func (c *DiagramCache) get(key fingerprint) (*core.MOVD, bool) {
 	return nil, false
 }
 
+// getOrBuild returns the diagram for key, building it with build on a miss.
+// Concurrent calls for the same missing key are coalesced: exactly one runs
+// build, the rest block until it finishes and share its result. A failed
+// build is not cached — every waiter receives the error and the next lookup
+// retries. build runs without the cache lock held, so distinct keys build
+// concurrently.
+func (c *DiagramCache) getOrBuild(key fingerprint, build func() (*core.MOVD, error)) (*core.MOVD, lookupOutcome, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		m := el.Value.(*cacheEntry).movd
+		c.mu.Unlock()
+		cacheHitsMetric.Inc()
+		return m, lookupHit, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		cacheCoalescedMetric.Inc()
+		<-f.done
+		return f.movd, lookupCoalesced, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.misses++
+	c.mu.Unlock()
+	cacheMissesMetric.Inc()
+	f.movd, f.err = build()
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.putLocked(key, f.movd)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.movd, lookupBuilt, f.err
+}
+
 // put inserts a freshly built diagram, evicting LRU entries past the byte
 // budget. A diagram larger than the whole budget is not cached at all. If the
 // key is already present (two goroutines raced on the same miss) the existing
 // entry wins, so all callers keep sharing one diagram.
 func (c *DiagramCache) put(key fingerprint, m *core.MOVD) {
-	size := movdBytes(m)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.putLocked(key, m)
+}
+
+func (c *DiagramCache) putLocked(key fingerprint, m *core.MOVD) {
+	size := movdBytes(m)
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		return
@@ -252,11 +325,12 @@ func (c *DiagramCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:     c.hits,
-		Misses:   c.misses,
-		Entries:  c.ll.Len(),
-		Bytes:    c.bytes,
-		Capacity: c.budget,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		Capacity:  c.budget,
 	}
 }
 
@@ -270,6 +344,9 @@ func (c *DiagramCache) Reset() {
 	c.bytes = 0
 	c.hits = 0
 	c.misses = 0
+	c.coalesced = 0
+	// In-flight builds are left alone: their owners delete the entries when
+	// they finish, and a post-reset putLocked simply repopulates the cache.
 }
 
 // GobEncode implements gob.GobEncoder: a cache is runtime wiring, not data —
@@ -286,6 +363,7 @@ func (c *DiagramCache) GobDecode([]byte) error {
 	c.bytes = 0
 	c.ll = list.New()
 	c.items = make(map[fingerprint]*list.Element)
+	c.inflight = make(map[fingerprint]*flight)
 	return nil
 }
 

@@ -1,0 +1,256 @@
+package query
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"molq/internal/core"
+)
+
+// TestGetOrBuildCoalesces drives DiagramCache.getOrBuild directly: K
+// concurrent misses on one fingerprint must run exactly one build, with the
+// K-1 others blocking on the in-flight flight and sharing its result.
+func TestGetOrBuildCoalesces(t *testing.T) {
+	const K = 8
+	cache := NewDiagramCache(0)
+	key := fingerprint{1, 2, 3}
+	built := &core.MOVD{}
+	var builds atomic.Int64
+	release := make(chan struct{})
+	build := func() (*core.MOVD, error) {
+		builds.Add(1)
+		<-release
+		return built, nil
+	}
+
+	results := make([]*core.MOVD, K)
+	outcomes := make([]lookupOutcome, K)
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, o, err := cache.getOrBuild(key, build)
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+			}
+			results[i], outcomes[i] = m, o
+		}(i)
+	}
+	// Wait until the K-1 non-builders are parked on the flight, then let the
+	// one build finish.
+	deadline := time.Now().Add(5 * time.Second)
+	for cache.Stats().Coalesced < K-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d waiters coalesced", cache.Stats().Coalesced, K-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("%d builds for %d concurrent misses, want exactly 1", n, K)
+	}
+	var hits, builtN, coalesced int
+	for i := range results {
+		if results[i] != built {
+			t.Fatalf("goroutine %d got a different diagram", i)
+		}
+		switch outcomes[i] {
+		case lookupHit:
+			hits++
+		case lookupBuilt:
+			builtN++
+		case lookupCoalesced:
+			coalesced++
+		}
+	}
+	if builtN != 1 || coalesced != K-1 || hits != 0 {
+		t.Fatalf("outcomes built=%d coalesced=%d hit=%d, want 1/%d/0", builtN, coalesced, hits, K-1)
+	}
+	st := cache.Stats()
+	if st.Misses != 1 || st.Coalesced != K-1 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want misses=1 coalesced=%d entries=1", st, K-1)
+	}
+	// The diagram is now cached: a later lookup is a plain hit.
+	if _, o, err := cache.getOrBuild(key, build); err != nil || o != lookupHit {
+		t.Fatalf("post-build lookup: outcome=%v err=%v, want hit", o, err)
+	}
+}
+
+// TestGetOrBuildErrorNotCached checks a failed build unblocks every waiter
+// with the error, caches nothing, and lets the next lookup retry the build.
+func TestGetOrBuildErrorNotCached(t *testing.T) {
+	const K = 6
+	cache := NewDiagramCache(0)
+	key := fingerprint{9}
+	wantErr := errors.New("construction failed")
+	var builds atomic.Int64
+	release := make(chan struct{})
+	failing := func() (*core.MOVD, error) {
+		builds.Add(1)
+		<-release
+		return nil, wantErr
+	}
+
+	errs := make([]error, K)
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = cache.getOrBuild(key, failing)
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for cache.Stats().Coalesced < K-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d waiters coalesced", cache.Stats().Coalesced, K-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("%d builds, want 1", n)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("goroutine %d: err=%v, want %v", i, err, wantErr)
+		}
+	}
+	if st := cache.Stats(); st.Entries != 0 {
+		t.Fatalf("error build was cached: %+v", st)
+	}
+	// The error is not sticky: the next lookup builds again and can succeed.
+	ok := &core.MOVD{}
+	m, o, err := cache.getOrBuild(key, func() (*core.MOVD, error) { return ok, nil })
+	if err != nil || m != ok || o != lookupBuilt {
+		t.Fatalf("retry after error: m=%p outcome=%v err=%v", m, o, err)
+	}
+	if n := builds.Load(); n != 1 { // failing build ran once; retry used its own func
+		t.Fatalf("failing build ran %d times, want 1", n)
+	}
+}
+
+// TestConcurrentColdSolvesCoalesce is the end-to-end guarantee: K identical
+// cold solves racing on an empty cache perform exactly one VD build per
+// object set (counted via the construction hook) and one ⊕ chain, not K.
+func TestConcurrentColdSolvesCoalesce(t *testing.T) {
+	const K = 8
+	var builds atomic.Int64
+	vdBuildHook = func() { builds.Add(1) }
+	defer func() { vdBuildHook = nil }()
+
+	cache := NewDiagramCache(0)
+	in := cacheInput(29, cache)
+	ref, err := Solve(cacheInput(29, NewDiagramCache(0)), RRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds.Store(0)
+
+	start := make(chan struct{})
+	results := make([]Result, K)
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			solveIn := in
+			res, err := Solve(solveIn, RRB)
+			if err != nil {
+				t.Errorf("solve %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	// Two object sets → exactly two basic constructions across all K solves.
+	if n := builds.Load(); n != 2 {
+		t.Fatalf("%d VD builds across %d concurrent cold solves, want exactly 2", n, K)
+	}
+	st := cache.Stats()
+	// 3 distinct fingerprints (2 basics + 1 overlap) → 3 misses total; every
+	// other lookup either coalesced onto an in-flight build or hit the cache.
+	if st.Misses != 3 {
+		t.Fatalf("cache misses=%d across %d cold solves, want 3", st.Misses, K)
+	}
+	if st.Hits+st.Coalesced != 3*K-3 {
+		t.Fatalf("hits=%d coalesced=%d, want their sum = %d", st.Hits, st.Coalesced, 3*K-3)
+	}
+	for i, res := range results {
+		if math.Abs(res.Cost-ref.Cost) > 1e-9*(1+ref.Cost) {
+			t.Fatalf("solve %d cost %v != reference %v", i, res.Cost, ref.Cost)
+		}
+	}
+}
+
+// TestSolveReportsCoalescedStats checks a solve that waited on another's
+// build reports the wait in its own Result.Stats.Cache.
+func TestSolveReportsCoalescedStats(t *testing.T) {
+	const K = 6
+	cache := NewDiagramCache(0)
+	var coalesced atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			in := cacheInput(31, cache)
+			res, err := Solve(in, MBRB)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			coalesced.Add(int64(res.Stats.Cache.Coalesced))
+		}()
+	}
+	close(start)
+	wg.Wait()
+	// Per-solve attributions must add up to the cache's own total.
+	if got, want := coalesced.Load(), int64(cache.Stats().Coalesced); got != want {
+		t.Fatalf("solves attributed %d coalesced waits, cache counted %d", got, want)
+	}
+}
+
+// BenchmarkConcurrentColdSolve measures K goroutines racing identical cold
+// solves — the fill path coalescing makes N-simultaneous-misses cost one
+// build instead of N.
+func BenchmarkConcurrentColdSolve(b *testing.B) {
+	in := randomInput(rand.New(rand.NewSource(3)), []int{200, 200}, true)
+	const K = 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cache := NewDiagramCache(0)
+		b.StartTimer()
+		var wg sync.WaitGroup
+		for g := 0; g < K; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				solveIn := in
+				solveIn.Cache = cache
+				if _, err := Solve(solveIn, RRB); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}

@@ -23,10 +23,115 @@ type Engine struct {
 	method Method
 	movd   *core.MOVD
 	combos [][]core.Object
+	// flat is the combo-major flattening of combos, precomputed once so
+	// every Query/QueryBatch call assembles its Fermat-Weber problems from
+	// contiguous arrays (one slab allocation per weight vector) instead of
+	// walking the nested combo slices. Read-only after preparation.
+	flat engineFlat
 	// prep captures how long Prepare took, for reporting.
 	prepTime time.Duration
 	// cacheStats records the diagram-cache lookups of the preparation.
 	cacheStats CacheStats
+}
+
+// engineFlat is the amortized group/offset setup shared by all queries: the
+// locations, object weights and types of every combo member concatenated,
+// with starts[i] … starts[i+1] delimiting combo i. additive marks the ς^o
+// family per type; anyAdditive short-circuits the offset scan for the
+// common all-multiplicative case.
+type engineFlat struct {
+	pts         []geom.Point
+	objW        []float64
+	typ         []int32
+	starts      []int32
+	additive    []bool
+	anyAdditive bool
+	// pairDist[i] is the distance between the first two points of combo i
+	// (0 for combos shorter than two points). It feeds the batched
+	// optimizer's two-point prefilter, whose geometry is weight-independent:
+	// one sqrt per combo at preparation instead of one per combo per vector.
+	pairDist []float64
+}
+
+// finishPrep derives the flat combo representation; called once from
+// NewEngine and LoadEngine after combos are known.
+func (e *Engine) finishPrep() {
+	n := 0
+	for _, c := range e.combos {
+		n += len(c)
+	}
+	f := &e.flat
+	f.pts = make([]geom.Point, 0, n)
+	f.objW = make([]float64, 0, n)
+	f.typ = make([]int32, 0, n)
+	f.starts = make([]int32, len(e.combos)+1)
+	f.additive = make([]bool, len(e.in.Sets))
+	for ti := range e.in.Sets {
+		if e.in.kind(ti) == AdditiveObjWeights {
+			f.additive[ti] = true
+			f.anyAdditive = true
+		}
+	}
+	f.pairDist = make([]float64, len(e.combos))
+	for i, c := range e.combos {
+		f.starts[i] = int32(len(f.pts))
+		for _, o := range c {
+			f.pts = append(f.pts, o.Loc)
+			f.objW = append(f.objW, o.ObjWeight)
+			f.typ = append(f.typ, int32(o.Type))
+		}
+		if len(c) >= 2 {
+			f.pairDist[i] = c[0].Loc.Dist(c[1].Loc)
+		}
+	}
+	f.starts[len(e.combos)] = int32(len(f.pts))
+}
+
+// problemFor assembles the Fermat-Weber batch for one weight vector from
+// the flat representation. All group backing storage comes from one slab, so
+// a vector costs three allocations regardless of combo count, and every call
+// owns its slab outright — concurrent queries share nothing mutable.
+func (e *Engine) problemFor(typeWeights []float64) ([]fermat.Group, []float64) {
+	f := &e.flat
+	slab := make([]fermat.WeightedPoint, len(f.pts))
+	for i := range slab {
+		ti := f.typ[i]
+		w := typeWeights[ti]
+		if f.additive[ti] {
+			slab[i] = fermat.WeightedPoint{P: f.pts[i], W: w}
+		} else {
+			slab[i] = fermat.WeightedPoint{P: f.pts[i], W: w * f.objW[i]}
+		}
+	}
+	groups := make([]fermat.Group, len(e.combos))
+	offsets := make([]float64, len(e.combos))
+	for ci := range groups {
+		s, t := f.starts[ci], f.starts[ci+1]
+		groups[ci] = fermat.Group(slab[s:t:t])
+		if f.anyAdditive {
+			off := 0.0
+			for i := s; i < t; i++ {
+				if f.additive[f.typ[i]] {
+					off += typeWeights[f.typ[i]] * f.objW[i]
+				}
+			}
+			offsets[ci] = off
+		}
+	}
+	return groups, offsets
+}
+
+// checkTypeWeights validates one weight vector against the engine's sets.
+func (e *Engine) checkTypeWeights(typeWeights []float64) error {
+	if len(typeWeights) != len(e.in.Sets) {
+		return fmt.Errorf("query: %d type weights for %d sets", len(typeWeights), len(e.in.Sets))
+	}
+	for ti, w := range typeWeights {
+		if w <= 0 {
+			return fmt.Errorf("%w (type %d)", ErrBadWeight, ti)
+		}
+	}
+	return nil
 }
 
 // NewEngine prepares an engine for the given input evaluating with method
@@ -61,6 +166,7 @@ func NewEngine(in Input, method Method) (*Engine, error) {
 	e.cacheStats = cacheStats
 	e.movd = acc
 	e.combos = acc.Groups()
+	e.finishPrep()
 	e.prepTime = time.Since(start)
 	return e, nil
 }
@@ -81,15 +187,12 @@ func (e *Engine) Combinations() int { return len(e.combos) }
 
 // Query answers the MOLQ with per-type weights w^t given in typeWeights
 // (len must equal the number of object sets; all entries positive). Object
-// weights and ς^o families are those baked in at preparation.
+// weights and ς^o families are those baked in at preparation. Query is safe
+// for concurrent use: the prepared state is read-only and each call
+// assembles its problems into its own freshly allocated slab.
 func (e *Engine) Query(typeWeights []float64) (Result, error) {
-	if len(typeWeights) != len(e.in.Sets) {
-		return Result{}, fmt.Errorf("query: %d type weights for %d sets", len(typeWeights), len(e.in.Sets))
-	}
-	for ti, w := range typeWeights {
-		if w <= 0 {
-			return Result{}, fmt.Errorf("%w (type %d)", ErrBadWeight, ti)
-		}
+	if err := e.checkTypeWeights(typeWeights); err != nil {
+		return Result{}, err
 	}
 	res := Result{Method: e.method}
 	var root *obs.Span
@@ -98,23 +201,7 @@ func (e *Engine) Query(typeWeights []float64) (Result, error) {
 		res.Stats.Trace = root
 	}
 	start := time.Now()
-	groups := make([]fermat.Group, len(e.combos))
-	offsets := make([]float64, len(e.combos))
-	for i, combo := range e.combos {
-		g := make(fermat.Group, len(combo))
-		off := 0.0
-		for j, o := range combo {
-			wt := typeWeights[o.Type]
-			if e.in.kind(o.Type) == AdditiveObjWeights {
-				g[j] = fermat.WeightedPoint{P: o.Loc, W: wt}
-				off += wt * o.ObjWeight
-			} else {
-				g[j] = fermat.WeightedPoint{P: o.Loc, W: wt * o.ObjWeight}
-			}
-		}
-		groups[i] = g
-		offsets[i] = off
-	}
+	groups, offsets := e.problemFor(typeWeights)
 	var batch fermat.BatchResult
 	var err error
 	if e.in.Workers > 1 {
@@ -141,6 +228,63 @@ func (e *Engine) Query(typeWeights []float64) (Result, error) {
 		root.EndWith(res.Stats.TotalTime)
 	}
 	return res, nil
+}
+
+// QueryBatch answers the MOLQ for many weight vectors over the one prepared
+// MOVD, returning one Result per vector in order. The per-vector group and
+// offset setup is assembled from the engine's precomputed flat combo arrays,
+// and all vectors' candidate × weight-vector Fermat-Weber problems fan out
+// through a single shared worker pool (Workers goroutines; ≤ 1 runs
+// sequentially), each vector under its own Algorithm-5 cost bound. Compared
+// with len(vecs) sequential Query calls this amortizes both the setup and
+// the pool spin-up, which is the paper's own serving scenario: repeated
+// evaluation under different user weight settings (Sec 1, Sec 6).
+//
+// Every vector is validated before any work runs; one bad vector fails the
+// whole batch. Per-Result phase durations report the shared batch's wall
+// clock — concurrent vectors aren't individually attributable.
+func (e *Engine) QueryBatch(vecs [][]float64) ([]Result, error) {
+	if len(vecs) == 0 {
+		return nil, nil
+	}
+	for vi, tw := range vecs {
+		if err := e.checkTypeWeights(tw); err != nil {
+			return nil, fmt.Errorf("vector %d: %w", vi, err)
+		}
+	}
+	var root *obs.Span
+	if e.in.Trace {
+		root = obs.StartSpan(fmt.Sprintf("engine-query-batch/%s/%d", e.method.String(), len(vecs)))
+	}
+	start := time.Now()
+	problems := make([]fermat.BatchProblem, len(vecs))
+	for vi, tw := range vecs {
+		groups, offsets := e.problemFor(tw)
+		problems[vi] = fermat.BatchProblem{Groups: groups, Offsets: offsets, PairDist: e.flat.pairDist}
+	}
+	batches, err := fermat.CostBoundMultiBatch(problems, e.in.options(), e.in.Workers)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	out := make([]Result, len(vecs))
+	for vi, b := range batches {
+		out[vi] = Result{Method: e.method, Loc: b.Loc, Cost: b.Cost}
+		st := &out[vi].Stats
+		st.Groups = len(problems[vi].Groups)
+		st.OVRs = e.movd.Len()
+		st.PointsManaged = e.movd.PointsManaged()
+		st.Fermat = b.Stats
+		st.OptimizeTime = elapsed
+		st.TotalTime = elapsed
+	}
+	if root != nil {
+		root.SetAttr("vectors", len(vecs))
+		root.SetAttr("groups_per_vector", len(e.combos))
+		root.EndWith(elapsed)
+		out[0].Stats.Trace = root
+	}
+	return out, nil
 }
 
 // MWGDAt scores an arbitrary candidate location under the given type

@@ -69,6 +69,7 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		movd:   snap.MOVD,
 		combos: snap.MOVD.Groups(),
 	}
+	e.finishPrep()
 	e.mode = core.RRB
 	if snap.Method == MBRB {
 		e.mode = core.MBRB

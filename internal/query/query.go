@@ -257,17 +257,43 @@ func uniformWeights(set []core.Object) bool {
 	return true
 }
 
+// vdBuildHook, when non-nil, is called once per actual basic-diagram
+// construction (cache hits and coalesced waits skip it). Tests install it to
+// count builds and prove coalescing semantics; production leaves it nil.
+var vdBuildHook func()
+
+// constructBasic runs the actual Voronoi/dominance construction for one
+// object set — the work the diagram cache memoizes and coalesces.
+func (in *Input) constructBasic(set []core.Object, ti int, method Method, mode core.Mode) (*core.MOVD, error) {
+	if vdBuildHook != nil {
+		vdBuildHook()
+	}
+	if uniformWeights(set) {
+		// A uniform object weight preserves the nearest-site order for
+		// both ς^o families, so the ordinary Voronoi diagram is exact.
+		return ordinaryBasic(set, ti, in.Bounds, mode)
+	}
+	if method == RRB {
+		return nil, ErrWeightedRRB
+	}
+	return weightedBasic(set, ti, in.Bounds, in.kind(ti))
+}
+
 // buildBasics runs Module 1 of Fig 3 (the VD Generator) for every object
-// set, one goroutine per type when Workers > 1. Each basic diagram is looked
-// up in the configured diagram cache first; a cached diagram is shared with
-// every other solve that hit the same fingerprint and must not be mutated
-// (the pipeline only reads basic MOVDs). The returned fingerprints (nil when
-// no cache is configured) key the overlap-level cache; the CacheStats counts
-// this call's hits and misses and snapshots the cache state.
+// set, at most Workers goroutines at a time when Workers > 1 (Workers is the
+// solve's global parallelism budget, so the fan-out is clamped rather than
+// one goroutine per type). Each basic diagram is looked up in the configured
+// diagram cache first; a cached diagram is shared with every other solve
+// that hit the same fingerprint and must not be mutated (the pipeline only
+// reads basic MOVDs). Concurrent misses on one fingerprint — N identical
+// cold solves racing — coalesce onto a single construction through
+// DiagramCache.getOrBuild. The returned fingerprints (nil when no cache is
+// configured) key the overlap-level cache; the CacheStats counts this call's
+// hits, misses and coalesced waits and snapshots the cache state.
 func (in *Input) buildBasics(method Method, mode core.Mode, span *obs.Span) ([]*core.MOVD, []fingerprint, CacheStats, error) {
 	basics := make([]*core.MOVD, len(in.Sets))
 	cache := in.diagramCache()
-	hits := make([]bool, len(in.Sets))
+	outcomes := make([]lookupOutcome, len(in.Sets))
 	var fps []fingerprint
 	if cache != nil {
 		fps = make([]fingerprint, len(in.Sets))
@@ -279,38 +305,34 @@ func (in *Input) buildBasics(method Method, mode core.Mode, span *obs.Span) ([]*
 			defer sp.End()
 		}
 		set := in.Sets[ti]
-		var fp fingerprint
-		if cache != nil {
-			fp = fingerprintSet(set, ti, in.Bounds, mode, in.kind(ti), in.Epsilon)
-			fps[ti] = fp
-			if m, ok := cache.get(fp); ok {
-				basics[ti] = m
-				hits[ti] = true
-				sp.SetAttr("cache", "hit")
-				sp.SetAttr("ovrs", m.Len())
-				return nil
+		if cache == nil {
+			m, err := in.constructBasic(set, ti, method, mode)
+			if err != nil {
+				return err
 			}
-			sp.SetAttr("cache", "miss")
+			basics[ti] = m
+			sp.SetAttr("ovrs", m.Len())
+			return nil
 		}
-		var m *core.MOVD
-		var err error
-		if uniformWeights(set) {
-			// A uniform object weight preserves the nearest-site order for
-			// both ς^o families, so the ordinary Voronoi diagram is exact.
-			m, err = ordinaryBasic(set, ti, in.Bounds, mode)
-		} else if method == RRB {
-			return ErrWeightedRRB
-		} else {
-			m, err = weightedBasic(set, ti, in.Bounds, in.kind(ti))
-		}
+		fp := fingerprintSet(set, ti, in.Bounds, mode, in.kind(ti), in.Epsilon)
+		fps[ti] = fp
+		m, outcome, err := cache.getOrBuild(fp, func() (*core.MOVD, error) {
+			return in.constructBasic(set, ti, method, mode)
+		})
 		if err != nil {
 			return err
 		}
+		outcomes[ti] = outcome
 		basics[ti] = m
-		sp.SetAttr("ovrs", m.Len())
-		if cache != nil {
-			cache.put(fp, m)
+		switch outcome {
+		case lookupHit:
+			sp.SetAttr("cache", "hit")
+		case lookupCoalesced:
+			sp.SetAttr("cache", "coalesced")
+		default:
+			sp.SetAttr("cache", "miss")
 		}
+		sp.SetAttr("ovrs", m.Len())
 		return nil
 	}
 	var cs CacheStats
@@ -318,10 +340,13 @@ func (in *Input) buildBasics(method Method, mode core.Mode, span *obs.Span) ([]*
 		if cache == nil {
 			return cs
 		}
-		for _, h := range hits {
-			if h {
+		for _, o := range outcomes {
+			switch o {
+			case lookupHit:
 				cs.Hits++
-			} else {
+			case lookupCoalesced:
+				cs.Coalesced++
+			default:
 				cs.Misses++
 			}
 		}
@@ -332,10 +357,13 @@ func (in *Input) buildBasics(method Method, mode core.Mode, span *obs.Span) ([]*
 	if in.Workers > 1 && len(in.Sets) > 1 {
 		var wg sync.WaitGroup
 		errs := make([]error, len(in.Sets))
+		sem := make(chan struct{}, in.Workers)
 		for ti := range in.Sets {
 			wg.Add(1)
+			sem <- struct{}{}
 			go func(ti int) {
 				defer wg.Done()
+				defer func() { <-sem }()
 				errs[ti] = buildOne(ti)
 			}(ti)
 		}
@@ -359,33 +387,36 @@ func (in *Input) buildBasics(method Method, mode core.Mode, span *obs.Span) ([]*
 // overlapped diagram is memoized under the ordered basic fingerprints, so a
 // repeat solve (or engine preparation) over unchanged data skips Module 2
 // entirely. Single-set inputs are not cached at this level — the "chain" is
-// the basic diagram itself, already a level-one entry. The lookup is counted
-// into cs alongside the basic-diagram hits and misses.
+// the basic diagram itself, already a level-one entry. Concurrent misses on
+// one overlap fingerprint coalesce onto a single ⊕ chain the same way basic
+// builds do. The lookup is counted into cs alongside the basic-diagram hits
+// and misses.
 func (in *Input) cachedOverlapChain(mode core.Mode, prune core.PruneFunc, movds []*core.MOVD, fps []fingerprint, stats *core.OverlapStats, cs *CacheStats, span *obs.Span) (*core.MOVD, error) {
 	cache := in.diagramCache()
 	if cache == nil || fps == nil || len(movds) < 2 || len(movds) != len(in.Sets) {
 		return in.overlapChain(mode, prune, movds, stats, span)
 	}
 	key := fingerprintOverlap(fps, prune != nil)
-	refresh := func() {
-		snap := cache.Stats()
-		cs.Entries, cs.Bytes, cs.Capacity = snap.Entries, snap.Bytes, snap.Capacity
-	}
-	if m, ok := cache.get(key); ok {
-		cs.Hits++
-		refresh()
-		span.SetAttr("cache", "hit")
-		return m, nil
-	}
-	cs.Misses++
-	span.SetAttr("cache", "miss")
-	acc, err := in.overlapChain(mode, prune, movds, stats, span)
+	m, outcome, err := cache.getOrBuild(key, func() (*core.MOVD, error) {
+		return in.overlapChain(mode, prune, movds, stats, span)
+	})
 	if err != nil {
 		return nil, err
 	}
-	cache.put(key, acc)
-	refresh()
-	return acc, nil
+	switch outcome {
+	case lookupHit:
+		cs.Hits++
+		span.SetAttr("cache", "hit")
+	case lookupCoalesced:
+		cs.Coalesced++
+		span.SetAttr("cache", "coalesced")
+	default:
+		cs.Misses++
+		span.SetAttr("cache", "miss")
+	}
+	snap := cache.Stats()
+	cs.Entries, cs.Bytes, cs.Capacity = snap.Entries, snap.Bytes, snap.Capacity
+	return m, nil
 }
 
 // overlapChain runs Module 2 of Fig 3 over the given diagrams: the
