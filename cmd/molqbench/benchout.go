@@ -12,6 +12,7 @@ import (
 	"molq/internal/benchfmt"
 	"molq/internal/core"
 	"molq/internal/dataset"
+	"molq/internal/geom"
 	"molq/internal/query"
 	"molq/internal/voronoi"
 )
@@ -203,6 +204,76 @@ func benchSuite(quick bool) ([]benchSpec, error) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := eng.QueryBatch(vecs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+	)
+	// Update-vs-rebuild pair at maintenance scale: one insert+delete
+	// round-trip on a prepared engine (incremental MOVD repair) against a
+	// full Prepare of the same instance. The committed baseline gates the
+	// point of the mutable-engine work: an update must stay well over an
+	// order of magnitude cheaper than rebuilding.
+	updateN := 10000
+	if quick {
+		updateN = 1000
+	}
+	updIn := benchSuiteInput(updateN)
+	updIn.DisableDiagramCache = true
+	updEng, err := query.NewEngine(updIn, query.RRB)
+	if err != nil {
+		return nil, err
+	}
+	ur := rand.New(rand.NewSource(73))
+	bounds := updIn.Bounds
+	nextID := 1 << 20
+	specs = append(specs,
+		benchSpec{
+			name: fmt.Sprintf("BenchmarkEngineUpdate/incremental/n=%d", updateN),
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				var dirty, incremental int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					id := nextID
+					nextID++
+					loc := geom.Pt(
+						bounds.Min.X+ur.Float64()*(bounds.Max.X-bounds.Min.X),
+						bounds.Min.Y+ur.Float64()*(bounds.Max.Y-bounds.Min.Y),
+					)
+					ins, err := updEng.InsertObject(core.Object{
+						ID: id, Type: 0, Loc: loc, TypeWeight: 1, ObjWeight: 1,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					del, err := updEng.DeleteObject(0, id)
+					if err != nil {
+						b.Fatal(err)
+					}
+					dirty += ins.DirtyCells + del.DirtyCells
+					if !ins.Rebuilt {
+						incremental++
+					}
+					if !del.Rebuilt {
+						incremental++
+					}
+				}
+				// ns/op covers two updates (the insert and the delete); the
+				// extra metrics let benchdiff watch repair quality too.
+				b.ReportMetric(2, "updates/op")
+				b.ReportMetric(float64(dirty)/float64(2*b.N), "dirty-cells/update")
+				b.ReportMetric(float64(incremental)/float64(2*b.N), "incremental-rate")
+			},
+		},
+		benchSpec{
+			name: fmt.Sprintf("BenchmarkEngineUpdate/rebuild/n=%d", updateN),
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := query.NewEngine(updIn, query.RRB); err != nil {
 						b.Fatal(err)
 					}
 				}

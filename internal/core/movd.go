@@ -45,6 +45,10 @@ type OVR struct {
 // Key returns the canonical combination key of the OVR's POI group.
 func (o *OVR) Key() string { return CombinationKey(o.POIs) }
 
+// DedupKey is the compact binary form of Key (see CombinationDedupKey):
+// identical across OVRs iff Key is, and much cheaper to build.
+func (o *OVR) DedupKey() string { return CombinationDedupKey(o.POIs) }
+
 // Clone returns a deep copy of the OVR: Region and POIs get fresh backing
 // arrays. Streaming emit callbacks must use it to keep an emitted OVR — the
 // emitted value's slices alias the sweep's pooled scratch buffers and are
@@ -157,7 +161,7 @@ func (m *MOVD) Groups() [][]Object {
 	seen := make(map[string]struct{}, len(m.OVRs))
 	var out [][]Object
 	for i := range m.OVRs {
-		k := m.OVRs[i].Key()
+		k := m.OVRs[i].DedupKey()
 		if _, dup := seen[k]; dup {
 			continue
 		}

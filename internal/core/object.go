@@ -5,6 +5,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -92,9 +93,10 @@ func MWGD(q geom.Point, sets [][]Object, w Weights) float64 {
 	return total
 }
 
-// CombinationKey returns a canonical identifier for an object combination
-// (one object per type), used to deduplicate the Fermat-Weber problems the
-// optimizer receives.
+// CombinationKey returns a canonical printable identifier for an object
+// combination (one object per type) — "type:id;type:id;…" sorted by type
+// then id. It appears in GeoJSON output and diagnostics; hot-path
+// deduplication uses CombinationDedupKey instead.
 func CombinationKey(group []Object) string {
 	idx := make([]int, len(group))
 	for i := range idx {
@@ -111,4 +113,39 @@ func CombinationKey(group []Object) string {
 		key = fmt.Appendf(key, "%d:%d;", group[i].Type, group[i].ID)
 	}
 	return string(key)
+}
+
+// tidPair is a (type, id) pair during dedup-key construction.
+type tidPair struct{ t, id int }
+
+// CombinationDedupKey returns a compact canonical key for an object
+// combination: two groups share it iff they share a CombinationKey. The
+// bytes are binary, not printable — this variant exists because key
+// construction dominates combination extraction on large diagrams (Groups,
+// spill-file dedup, the mutable engine's reindex), where CombinationKey's
+// formatting and sort.Slice closure are an order of magnitude slower.
+func CombinationDedupKey(group []Object) string {
+	var stack [8]tidPair
+	var g []tidPair
+	if len(group) <= len(stack) {
+		g = stack[:0]
+	} else {
+		g = make([]tidPair, 0, len(group))
+	}
+	for i := range group {
+		g = append(g, tidPair{group[i].Type, group[i].ID})
+	}
+	// Insertion sort: groups hold one object per type, so they are tiny and
+	// arrive nearly sorted.
+	for i := 1; i < len(g); i++ {
+		for j := i; j > 0 && (g[j].t < g[j-1].t || (g[j].t == g[j-1].t && g[j].id < g[j-1].id)); j-- {
+			g[j], g[j-1] = g[j-1], g[j]
+		}
+	}
+	buf := make([]byte, 0, 16*len(g))
+	for i := range g {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(g[i].t))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(g[i].id))
+	}
+	return string(buf)
 }

@@ -1,6 +1,7 @@
 package fermat
 
 import (
+	"context"
 	"errors"
 	"math"
 	"runtime"
@@ -69,6 +70,15 @@ func solve2Precomputed(g Group, twoCost float64) Result {
 // most of its groups are attempted — the same scan order Algorithm 5 relies
 // on for pruning, up to scheduling.
 func CostBoundMultiBatch(problems []BatchProblem, opt Options, workers int) ([]BatchResult, error) {
+	return CostBoundMultiBatchCtx(context.Background(), problems, opt, workers)
+}
+
+// CostBoundMultiBatchCtx is CostBoundMultiBatch honouring a context: workers
+// probe for cancellation before claiming each task (the sequential path every
+// ctxCheckStride groups) and the call returns the context's error once it
+// fires, so a canceled batch request releases the pool within one group's
+// solve time.
+func CostBoundMultiBatchCtx(ctx context.Context, problems []BatchProblem, opt Options, workers int) ([]BatchResult, error) {
 	if len(problems) == 0 {
 		return nil, nil
 	}
@@ -106,10 +116,13 @@ func CostBoundMultiBatch(problems []BatchProblem, opt Options, workers int) ([]B
 		out := make([]BatchResult, len(problems))
 		first := 0
 		for pi, p := range problems {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if first < 0 || first >= len(p.Groups) {
 				first = 0
 			}
-			res, err := costBoundBatchOrdered(p, opt, first)
+			res, err := costBoundBatchOrdered(ctx, p, opt, first)
 			if err != nil {
 				return nil, err
 			}
@@ -119,6 +132,7 @@ func CostBoundMultiBatch(problems []BatchProblem, opt Options, workers int) ([]B
 		return out, nil
 	}
 	opt = opt.norm()
+	done := ctx.Done()
 
 	bounds := make([]*atomicMin, len(problems))
 	for pi := range bounds {
@@ -139,7 +153,7 @@ func CostBoundMultiBatch(problems []BatchProblem, opt Options, workers int) ([]B
 			defer wg.Done()
 			locals := make([]BatchResult, len(problems))
 			touched := make([]bool, len(problems))
-			for {
+			for !canceled(done) {
 				task := int(next.Add(1) - 1)
 				if task >= total {
 					break
@@ -212,6 +226,9 @@ func CostBoundMultiBatch(problems []BatchProblem, opt Options, workers int) ([]B
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for pi := range merged {
 		if merged[pi].GroupIndex < 0 {
 			return nil, ErrNoPoints
@@ -226,7 +243,8 @@ func CostBoundMultiBatch(problems []BatchProblem, opt Options, workers int) ([]B
 // two-point costs when the problem carries pair distances, and maps the
 // winner back to the caller's group numbering: streamer slot 0 is `first`,
 // and every group before `first` is shifted up by one.
-func costBoundBatchOrdered(p BatchProblem, opt Options, first int) (BatchResult, error) {
+func costBoundBatchOrdered(ctx context.Context, p BatchProblem, opt Options, first int) (BatchResult, error) {
+	done := ctx.Done()
 	s := NewStreamer(opt, true)
 	offerAt := func(gi int) error {
 		g := p.Groups[gi]
@@ -247,6 +265,14 @@ func costBoundBatchOrdered(p BatchProblem, opt Options, first int) (BatchResult,
 	for gi := range p.Groups {
 		if gi == first {
 			continue
+		}
+		if done != nil && gi%ctxCheckStride == 0 {
+			select {
+			case <-done:
+				res, _ := s.Result()
+				return res, ctx.Err()
+			default:
+			}
 		}
 		if err := offerAt(gi); err != nil {
 			res, _ := s.Result()

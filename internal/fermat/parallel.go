@@ -1,6 +1,7 @@
 package fermat
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -95,6 +96,15 @@ func solveGroupBounded(g Group, off, twoCost float64, opt Options, bound *atomic
 // pruning statistics depend on scheduling and are therefore not
 // reproducible run to run.
 func CostBoundBatchParallel(groups []Group, offsets []float64, opt Options, workers int) (BatchResult, error) {
+	return CostBoundBatchParallelCtx(context.Background(), groups, offsets, opt, workers)
+}
+
+// CostBoundBatchParallelCtx is CostBoundBatchParallel honouring a context:
+// every worker checks for cancellation before claiming its next group, so a
+// canceled caller (an abandoned HTTP request, a shutdown) stops the whole
+// pool within one group's solve time. Returns the context's error when it
+// fired.
+func CostBoundBatchParallelCtx(ctx context.Context, groups []Group, offsets []float64, opt Options, workers int) (BatchResult, error) {
 	if len(groups) == 0 {
 		return BatchResult{}, ErrNoPoints
 	}
@@ -108,10 +118,11 @@ func CostBoundBatchParallel(groups []Group, offsets []float64, opt Options, work
 		workers = len(groups)
 	}
 	if workers <= 1 {
-		return batch(groups, offsets, opt, true)
+		return batchCtx(ctx, groups, offsets, opt, true)
 	}
 	opt = opt.norm()
 
+	done := ctx.Done()
 	bound := newAtomicMin()
 	var next atomic.Int64
 	var mu sync.Mutex
@@ -124,7 +135,7 @@ func CostBoundBatchParallel(groups []Group, offsets []float64, opt Options, work
 		go func() {
 			defer wg.Done()
 			local := BatchResult{Cost: math.Inf(1), GroupIndex: -1}
-			for {
+			for !canceled(done) {
 				gi := int(next.Add(1) - 1)
 				if gi >= len(groups) {
 					break
@@ -175,8 +186,26 @@ func CostBoundBatchParallel(groups []Group, offsets []float64, opt Options, work
 	if firstErr != nil {
 		return best, firstErr
 	}
+	if err := ctx.Err(); err != nil {
+		return best, err
+	}
 	if best.GroupIndex < 0 {
 		return best, ErrNoPoints
 	}
 	return best, nil
+}
+
+// canceled is the workers' non-blocking cancellation probe: false for a nil
+// channel (Background context), so uncancellable callers pay one pointer
+// compare per task.
+func canceled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }

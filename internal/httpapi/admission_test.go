@@ -130,8 +130,11 @@ func TestAdmissionSheds(t *testing.T) {
 		t.Fatal("429 without Retry-After")
 	}
 	var e errorResponse
-	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error.Message == "" {
 		t.Fatalf("429 body not a JSON error: %v %+v", err, e)
+	}
+	if e.Error.Code != "rate_limited" {
+		t.Fatalf("429 code = %q, want rate_limited", e.Error.Code)
 	}
 	close(release)
 	wg.Wait()

@@ -6,6 +6,10 @@
 //	GET  /v1/engines  — list prepared engines
 //	POST /v1/engines/{name}/query — solve against a prepared engine with
 //	                                 fresh type weights
+//	POST   /v1/engines/{name}/objects      — insert one object (incremental
+//	                                          MOVD repair, bumps the version)
+//	DELETE /v1/engines/{name}/objects/{id} — delete one object (?type=N
+//	                                          selects the set, default 0)
 //	POST /v1/score    — MWGD of candidate locations against inline sets
 //	GET  /v1/stats    — server status: engines, diagram cache, uptime,
 //	                    goroutines, build info
@@ -14,12 +18,21 @@
 //
 // Every request passes through the middleware stack of middleware.go:
 // request-ID assignment, panic recovery, per-route metrics and structured
-// access logs. All handlers are safe for concurrent use; prepared engines
-// are immutable after creation and stored under a read-write mutex.
+// access logs, plus a fallback that rewrites the router's own plain-text
+// 404/405 into the JSON error envelope every endpoint uses:
+//
+//	{"error":{"code":"...","message":"...","request_id":"..."}}
+//
+// All handlers are safe for concurrent use. The engine registry is stored
+// under a read-write mutex; the engines themselves serialise mutations and
+// version their state internally, so queries racing an object insert or
+// delete each see one consistent snapshot.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -27,6 +40,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -181,11 +195,15 @@ type EngineRequest struct {
 	Epsilon float64 `json:"epsilon,omitempty"`
 }
 
-// EngineInfo describes a prepared engine.
+// EngineInfo describes a prepared engine. Version and Objects track the
+// engine's mutable state: Version starts at 1 and increments with every
+// object insert/delete; Objects is the current object count per type.
 type EngineInfo struct {
 	Name         string   `json:"name"`
 	Method       string   `json:"method"`
 	Types        []string `json:"types"`
+	Version      int64    `json:"version"`
+	Objects      []int    `json:"objects"`
 	OVRs         int      `json:"ovrs"`
 	Combinations int      `json:"combinations"`
 	PrepMicros   int64    `json:"prepare_us"`
@@ -219,6 +237,35 @@ type EngineBatchResponse struct {
 	Micros  int64           `json:"elapsed_us"`
 }
 
+// ObjectUpsertRequest is the body of POST /v1/engines/{name}/objects: one
+// object to insert into the named engine's set for Type.
+type ObjectUpsertRequest struct {
+	Type int     `json:"type"`
+	ID   int     `json:"id"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+	// ObjWeight defaults to 1; explicit values must be positive. Weighted
+	// objects are only accepted by MBRB engines whose set is already
+	// non-uniform or which can rebuild (RRB rejects them with 422).
+	ObjWeight *float64 `json:"obj_weight,omitempty"`
+}
+
+// UpdateResponse reports one engine mutation (insert or delete).
+type UpdateResponse struct {
+	Engine string `json:"engine"`
+	// Version is the engine version the mutation published.
+	Version int64 `json:"version"`
+	// Incremental is true when the engine repaired only the dirty region of
+	// the MOVD; false when it fell back to a full rebuild.
+	Incremental bool `json:"incremental"`
+	// DirtyCells is the number of Voronoi cells the mutation invalidated
+	// (0 on the rebuild path).
+	DirtyCells   int   `json:"dirty_cells"`
+	OVRs         int   `json:"ovrs"`
+	Combinations int   `json:"combinations"`
+	Micros       int64 `json:"elapsed_us"`
+}
+
 // ScoreRequest is the body of POST /v1/score.
 type ScoreRequest struct {
 	Types      []TypeJSON  `json:"types"`
@@ -230,9 +277,46 @@ type ScoreResponse struct {
 	Costs []float64 `json:"costs"`
 }
 
-// errorResponse is the uniform error body.
+// ErrorBody is the uniform error envelope carried by every non-2xx
+// response, including the router's own 404/405 and admission-control 429:
+// a stable machine-readable code, a human-readable message and the request
+// ID from the X-Request-Id header, so clients can quote the exact failing
+// request in bug reports.
+type ErrorBody struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// errorResponse is the uniform error body: {"error":{...}}.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error ErrorBody `json:"error"`
+}
+
+// errCode maps a status to its stable envelope code.
+func errCode(status int) string {
+	switch {
+	case status == http.StatusBadRequest:
+		return "bad_request"
+	case status == http.StatusNotFound:
+		return "not_found"
+	case status == http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case status == http.StatusConflict:
+		return "conflict"
+	case status == http.StatusUnprocessableEntity:
+		return "unprocessable"
+	case status == http.StatusTooManyRequests:
+		return "rate_limited"
+	case status == statusClientClosed:
+		return "client_closed"
+	case status == http.StatusGatewayTimeout:
+		return "timeout"
+	case status >= 500:
+		return "internal"
+	default:
+		return fmt.Sprintf("http_%d", status)
+	}
 }
 
 type preparedEngine struct {
@@ -315,8 +399,10 @@ func New(opts ...Option) *Server {
 	s.h.HandleFunc("GET /v1/engines", s.handleEngineList)
 	s.h.HandleFunc("DELETE /v1/engines/{name}", s.handleEngineDelete)
 	s.h.HandleFunc("POST /v1/engines/{name}/query", s.handleEngineQuery)
+	s.h.HandleFunc("POST /v1/engines/{name}/objects", s.handleObjectInsert)
+	s.h.HandleFunc("DELETE /v1/engines/{name}/objects/{id}", s.handleObjectDelete)
 	s.h.HandleFunc("POST /v1/score", s.handleScore)
-	s.wrapped = s.middleware(s.h)
+	s.wrapped = s.middleware(jsonFallback(s.h))
 	// Process-level gauges, sampled at scrape time. Registration is
 	// idempotent (first wins), so repeated Server constructions are safe.
 	obs.Default.GaugeFunc("molq_goroutines", "goroutines in the process",
@@ -343,7 +429,13 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 }
 
 func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, errorResponse{Error: ErrorBody{
+		Code:    errCode(status),
+		Message: fmt.Sprintf(format, args...),
+		// Set by the middleware before any handler runs; empty only when a
+		// bare ResponseWriter bypasses the stack (tests).
+		RequestID: w.Header().Get(requestIDHeader),
+	}})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -482,9 +574,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	in.Workers = req.Workers
 	in.PruneOverlap = req.PruneOverlap
 	in.Cache = s.cache
-	res, err := query.Solve(in, m)
+	res, err := query.SolveContext(r.Context(), in, m)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		writeErr(w, solveStatus(err), "%v", err)
 		return
 	}
 	out := SolveResponse{
@@ -553,6 +645,8 @@ func (s *Server) handleEngineCreate(w http.ResponseWriter, r *http.Request) {
 		Name:         req.Name,
 		Method:       m.String(),
 		Types:        names,
+		Version:      eng.Version(),
+		Objects:      eng.ObjectCounts(),
 		OVRs:         eng.OVRs(),
 		Combinations: eng.Combinations(),
 		PrepMicros:   eng.PrepTime().Microseconds(),
@@ -576,7 +670,14 @@ func (s *Server) handleEngineList(w http.ResponseWriter, _ *http.Request) {
 	s.mux.RLock()
 	infos := make([]EngineInfo, 0, len(s.eng))
 	for _, pe := range s.eng {
-		infos = append(infos, pe.info)
+		info := pe.info
+		// Mutable state is read live; info holds only the creation-time
+		// snapshot.
+		info.Version = pe.eng.Version()
+		info.Objects = pe.eng.ObjectCounts()
+		info.OVRs = pe.eng.OVRs()
+		info.Combinations = pe.eng.Combinations()
+		infos = append(infos, info)
 	}
 	s.mux.RUnlock()
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
@@ -620,17 +721,17 @@ func (s *Server) handleEngineQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.gate.release()
 	if !batch {
-		res, err := pe.eng.Query(vecs[0])
+		res, err := pe.eng.QueryContext(r.Context(), vecs[0])
 		if err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+			writeErr(w, solveStatus(err), "%v", err)
 			return
 		}
 		writeJSON(w, http.StatusOK, solveResponse(res))
 		return
 	}
-	out, err := pe.eng.QueryBatch(vecs)
+	out, err := pe.eng.QueryBatchContext(r.Context(), vecs)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		writeErr(w, solveStatus(err), "%v", err)
 		return
 	}
 	resp := EngineBatchResponse{Results: make([]SolveResponse, len(out))}
@@ -717,6 +818,123 @@ func nestedArray(b []byte) bool {
 		i++
 	}
 	return i < len(b) && b[i] == '['
+}
+
+// statusClientClosed is nginx's non-standard 499 "client closed request":
+// the solve was abandoned because the caller went away, not because the
+// request was wrong, so neither 4xx-validation nor 5xx-server codes fit.
+const statusClientClosed = 499
+
+// solveStatus maps a solve/query error: a canceled request context is the
+// client's doing (499), a deadline is a timeout (504), anything else is a
+// request the engine rejected (422).
+func solveStatus(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return statusClientClosed
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// updateStatus maps a mutation error onto the API's status vocabulary:
+// malformed input is 400, identity clashes are 409, a missing object is 404,
+// and everything the engine itself refuses (last object of a type, weighted
+// RRB) is 422.
+func updateStatus(err error) int {
+	switch {
+	case errors.Is(err, query.ErrBadType), errors.Is(err, query.ErrBadWeight):
+		return http.StatusBadRequest
+	case errors.Is(err, query.ErrDuplicateID), errors.Is(err, query.ErrDuplicateLocation):
+		return http.StatusConflict
+	case errors.Is(err, query.ErrUnknownObject):
+		return http.StatusNotFound
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func updateResponse(name string, pe *preparedEngine, us query.UpdateStats) UpdateResponse {
+	return UpdateResponse{
+		Engine:       name,
+		Version:      us.Version,
+		Incremental:  !us.Rebuilt,
+		DirtyCells:   us.DirtyCells,
+		OVRs:         us.NewOVRs,
+		Combinations: pe.eng.Combinations(),
+		Micros:       us.TotalTime.Microseconds(),
+	}
+}
+
+func (s *Server) handleObjectInsert(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mux.RLock()
+	pe := s.eng[name]
+	s.mux.RUnlock()
+	if pe == nil {
+		writeErr(w, http.StatusNotFound, "engine %q not found", name)
+		return
+	}
+	var req ObjectUpsertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	ow := 1.0
+	if req.ObjWeight != nil {
+		ow = *req.ObjWeight
+	}
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.gate.release()
+	us, err := pe.eng.InsertObject(core.Object{
+		ID:        req.ID,
+		Type:      req.Type,
+		Loc:       geom.Pt(req.X, req.Y),
+		ObjWeight: ow,
+	})
+	if err != nil {
+		writeErr(w, updateStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, updateResponse(name, pe, us))
+}
+
+func (s *Server) handleObjectDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mux.RLock()
+	pe := s.eng[name]
+	s.mux.RUnlock()
+	if pe == nil {
+		writeErr(w, http.StatusNotFound, "engine %q not found", name)
+		return
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad object id %q", r.PathValue("id"))
+		return
+	}
+	ti := 0
+	if tq := r.URL.Query().Get("type"); tq != "" {
+		ti, err = strconv.Atoi(tq)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad type %q", tq)
+			return
+		}
+	}
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.gate.release()
+	us, err := pe.eng.DeleteObject(ti, id)
+	if err != nil {
+		writeErr(w, updateStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, updateResponse(name, pe, us))
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {

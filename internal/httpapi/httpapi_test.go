@@ -144,11 +144,12 @@ func TestWeightValidation(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("case %d: status %d, want 400 (%s)", i, resp.StatusCode, body)
 		}
-		var e struct {
-			Error string `json:"error"`
-		}
-		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		var e errorResponse
+		if err := json.Unmarshal(body, &e); err != nil || e.Error.Message == "" {
 			t.Fatalf("case %d: missing error body: %s", i, body)
+		}
+		if e.Error.Code != "bad_request" || e.Error.RequestID == "" {
+			t.Fatalf("case %d: bad envelope: %s", i, body)
 		}
 	}
 	// Omitted weights still default to 1 and solve fine.

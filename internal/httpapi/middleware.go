@@ -3,9 +3,11 @@ package httpapi
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"log/slog"
 	"net/http"
 	"runtime/debug"
+	"strings"
 	"time"
 
 	"molq/internal/obs"
@@ -62,6 +64,54 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 		r.wrote = true
 	}
 	return r.ResponseWriter.Write(b)
+}
+
+// jsonFallback rewrites the plain-text 404/405 bodies net/http's ServeMux
+// emits for unmatched routes and disallowed methods into the standard JSON
+// error envelope, so EVERY error of the API — router-level included —
+// carries {"error":{"code","message","request_id"}}. Responses our own
+// handlers write (Content-Type application/json) pass through untouched.
+func jsonFallback(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&fallbackWriter{ResponseWriter: w}, r)
+	})
+}
+
+type fallbackWriter struct {
+	http.ResponseWriter
+	// intercepted means the envelope was already written and the original
+	// text body must be swallowed.
+	intercepted bool
+}
+
+func (f *fallbackWriter) WriteHeader(code int) {
+	if (code == http.StatusNotFound || code == http.StatusMethodNotAllowed) &&
+		!strings.HasPrefix(f.Header().Get("Content-Type"), "application/json") {
+		f.intercepted = true
+		f.Header().Set("Content-Type", "application/json")
+		f.Header().Del("Content-Length")
+		f.ResponseWriter.WriteHeader(code)
+		msg := "not found"
+		if code == http.StatusMethodNotAllowed {
+			msg = "method not allowed"
+		}
+		body, _ := json.Marshal(errorResponse{Error: ErrorBody{
+			Code:      errCode(code),
+			Message:   msg,
+			RequestID: f.Header().Get(requestIDHeader),
+		}})
+		_, _ = f.ResponseWriter.Write(append(body, '\n'))
+		return
+	}
+	f.ResponseWriter.WriteHeader(code)
+}
+
+func (f *fallbackWriter) Write(b []byte) (int, error) {
+	if f.intercepted {
+		// Report success so the mux believes its text body was sent.
+		return len(b), nil
+	}
+	return f.ResponseWriter.Write(b)
 }
 
 // newRequestID returns 16 hex characters of crypto randomness — unique

@@ -68,8 +68,11 @@ func TestPanicRecovery(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
 		t.Fatalf("panic response is not JSON: %v (%s)", err, rec.Body.String())
 	}
-	if body.Error == "" {
+	if body.Error.Message == "" {
 		t.Fatal("empty error message in 500 body")
+	}
+	if body.Error.Code != "internal" {
+		t.Fatalf("500 code = %q, want internal", body.Error.Code)
 	}
 	log := logBuf.String()
 	if !strings.Contains(log, "kaboom") || !strings.Contains(log, "middleware_test.go") {

@@ -1,0 +1,204 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// doJSON issues a request with an optional JSON body and returns the decoded
+// response status and raw body.
+func doJSON(t *testing.T, method, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var rd *strings.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = strings.NewReader(string(raw))
+	} else {
+		rd = strings.NewReader("")
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	dec := json.NewDecoder(resp.Body)
+	var raw json.RawMessage
+	if err := dec.Decode(&raw); err == nil {
+		buf.Write(raw)
+	}
+	return resp, []byte(buf.String())
+}
+
+// TestObjectMutationEndpoints drives the insert/delete endpoints end to end:
+// versions advance, repairs stay incremental, queries keep answering, and the
+// listing reflects live object counts.
+func TestObjectMutationEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/engines", EngineRequest{
+		Name:   "city",
+		Bounds: &[4]float64{0, 0, 100, 100},
+		Types:  sampleTypes(),
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", resp.StatusCode, body)
+	}
+	var info EngineInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 {
+		t.Fatalf("fresh engine version = %d, want 1", info.Version)
+	}
+	if len(info.Objects) != 2 || info.Objects[0] != 2 || info.Objects[1] != 2 {
+		t.Fatalf("fresh engine objects = %v, want [2 2]", info.Objects)
+	}
+
+	// Insert a new market near the optimum of the sample instance.
+	resp, body = postJSON(t, ts.URL+"/v1/engines/city/objects", ObjectUpsertRequest{
+		Type: 1, ID: 10, X: 75, Y: 45,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert: status %d: %s", resp.StatusCode, body)
+	}
+	var up UpdateResponse
+	if err := json.Unmarshal(body, &up); err != nil {
+		t.Fatal(err)
+	}
+	if up.Version != 2 || !up.Incremental || up.DirtyCells == 0 || up.OVRs == 0 {
+		t.Fatalf("insert response: %+v", up)
+	}
+
+	// The engine still answers queries, over 3 markets now.
+	resp, body = postJSON(t, ts.URL+"/v1/engines/city/query",
+		EngineQueryRequest{TypeWeights: []float64{1, 1}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after insert: status %d: %s", resp.StatusCode, body)
+	}
+
+	// The listing reports live version and counts.
+	resp, body = doJSON(t, http.MethodGet, ts.URL+"/v1/engines", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: status %d", resp.StatusCode)
+	}
+	var infos []EngineInfo
+	if err := json.Unmarshal(body, &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Version != 2 || infos[0].Objects[1] != 3 {
+		t.Fatalf("list after insert: %+v", infos)
+	}
+
+	// Delete it again.
+	resp, body = doJSON(t, http.MethodDelete, ts.URL+"/v1/engines/city/objects/10?type=1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &up); err != nil {
+		t.Fatal(err)
+	}
+	if up.Version != 3 || !up.Incremental {
+		t.Fatalf("delete response: %+v", up)
+	}
+}
+
+// TestObjectMutationErrors checks the status mapping of every mutation
+// failure mode and that each carries the error envelope.
+func TestObjectMutationErrors(t *testing.T) {
+	ts := newTestServer(t)
+	if resp, body := postJSON(t, ts.URL+"/v1/engines", EngineRequest{
+		Name:   "e",
+		Bounds: &[4]float64{0, 0, 100, 100},
+		Types:  sampleTypes(),
+	}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", resp.StatusCode, body)
+	}
+	cases := []struct {
+		name     string
+		method   string
+		url      string
+		body     any
+		want     int
+		wantCode string
+	}{
+		{"unknown engine insert", http.MethodPost, "/v1/engines/nope/objects",
+			ObjectUpsertRequest{Type: 0, ID: 9, X: 1, Y: 1}, 404, "not_found"},
+		{"bad type", http.MethodPost, "/v1/engines/e/objects",
+			ObjectUpsertRequest{Type: 7, ID: 9, X: 1, Y: 1}, 400, "bad_request"},
+		{"bad weight", http.MethodPost, "/v1/engines/e/objects",
+			ObjectUpsertRequest{Type: 0, ID: 9, X: 1, Y: 1, ObjWeight: fw(-1)}, 400, "bad_request"},
+		{"duplicate id", http.MethodPost, "/v1/engines/e/objects",
+			ObjectUpsertRequest{Type: 0, ID: 0, X: 1, Y: 1}, 409, "conflict"},
+		{"duplicate location", http.MethodPost, "/v1/engines/e/objects",
+			ObjectUpsertRequest{Type: 0, ID: 9, X: 20, Y: 30}, 409, "conflict"},
+		{"unknown object", http.MethodDelete, "/v1/engines/e/objects/99?type=0",
+			nil, 404, "not_found"},
+		{"bad id", http.MethodDelete, "/v1/engines/e/objects/xyz?type=0",
+			nil, 400, "bad_request"},
+		{"bad type param", http.MethodDelete, "/v1/engines/e/objects/0?type=zzz",
+			nil, 400, "bad_request"},
+	}
+	for _, tc := range cases {
+		resp, body := doJSON(t, tc.method, ts.URL+tc.url, tc.body)
+		if resp.StatusCode != tc.want {
+			t.Fatalf("%s: status %d, want %d: %s", tc.name, resp.StatusCode, tc.want, body)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Fatalf("%s: body is not an error envelope: %s", tc.name, body)
+		}
+		if e.Error.Code != tc.wantCode || e.Error.Message == "" || e.Error.RequestID == "" {
+			t.Fatalf("%s: envelope %+v, want code %q", tc.name, e.Error, tc.wantCode)
+		}
+	}
+	// Deleting down to one object per type: the last delete is refused 422.
+	for _, id := range []int{0} {
+		if resp, body := doJSON(t, http.MethodDelete,
+			ts.URL+fmt.Sprintf("/v1/engines/e/objects/%d?type=1", id), nil); resp.StatusCode != 200 {
+			t.Fatalf("thinning delete: status %d: %s", resp.StatusCode, body)
+		}
+	}
+	resp, body := doJSON(t, http.MethodDelete, ts.URL+"/v1/engines/e/objects/1?type=1", nil)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("last-object delete: status %d, want 422: %s", resp.StatusCode, body)
+	}
+}
+
+// TestErrorEnvelopeFallback checks the router's own 404 and 405 — which
+// net/http writes as text/plain — are rewritten into the JSON envelope.
+func TestErrorEnvelopeFallback(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := doJSON(t, http.MethodGet, ts.URL+"/v1/definitely-not-a-route", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("404 content-type %q, want application/json", ct)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != "not_found" {
+		t.Fatalf("404 envelope: %v %s", err, body)
+	}
+	if e.Error.RequestID == "" {
+		t.Fatal("404 envelope missing request_id")
+	}
+
+	resp, body = doJSON(t, http.MethodGet, ts.URL+"/v1/solve", nil)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != "method_not_allowed" {
+		t.Fatalf("405 envelope: %v %s", err, body)
+	}
+}

@@ -26,6 +26,8 @@ var (
 		"diagrams evicted from a cache to stay under its byte budget")
 	cacheCoalescedMetric = obs.Default.Counter("molq_diagram_cache_coalesced_waits_total",
 		"cache misses that waited on another goroutine's in-flight build instead of duplicating it")
+	cacheInvalidationsMetric = obs.Default.Counter("molq_diagram_cache_invalidations_total",
+		"diagrams dropped from a cache because an engine mutation superseded their fingerprint")
 )
 
 // This file implements the fingerprinted diagram cache: a content-addressed,
@@ -318,6 +320,29 @@ func (c *DiagramCache) putLocked(key fingerprint, m *core.MOVD) {
 		c.bytes -= e.size
 		cacheEvictionsMetric.Inc()
 	}
+}
+
+// invalidate removes the entry for key, reporting whether one was present.
+// Engine mutations call it to retire diagrams whose object set no longer
+// exists anywhere (the pre-mutation basic of the mutated type and the
+// pre-mutation overlapped chain); shared *MOVD pointers held by readers stay
+// valid — only the cache's reference is dropped. In-flight builds of the key
+// are unaffected: their owners repopulate the entry when they finish, which
+// is correct because a content-addressed entry is never wrong, merely stale
+// for this engine.
+func (c *DiagramCache) invalidate(key fingerprint) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, key)
+	c.bytes -= e.size
+	cacheInvalidationsMetric.Inc()
+	return true
 }
 
 // Stats snapshots the cache state with lifetime hit/miss totals.

@@ -1,44 +1,96 @@
 package query
 
 import (
+	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"molq/internal/core"
 	"molq/internal/fermat"
 	"molq/internal/geom"
 	"molq/internal/obs"
+	"molq/internal/voronoi"
 )
 
-// Engine answers repeated MOLQs over a fixed set of POI data. The key
+// Engine answers repeated MOLQs over a mutable set of POI data. The key
 // observation (from the model itself) is that the MOVD depends only on
 // object locations, object weights and the ς^o family — never on the type
 // weights w^t, which enter the objective only through the optimizer's
 // Fermat-Weber folding. Preparing an Engine therefore runs the VD Generator
 // and MOVD Overlapper once; each Query call re-runs just the optimizer with
 // fresh type weights, typically orders of magnitude cheaper.
+//
+// Prepared state lives in immutable versioned snapshots (engineState) behind
+// an atomic pointer: queries load one snapshot and never observe a mutation
+// mid-flight, while InsertObject/DeleteObject (mutate.go) build the next
+// version copy-on-write and publish it with a single store. Mutations are
+// serialised by updMu; queries are lock-free.
 type Engine struct {
-	in     Input
+	in     Input // base configuration; the CURRENT object sets live in the state snapshot
 	mode   core.Mode
 	method Method
-	movd   *core.MOVD
-	combos [][]core.Object
-	// flat is the combo-major flattening of combos, precomputed once so
-	// every Query/QueryBatch call assembles its Fermat-Weber problems from
-	// contiguous arrays (one slab allocation per weight vector) instead of
-	// walking the nested combo slices. Read-only after preparation.
-	flat engineFlat
+	state  atomic.Pointer[engineState]
+
+	// updMu serialises mutations. The incremental substrate below it (one
+	// maintained Delaunay triangulation per type, plus the object↔slot maps)
+	// is only touched under updMu; nil entries mean the type repairs by full
+	// rebuild (weighted diagrams, snapshot-loaded engines, degenerate
+	// geometry).
+	updMu sync.Mutex
+	dyn   []*typeDynamic
+
+	// comboRef/comboPos maintain the combination multiset of the CURRENT
+	// snapshot's MOVD so the incremental repair can update the combos list in
+	// O(dirty) instead of re-extracting it from every OVR: comboRef counts
+	// OVRs per combination dedup key, comboPos locates each combination in
+	// state.combos. Guarded by updMu, built lazily on the first incremental
+	// mutation, and discarded (nil) by rebuilds, which re-extract from
+	// scratch.
+	comboRef map[string]int
+	comboPos map[string]int
+
 	// prep captures how long Prepare took, for reporting.
 	prepTime time.Duration
 	// cacheStats records the diagram-cache lookups of the preparation.
 	cacheStats CacheStats
 }
 
-// engineFlat is the amortized group/offset setup shared by all queries: the
-// locations, object weights and types of every combo member concatenated,
-// with starts[i] … starts[i+1] delimiting combo i. additive marks the ς^o
-// family per type; anyAdditive short-circuits the offset scan for the
-// common all-multiplicative case.
+// engineState is one immutable prepared snapshot: everything a query reads.
+// A snapshot is never modified after publication; mutations assemble a fresh
+// one sharing every unchanged OVR, basic diagram and combo slice with its
+// predecessor (copy-on-write).
+type engineState struct {
+	version int64
+	sets    [][]core.Object
+	// basics holds the per-type basic MOVDs the overlapped diagram was built
+	// from — the operands incremental splicing re-sweeps. nil for engines
+	// restored from snapshots (their first mutation falls back to a full
+	// rebuild, which repopulates it).
+	basics []*core.MOVD
+	// fps are the per-type basic fingerprints when a diagram cache is
+	// configured; mutations advance them and retire the stale entries.
+	fps    []fingerprint
+	movd   *core.MOVD
+	combos [][]core.Object
+	flat   engineFlat
+}
+
+// typeDynamic is the mutable Voronoi substrate of one type: the maintained
+// triangulation plus the slot bookkeeping tying diagram sites to object IDs.
+type typeDynamic struct {
+	vd     *voronoi.Dynamic
+	slotOf map[int]int   // object ID → slot
+	objAt  []core.Object // slot → object (stale entries for dead slots)
+}
+
+// engineFlat is the combo-major flattening of combos, precomputed once per
+// version so every Query/QueryBatch call assembles its Fermat-Weber problems
+// from contiguous arrays (one slab allocation per weight vector) instead of
+// walking the nested combo slices. additive marks the ς^o family per type;
+// anyAdditive short-circuits the offset scan for the common
+// all-multiplicative case.
 type engineFlat struct {
 	pts         []geom.Point
 	objW        []float64
@@ -53,27 +105,26 @@ type engineFlat struct {
 	pairDist []float64
 }
 
-// finishPrep derives the flat combo representation; called once from
-// NewEngine and LoadEngine after combos are known.
-func (e *Engine) finishPrep() {
+// buildFlat derives the flat combo representation for one state snapshot.
+func (in *Input) buildFlat(combos [][]core.Object) engineFlat {
 	n := 0
-	for _, c := range e.combos {
+	for _, c := range combos {
 		n += len(c)
 	}
-	f := &e.flat
+	var f engineFlat
 	f.pts = make([]geom.Point, 0, n)
 	f.objW = make([]float64, 0, n)
 	f.typ = make([]int32, 0, n)
-	f.starts = make([]int32, len(e.combos)+1)
-	f.additive = make([]bool, len(e.in.Sets))
-	for ti := range e.in.Sets {
-		if e.in.kind(ti) == AdditiveObjWeights {
+	f.starts = make([]int32, len(combos)+1)
+	f.additive = make([]bool, len(in.Sets))
+	for ti := range in.Sets {
+		if in.kind(ti) == AdditiveObjWeights {
 			f.additive[ti] = true
 			f.anyAdditive = true
 		}
 	}
-	f.pairDist = make([]float64, len(e.combos))
-	for i, c := range e.combos {
+	f.pairDist = make([]float64, len(combos))
+	for i, c := range combos {
 		f.starts[i] = int32(len(f.pts))
 		for _, o := range c {
 			f.pts = append(f.pts, o.Loc)
@@ -84,15 +135,17 @@ func (e *Engine) finishPrep() {
 			f.pairDist[i] = c[0].Loc.Dist(c[1].Loc)
 		}
 	}
-	f.starts[len(e.combos)] = int32(len(f.pts))
+	f.starts[len(combos)] = int32(len(f.pts))
+	return f
 }
 
 // problemFor assembles the Fermat-Weber batch for one weight vector from
-// the flat representation. All group backing storage comes from one slab, so
-// a vector costs three allocations regardless of combo count, and every call
-// owns its slab outright — concurrent queries share nothing mutable.
-func (e *Engine) problemFor(typeWeights []float64) ([]fermat.Group, []float64) {
-	f := &e.flat
+// the snapshot's flat representation. All group backing storage comes from
+// one slab, so a vector costs three allocations regardless of combo count,
+// and every call owns its slab outright — concurrent queries share nothing
+// mutable.
+func (st *engineState) problemFor(typeWeights []float64) ([]fermat.Group, []float64) {
+	f := &st.flat
 	slab := make([]fermat.WeightedPoint, len(f.pts))
 	for i := range slab {
 		ti := f.typ[i]
@@ -103,8 +156,8 @@ func (e *Engine) problemFor(typeWeights []float64) ([]fermat.Group, []float64) {
 			slab[i] = fermat.WeightedPoint{P: f.pts[i], W: w * f.objW[i]}
 		}
 	}
-	groups := make([]fermat.Group, len(e.combos))
-	offsets := make([]float64, len(e.combos))
+	groups := make([]fermat.Group, len(st.combos))
+	offsets := make([]float64, len(st.combos))
 	for ci := range groups {
 		s, t := f.starts[ci], f.starts[ci+1]
 		groups[ci] = fermat.Group(slab[s:t:t])
@@ -122,6 +175,8 @@ func (e *Engine) problemFor(typeWeights []float64) ([]fermat.Group, []float64) {
 }
 
 // checkTypeWeights validates one weight vector against the engine's sets.
+// The number of types is immutable — mutations add and remove objects, never
+// whole sets — so this needs no snapshot.
 func (e *Engine) checkTypeWeights(typeWeights []float64) error {
 	if len(typeWeights) != len(e.in.Sets) {
 		return fmt.Errorf("query: %d type weights for %d sets", len(typeWeights), len(e.in.Sets))
@@ -164,9 +219,17 @@ func NewEngine(in Input, method Method) (*Engine, error) {
 		return nil, err
 	}
 	e.cacheStats = cacheStats
-	e.movd = acc
-	e.combos = acc.Groups()
-	e.finishPrep()
+	combos := acc.Groups()
+	e.state.Store(&engineState{
+		version: 1,
+		sets:    in.Sets,
+		basics:  basics,
+		fps:     fps,
+		movd:    acc,
+		combos:  combos,
+		flat:    in.buildFlat(combos),
+	})
+	e.dyn = make([]*typeDynamic, len(in.Sets))
 	e.prepTime = time.Since(start)
 	return e, nil
 }
@@ -178,22 +241,45 @@ func (e *Engine) PrepTime() time.Duration { return e.prepTime }
 // VD stage (Entries/Bytes snapshot the cache as of preparation time).
 func (e *Engine) CacheStats() CacheStats { return e.cacheStats }
 
-// OVRs returns the size of the prepared MOVD.
-func (e *Engine) OVRs() int { return e.movd.Len() }
+// Version reports the current snapshot version: 1 after preparation,
+// incremented by every successful InsertObject/DeleteObject.
+func (e *Engine) Version() int64 { return e.state.Load().version }
+
+// OVRs returns the size of the current prepared MOVD.
+func (e *Engine) OVRs() int { return e.state.Load().movd.Len() }
 
 // Combinations returns the number of candidate object combinations the
-// prepared MOVD admits.
-func (e *Engine) Combinations() int { return len(e.combos) }
+// current prepared MOVD admits.
+func (e *Engine) Combinations() int { return len(e.state.Load().combos) }
+
+// ObjectCounts returns the current number of objects per type.
+func (e *Engine) ObjectCounts() []int {
+	st := e.state.Load()
+	out := make([]int, len(st.sets))
+	for ti, set := range st.sets {
+		out[ti] = len(set)
+	}
+	return out
+}
 
 // Query answers the MOLQ with per-type weights w^t given in typeWeights
 // (len must equal the number of object sets; all entries positive). Object
 // weights and ς^o families are those baked in at preparation. Query is safe
-// for concurrent use: the prepared state is read-only and each call
-// assembles its problems into its own freshly allocated slab.
+// for concurrent use, including concurrently with mutations: it reads one
+// immutable snapshot end to end and each call assembles its problems into
+// its own freshly allocated slab.
 func (e *Engine) Query(typeWeights []float64) (Result, error) {
+	return e.QueryContext(context.Background(), typeWeights)
+}
+
+// QueryContext is Query honouring a context: cancellation stops the
+// optimizer's workers within one group's solve time and returns the
+// context's error.
+func (e *Engine) QueryContext(ctx context.Context, typeWeights []float64) (Result, error) {
 	if err := e.checkTypeWeights(typeWeights); err != nil {
 		return Result{}, err
 	}
+	st := e.state.Load()
 	res := Result{Method: e.method}
 	var root *obs.Span
 	if e.in.Trace {
@@ -201,13 +287,13 @@ func (e *Engine) Query(typeWeights []float64) (Result, error) {
 		res.Stats.Trace = root
 	}
 	start := time.Now()
-	groups, offsets := e.problemFor(typeWeights)
+	groups, offsets := st.problemFor(typeWeights)
 	var batch fermat.BatchResult
 	var err error
 	if e.in.Workers > 1 {
-		batch, err = fermat.CostBoundBatchParallel(groups, offsets, e.in.options(), e.in.Workers)
+		batch, err = fermat.CostBoundBatchParallelCtx(ctx, groups, offsets, e.in.options(), e.in.Workers)
 	} else {
-		batch, err = fermat.CostBoundBatchOffsets(groups, offsets, e.in.options())
+		batch, err = fermat.CostBoundBatchOffsetsCtx(ctx, groups, offsets, e.in.options())
 	}
 	if err != nil {
 		return res, err
@@ -215,8 +301,8 @@ func (e *Engine) Query(typeWeights []float64) (Result, error) {
 	res.Loc = batch.Loc
 	res.Cost = batch.Cost
 	res.Stats.Groups = len(groups)
-	res.Stats.OVRs = e.movd.Len()
-	res.Stats.PointsManaged = e.movd.PointsManaged()
+	res.Stats.OVRs = st.movd.Len()
+	res.Stats.PointsManaged = st.movd.PointsManaged()
 	res.Stats.Fermat = batch.Stats
 	res.Stats.OptimizeTime = time.Since(start)
 	res.Stats.TotalTime = res.Stats.OptimizeTime
@@ -230,11 +316,11 @@ func (e *Engine) Query(typeWeights []float64) (Result, error) {
 	return res, nil
 }
 
-// QueryBatch answers the MOLQ for many weight vectors over the one prepared
-// MOVD, returning one Result per vector in order. The per-vector group and
-// offset setup is assembled from the engine's precomputed flat combo arrays,
-// and all vectors' candidate × weight-vector Fermat-Weber problems fan out
-// through a single shared worker pool (Workers goroutines; ≤ 1 runs
+// QueryBatch answers the MOLQ for many weight vectors over one prepared
+// snapshot, returning one Result per vector in order. The per-vector group
+// and offset setup is assembled from the snapshot's precomputed flat combo
+// arrays, and all vectors' candidate × weight-vector Fermat-Weber problems
+// fan out through a single shared worker pool (Workers goroutines; ≤ 1 runs
 // sequentially), each vector under its own Algorithm-5 cost bound. Compared
 // with len(vecs) sequential Query calls this amortizes both the setup and
 // the pool spin-up, which is the paper's own serving scenario: repeated
@@ -244,6 +330,11 @@ func (e *Engine) Query(typeWeights []float64) (Result, error) {
 // whole batch. Per-Result phase durations report the shared batch's wall
 // clock — concurrent vectors aren't individually attributable.
 func (e *Engine) QueryBatch(vecs [][]float64) ([]Result, error) {
+	return e.QueryBatchContext(context.Background(), vecs)
+}
+
+// QueryBatchContext is QueryBatch honouring a context (see QueryContext).
+func (e *Engine) QueryBatchContext(ctx context.Context, vecs [][]float64) ([]Result, error) {
 	if len(vecs) == 0 {
 		return nil, nil
 	}
@@ -252,6 +343,7 @@ func (e *Engine) QueryBatch(vecs [][]float64) ([]Result, error) {
 			return nil, fmt.Errorf("vector %d: %w", vi, err)
 		}
 	}
+	st := e.state.Load()
 	var root *obs.Span
 	if e.in.Trace {
 		root = obs.StartSpan(fmt.Sprintf("engine-query-batch/%s/%d", e.method.String(), len(vecs)))
@@ -259,10 +351,10 @@ func (e *Engine) QueryBatch(vecs [][]float64) ([]Result, error) {
 	start := time.Now()
 	problems := make([]fermat.BatchProblem, len(vecs))
 	for vi, tw := range vecs {
-		groups, offsets := e.problemFor(tw)
-		problems[vi] = fermat.BatchProblem{Groups: groups, Offsets: offsets, PairDist: e.flat.pairDist}
+		groups, offsets := st.problemFor(tw)
+		problems[vi] = fermat.BatchProblem{Groups: groups, Offsets: offsets, PairDist: st.flat.pairDist}
 	}
-	batches, err := fermat.CostBoundMultiBatch(problems, e.in.options(), e.in.Workers)
+	batches, err := fermat.CostBoundMultiBatchCtx(ctx, problems, e.in.options(), e.in.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -270,17 +362,17 @@ func (e *Engine) QueryBatch(vecs [][]float64) ([]Result, error) {
 	out := make([]Result, len(vecs))
 	for vi, b := range batches {
 		out[vi] = Result{Method: e.method, Loc: b.Loc, Cost: b.Cost}
-		st := &out[vi].Stats
-		st.Groups = len(problems[vi].Groups)
-		st.OVRs = e.movd.Len()
-		st.PointsManaged = e.movd.PointsManaged()
-		st.Fermat = b.Stats
-		st.OptimizeTime = elapsed
-		st.TotalTime = elapsed
+		st2 := &out[vi].Stats
+		st2.Groups = len(problems[vi].Groups)
+		st2.OVRs = st.movd.Len()
+		st2.PointsManaged = st.movd.PointsManaged()
+		st2.Fermat = b.Stats
+		st2.OptimizeTime = elapsed
+		st2.TotalTime = elapsed
 	}
 	if root != nil {
 		root.SetAttr("vectors", len(vecs))
-		root.SetAttr("groups_per_vector", len(e.combos))
+		root.SetAttr("groups_per_vector", len(st.combos))
 		root.EndWith(elapsed)
 		out[0].Stats.Trace = root
 	}
@@ -288,10 +380,11 @@ func (e *Engine) QueryBatch(vecs [][]float64) ([]Result, error) {
 }
 
 // MWGDAt scores an arbitrary candidate location under the given type
-// weights (linear scan of the stored sets).
+// weights (linear scan of the current sets).
 func (e *Engine) MWGDAt(q geom.Point, typeWeights []float64) float64 {
+	st := e.state.Load()
 	total := 0.0
-	for ti, set := range e.in.Sets {
+	for ti, set := range st.sets {
 		additive := e.in.kind(ti) == AdditiveObjWeights
 		wt := 1.0
 		if ti < len(typeWeights) {

@@ -20,16 +20,21 @@ type engineSnapshot struct {
 	MOVD   *core.MOVD
 }
 
-// Save serialises the prepared engine. The diagram cache is process wiring,
-// not engine state: it is stripped from the snapshot, and a loaded engine
-// joins whatever cache its new process configures.
+// Save serialises the prepared engine's current version. The diagram cache
+// is process wiring, not engine state: it is stripped from the snapshot, and
+// a loaded engine joins whatever cache its new process configures. Only the
+// current sets and the overlapped diagram are persisted — not the per-type
+// basic diagrams — so the first mutation of a loaded engine repairs by full
+// rebuild and re-derives them.
 func (e *Engine) Save(w io.Writer) error {
+	st := e.state.Load()
 	in := e.in
 	in.Cache = nil
+	in.Sets = st.sets
 	return gob.NewEncoder(w).Encode(engineSnapshot{
 		Input:  in,
 		Method: e.method,
-		MOVD:   e.movd,
+		MOVD:   st.movd,
 	})
 }
 
@@ -66,14 +71,20 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 	e := &Engine{
 		in:     snap.Input,
 		method: snap.Method,
-		movd:   snap.MOVD,
-		combos: snap.MOVD.Groups(),
 	}
-	e.finishPrep()
 	e.mode = core.RRB
 	if snap.Method == MBRB {
 		e.mode = core.MBRB
 	}
+	combos := snap.MOVD.Groups()
+	e.state.Store(&engineState{
+		version: 1,
+		sets:    snap.Input.Sets,
+		movd:    snap.MOVD,
+		combos:  combos,
+		flat:    snap.Input.buildFlat(combos),
+	})
+	e.dyn = make([]*typeDynamic, len(snap.Input.Sets))
 	return e, nil
 }
 

@@ -15,6 +15,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -233,14 +234,24 @@ func (in *Input) toProblem(objs []core.Object) (fermat.Group, float64) {
 
 // Solve evaluates the query with the chosen method.
 func Solve(in Input, method Method) (Result, error) {
+	return SolveContext(context.Background(), in, method)
+}
+
+// SolveContext is Solve honouring a context: cancellation propagates into
+// the optimizer's scan (and its worker pool when Workers > 1), which stops
+// within one group's solve time and returns the context's error. The
+// construction modules run to completion — cancellation is checked between
+// pipeline phases and throughout the optimizer, where solves spend their
+// time at scale.
+func SolveContext(ctx context.Context, in Input, method Method) (Result, error) {
 	if err := in.validate(); err != nil {
 		return Result{}, err
 	}
 	switch method {
 	case SSC:
-		return solveSSC(in)
+		return solveSSC(ctx, in)
 	case RRB, MBRB:
-		return solveMOVD(in, method)
+		return solveMOVD(ctx, in, method)
 	default:
 		return Result{}, fmt.Errorf("%w: %d", ErrUnknownMethod, int(method))
 	}
@@ -454,7 +465,7 @@ func (in *Input) overlapChain(mode core.Mode, prune core.PruneFunc, movds []*cor
 }
 
 // solveMOVD runs the three-module pipeline of Fig 3.
-func solveMOVD(in Input, method Method) (Result, error) {
+func solveMOVD(ctx context.Context, in Input, method Method) (Result, error) {
 	mode := core.RRB
 	if method == MBRB {
 		mode = core.MBRB
@@ -473,6 +484,9 @@ func solveMOVD(in Input, method Method) (Result, error) {
 	vdStart := time.Now()
 	basics, fps, cacheStats, err := in.buildBasics(method, mode, vdSpan)
 	if err != nil {
+		return res, err
+	}
+	if err := ctx.Err(); err != nil {
 		return res, err
 	}
 	res.Stats.VDTime = time.Since(vdStart)
@@ -506,8 +520,11 @@ func solveMOVD(in Input, method Method) (Result, error) {
 	if err != nil {
 		return res, err
 	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	if spillLast {
-		return in.finishSpilled(res, acc, basics[len(basics)-1], prune, ovStart, totalStart, root, ovSpan)
+		return in.finishSpilled(ctx, res, acc, basics[len(basics)-1], prune, ovStart, totalStart, root, ovSpan)
 	}
 	res.Stats.OverlapTime = time.Since(ovStart)
 	res.Stats.OVRs = acc.Len()
@@ -529,11 +546,11 @@ func solveMOVD(in Input, method Method) (Result, error) {
 	var batch fermat.BatchResult
 	switch {
 	case in.DisableCostBound:
-		batch, err = fermat.SequentialBatchOffsets(groups, offsets, in.options())
+		batch, err = fermat.SequentialBatchOffsetsCtx(ctx, groups, offsets, in.options())
 	case in.Workers > 1:
-		batch, err = fermat.CostBoundBatchParallel(groups, offsets, in.options(), in.Workers)
+		batch, err = fermat.CostBoundBatchParallelCtx(ctx, groups, offsets, in.options(), in.Workers)
 	default:
-		batch, err = fermat.CostBoundBatchOffsets(groups, offsets, in.options())
+		batch, err = fermat.CostBoundBatchOffsetsCtx(ctx, groups, offsets, in.options())
 	}
 	if err != nil {
 		return res, err
@@ -580,7 +597,7 @@ func weightedBasic(set []core.Object, ti int, bounds geom.Rect, kind WeightKind)
 // solveSSC implements Algorithm 1. The two-point prefilter uses the exact
 // two-point optimum (the heavier endpoint) as a lower bound on the full
 // combination's optimal cost.
-func solveSSC(in Input) (Result, error) {
+func solveSSC(ctx context.Context, in Input) (Result, error) {
 	res := Result{Method: SSC}
 	var root *obs.Span
 	if in.Trace {
@@ -594,7 +611,15 @@ func solveSSC(in Input) (Result, error) {
 	group := make([]core.Object, len(in.Sets))
 	best := Result{Cost: 0}
 	ubound := math.Inf(1)
+	done := ctx.Done()
 	for {
+		if done != nil && res.Stats.Combinations%64 == 0 {
+			select {
+			case <-done:
+				return res, ctx.Err()
+			default:
+			}
+		}
 		for ti, set := range in.Sets {
 			group[ti] = set[idx[ti]]
 		}

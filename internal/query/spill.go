@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"os"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 // safe because the parallel engine serialises emissions. The temporary file
 // is removed before returning.
 func (in *Input) finishSpilled(
+	ctx context.Context,
 	res Result,
 	acc, last *core.MOVD,
 	prune core.PruneFunc,
@@ -57,8 +59,18 @@ func (in *Input) finishSpilled(
 	}
 	streamer := fermat.NewStreamer(in.options(), !in.DisableCostBound)
 	seen := make(map[string]struct{})
+	done := ctx.Done()
+	offered := 0
 	err = store.IterateOVRs(path, func(o *core.OVR) error {
-		k := o.Key()
+		if done != nil && offered%64 == 0 {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
+		offered++
+		k := o.DedupKey()
 		if _, dup := seen[k]; dup {
 			return nil
 		}

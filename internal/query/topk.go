@@ -48,7 +48,7 @@ func TopK(in Input, method Method, k int) ([]Candidate, error) {
 func topKFromEngine(eng *Engine, in *Input, k int) ([]Candidate, error) {
 	opt := in.options()
 	var cands []Candidate
-	for _, combo := range eng.combos {
+	for _, combo := range eng.state.Load().combos {
 		g, off := in.toProblem(combo)
 		res, err := fermat.Solve(g, opt)
 		if err != nil {

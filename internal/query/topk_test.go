@@ -60,8 +60,9 @@ func TestTopKCombinationIsACopy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := make([][]core.Object, len(eng.combos))
-	for i, combo := range eng.combos {
+	combos := eng.state.Load().combos
+	before := make([][]core.Object, len(combos))
+	for i, combo := range combos {
 		before[i] = append([]core.Object(nil), combo...)
 	}
 	cands, err := topKFromEngine(eng, &in, 3)
@@ -77,7 +78,7 @@ func TestTopKCombinationIsACopy(t *testing.T) {
 			cands[i].Combination[j].ID = -7
 		}
 	}
-	for i, combo := range eng.combos {
+	for i, combo := range combos {
 		for j, o := range combo {
 			if o != before[i][j] {
 				t.Fatalf("combo %d[%d]: mutation of a TopK result leaked into engine storage: %+v", i, j, o)

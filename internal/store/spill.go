@@ -146,7 +146,7 @@ func SolveFromFile(path string, opt fermat.Options, additiveTypes map[int]bool) 
 	s := fermat.NewStreamer(opt, true)
 	seen := make(map[string]struct{})
 	err := IterateOVRs(path, func(o *core.OVR) error {
-		k := o.Key()
+		k := o.DedupKey()
 		if _, dup := seen[k]; dup {
 			return nil
 		}

@@ -39,6 +39,10 @@ type triangulation struct {
 	badMark  []uint32
 	curEpoch uint32
 	stack    []int32
+	// newTris records the triangles created by the most recent insert or
+	// deleteVertex, so incremental maintainers (Dynamic) can repair their
+	// vertex→triangle index without rescanning the whole triangulation.
+	newTris []int32
 }
 
 const noTri = int32(-1)
@@ -208,14 +212,14 @@ func (t *triangulation) insert(pi int32) error {
 	// triangle built on it; around the cavity cycle each vertex appears
 	// exactly once as a first vertex and once as a second vertex.
 	byFirst := make(map[int32]int32, len(edges))
-	newTris := make([]int32, len(edges))
-	for k, e := range edges {
+	t.newTris = t.newTris[:0]
+	for _, e := range edges {
 		nt := t.allocTri(tri{
 			v:     [3]int32{pi, e.a, e.b},
 			n:     [3]int32{e.outer, noTri, noTri},
 			alive: true,
 		})
-		newTris[k] = nt
+		t.newTris = append(t.newTris, nt)
 		byFirst[e.a] = nt
 		if e.outer != noTri {
 			out := &t.tris[e.outer]
@@ -229,18 +233,221 @@ func (t *triangulation) insert(pi int32) error {
 	}
 	byLast := make(map[int32]int32, len(edges))
 	for k, e := range edges {
-		byLast[e.b] = newTris[k]
+		byLast[e.b] = t.newTris[k]
 	}
 	for k, e := range edges {
 		// Edge (b, pi) is opposite v[1]=a: neighbor is the new triangle
 		// whose boundary edge starts at b. Edge (pi, a) is opposite
 		// v[2]=b: neighbor is the new triangle whose boundary edge ends
 		// at a.
-		t.tris[newTris[k]].n[1] = byFirst[e.b]
-		t.tris[newTris[k]].n[2] = byLast[e.a]
+		t.tris[t.newTris[k]].n[1] = byFirst[e.b]
+		t.tris[t.newTris[k]].n[2] = byLast[e.a]
 	}
-	t.lastTri = newTris[0]
+	t.lastTri = t.newTris[0]
 	return nil
+}
+
+// fanEntry is one triangle of the star of a vertex, collected by fanOf: the
+// triangle index, its two link vertices a = v[pos+1], b = v[pos+2] (so the
+// triangle reads (pi, a, b) counterclockwise), and the neighbor across the
+// link edge (a, b).
+type fanEntry struct {
+	ti    int32
+	a, b  int32
+	outer int32
+}
+
+// fanOf collects the star of vertex pi starting from an incident alive
+// triangle. The walk visits triangles in clockwise order around pi (each step
+// crosses the edge (pi, a), i.e. tr.n[(pos+2)%3]), matching cellAroundInto.
+func (t *triangulation) fanOf(pi, start int32, dst []fanEntry) ([]fanEntry, error) {
+	dst = dst[:0]
+	cur := start
+	for steps := 0; ; steps++ {
+		if steps > len(t.tris)+8 {
+			return nil, fmt.Errorf("voronoi: vertex %d: fan walk did not close", pi)
+		}
+		tr := &t.tris[cur]
+		pos := -1
+		for i := 0; i < 3; i++ {
+			if tr.v[i] == pi {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			return nil, fmt.Errorf("voronoi: vertex %d missing from triangle %d", pi, cur)
+		}
+		dst = append(dst, fanEntry{
+			ti:    cur,
+			a:     tr.v[(pos+1)%3],
+			b:     tr.v[(pos+2)%3],
+			outer: tr.n[pos],
+		})
+		next := tr.n[(pos+2)%3]
+		if next == noTri {
+			return nil, fmt.Errorf("voronoi: vertex %d: open fan", pi)
+		}
+		if next == start {
+			break
+		}
+		cur = next
+	}
+	return dst, nil
+}
+
+// deleteVertex removes vertex pi from the triangulation and retriangulates
+// the resulting star-shaped hole with a Delaunay ear-clipping pass
+// (Devillers-style low-degree vertex deletion). start must be an alive
+// triangle incident to pi. On error the triangulation is left untouched, so
+// callers can fall back to a full rebuild.
+func (t *triangulation) deleteVertex(pi, start int32) error {
+	fan, err := t.fanOf(pi, start, nil)
+	if err != nil {
+		return err
+	}
+	m := len(fan)
+	if m < 3 {
+		return fmt.Errorf("voronoi: vertex %d has degenerate degree %d", pi, m)
+	}
+	// The walk visits the star clockwise, so the link vertices a_k read
+	// clockwise around pi; reversed they form the hole polygon counter-
+	// clockwise. Across CCW edge (w[j], w[j+1]) = (a_{m-1-j}, a_{m-2-j}) the
+	// outside triangle is fan[m-1-j].outer: triangle k's link edge is
+	// (a_k, b_k) with b_k = a_{k-1} because consecutive fan triangles share
+	// the edge (pi, a).
+	ws := make([]int32, m)
+	outs := make([]int32, m)
+	for j := 0; j < m; j++ {
+		ws[j] = fan[m-1-j].a
+		outs[j] = fan[m-1-j].outer
+	}
+	plan, err := t.earPlan(ws)
+	if err != nil {
+		return err
+	}
+	// The plan is valid: now mutate. Retire the star, then replay the plan,
+	// allocating one triangle per ear and wiring adjacency as the polygon
+	// shrinks.
+	for _, fe := range fan {
+		t.tris[fe.ti].alive = false
+		t.free = append(t.free, fe.ti)
+	}
+	t.newTris = t.newTris[:0]
+	for _, j := range plan {
+		n := len(ws)
+		u, v, x := ws[(j-1+n)%n], ws[j], ws[(j+1)%n]
+		outUV := outs[(j-1+n)%n]
+		outVX := outs[j]
+		nt := t.allocTri(tri{
+			v:     [3]int32{u, v, x},
+			n:     [3]int32{outVX, noTri, outUV},
+			alive: true,
+		})
+		t.newTris = append(t.newTris, nt)
+		t.wireAcross(outUV, u, v, nt)
+		t.wireAcross(outVX, v, x, nt)
+		// The clipped ear becomes the outside triangle of the reduced
+		// polygon's new edge (u, x); n[1] (across (x, u)) is wired when a
+		// later ear is built on that edge.
+		ws = append(ws[:j], ws[j+1:]...)
+		outs[(j-1+n)%n] = nt
+		outs = append(outs[:j], outs[j+1:]...)
+	}
+	// Final triangle over the remaining three vertices.
+	u, v, x := ws[0], ws[1], ws[2]
+	nt := t.allocTri(tri{
+		v:     [3]int32{u, v, x},
+		n:     [3]int32{outs[1], outs[2], outs[0]},
+		alive: true,
+	})
+	t.newTris = append(t.newTris, nt)
+	t.wireAcross(outs[0], u, v, nt)
+	t.wireAcross(outs[1], v, x, nt)
+	t.wireAcross(outs[2], x, u, nt)
+	t.lastTri = nt
+	return nil
+}
+
+// icTol returns the cocircularity tie tolerance for an InCircle determinant
+// over the four given points: the determinant scales with the fourth power of
+// the coordinate magnitude, so the threshold must as well.
+func icTol(pts ...geom.Point) float64 {
+	m := 1.0
+	for _, p := range pts {
+		m = math.Max(m, math.Max(math.Abs(p.X), math.Abs(p.Y)))
+	}
+	m2 := m * m
+	return 1e-10 * m2 * m2
+}
+
+// wireAcross sets nt as the neighbor of triangle outer across the directed
+// edge (a, b) of nt (outer traverses it b→a). No-op for noTri.
+func (t *triangulation) wireAcross(outer, a, b, nt int32) {
+	if outer == noTri {
+		return
+	}
+	o := &t.tris[outer]
+	for i := 0; i < 3; i++ {
+		if o.v[(i+1)%3] == b && o.v[(i+2)%3] == a {
+			o.n[i] = nt
+			return
+		}
+	}
+}
+
+// earPlan computes a Delaunay ear-clipping order for the CCW polygon ws
+// without touching the triangulation: each entry is the index (in the
+// then-current shrinking polygon) of a strictly convex ear whose
+// circumcircle contains no other polygon vertex. The plan has exactly
+// len(ws)-3 entries; the last three vertices form the final triangle. An
+// error means no valid ear was found (numerically degenerate hole) and the
+// caller must not mutate.
+func (t *triangulation) earPlan(ws []int32) ([]int, error) {
+	poly := append([]int32(nil), ws...)
+	plan := make([]int, 0, len(ws)-3)
+	for len(poly) > 3 {
+		best := -1
+		n := len(poly)
+		for j := 0; j < n; j++ {
+			u, v, x := poly[(j-1+n)%n], poly[j], poly[(j+1)%n]
+			pu, pv, px := t.pts[u], t.pts[v], t.pts[x]
+			if geom.Orient(pu, pv, px) <= geom.Eps {
+				continue
+			}
+			ok := true
+			for k := 0; k < n; k++ {
+				y := poly[k]
+				if y == u || y == v || y == x {
+					continue
+				}
+				py := t.pts[y]
+				// "Strictly inside beyond float noise": the InCircle
+				// determinant scales with coord⁴, so the tie tolerance must
+				// too, or exactly-cocircular holes (grid data) reject every
+				// ear. Accepting a tie picks one of the equally-Delaunay
+				// triangulations.
+				if geom.InCircle(pu, pv, px, py) > icTol(pu, pv, px, py) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				best = j
+				break
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("voronoi: no Delaunay ear in hole polygon of %d vertices", n)
+		}
+		plan = append(plan, best)
+		poly = append(poly[:best], poly[best+1:]...)
+	}
+	// The final triangle must be non-degenerate and correctly oriented.
+	if geom.Orient(t.pts[poly[0]], t.pts[poly[1]], t.pts[poly[2]]) <= geom.Eps {
+		return nil, fmt.Errorf("voronoi: degenerate final triangle in hole retriangulation")
+	}
+	return plan, nil
 }
 
 // circumcenter returns the circumcenter of triangle ti. Degenerate (nearly

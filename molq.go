@@ -27,6 +27,9 @@
 package molq
 
 import (
+	"context"
+	"time"
+
 	"molq/internal/core"
 	"molq/internal/dataset"
 	"molq/internal/fermat"
@@ -70,24 +73,63 @@ const (
 	MBRB = query.MBRB
 )
 
+// Options configures how a query is evaluated. The zero value is the
+// paper's default pipeline: sequential, cost-bound optimizer on, plain
+// Weiszfeld iteration, everything in memory.
+type Options struct {
+	// Epsilon is the relative error bound ε of the iterative Fermat-Weber
+	// stopping rule (0 means the 1e-3 default).
+	Epsilon float64
+	// Workers evaluates all three pipeline modules — Voronoi generation, the
+	// MOVD overlap (sharded plane sweep plus a balanced reduction of the
+	// diagram chain) and the optimizer — with n goroutines. 0 or 1 runs
+	// sequentially and fully deterministically; the optimum is unchanged
+	// either way, only statistics become scheduling-dependent.
+	Workers int
+	// DisableCostBound switches the optimizer to the unpruned sequential
+	// batch (the paper's "Original" baseline). Mostly useful for
+	// benchmarking.
+	DisableCostBound bool
+	// PruneOverlap turns on the overlap-time combination filter (the paper's
+	// Sec 8 future-work optimisation): object combinations that provably
+	// cannot host the optimum are dropped during the Voronoi overlap itself.
+	// The result is unchanged; large queries get faster.
+	PruneOverlap bool
+	// Acceleration is the Weiszfeld over-relaxation factor λ ∈ [1, 1.5]
+	// (≈1.3 cuts iterations ~25%; 0 keeps the paper's plain iteration).
+	Acceleration float64
+	// SpillDir makes the final (largest) diagram overlap stream through a
+	// temporary file in this directory and the optimizer stream it back,
+	// bounding resident memory for very large queries (the paper's
+	// disk-based future work). Empty keeps evaluation fully in memory.
+	SpillDir string
+}
+
 // Query accumulates the object sets 𝔼 = {P_1, …, P_n} of one MOLQ.
 type Query struct {
 	bounds    Rect
 	typeNames []string
 	sets      [][]core.Object
 	kinds     []query.WeightKind
-	epsilon   float64
-	noBound   bool
-	workers   int
-	prune     bool
-	accel     float64
-	spillDir  string
+	opts      Options
 }
 
-// NewQuery starts a query over the given search space.
+// NewQuery starts a query over the given search space with default Options.
 func NewQuery(bounds Rect) *Query {
 	return &Query{bounds: bounds}
 }
+
+// NewQueryWith starts a query over the given search space with the given
+// evaluation options. Prefer this over the deprecated chainable setters.
+func NewQueryWith(bounds Rect, opts Options) *Query {
+	return &Query{bounds: bounds, opts: opts}
+}
+
+// Options returns the query's current evaluation options.
+func (q *Query) Options() Options { return q.opts }
+
+// SetOptions replaces the query's evaluation options.
+func (q *Query) SetOptions(opts Options) { q.opts = opts }
 
 // AddType appends an object set (one POI type) and returns its type index.
 // The objects' ID and Type fields are assigned automatically.
@@ -123,51 +165,50 @@ func (q *Query) SetAdditiveWeights(typeIndex int) *Query {
 
 // SetEpsilon sets the relative error bound ε of the iterative Fermat-Weber
 // stopping rule (default 1e-3).
+//
+// Deprecated: set Options.Epsilon via NewQueryWith or SetOptions.
 func (q *Query) SetEpsilon(eps float64) *Query {
-	q.epsilon = eps
+	q.opts.Epsilon = eps
 	return q
 }
 
-// DisableCostBound switches the optimizer to the unpruned sequential batch
-// (the paper's "Original" baseline). Mostly useful for benchmarking.
+// DisableCostBound switches the optimizer to the unpruned sequential batch.
+//
+// Deprecated: set Options.DisableCostBound via NewQueryWith or SetOptions.
 func (q *Query) DisableCostBound() *Query {
-	q.noBound = true
+	q.opts.DisableCostBound = true
 	return q
 }
 
-// SetWorkers evaluates all three pipeline modules — the Voronoi generation,
-// the MOVD overlap (sharded plane sweep plus a balanced reduction of the
-// diagram chain) and the optimizer — with n goroutines (n ≤ 1 restores
-// sequential, fully deterministic evaluation). The optimum is unchanged and
-// the overlapped diagram holds the same OVR multiset; statistics become
-// scheduling-dependent.
+// SetWorkers evaluates the pipeline with n goroutines.
+//
+// Deprecated: set Options.Workers via NewQueryWith or SetOptions.
 func (q *Query) SetWorkers(n int) *Query {
-	q.workers = n
+	q.opts.Workers = n
 	return q
 }
 
-// EnableOverlapPruning turns on the overlap-time combination filter (the
-// paper's Sec 8 future-work optimisation): object combinations that provably
-// cannot host the optimum are dropped during the Voronoi overlap itself.
-// The result is unchanged; large queries get faster.
+// EnableOverlapPruning turns on the overlap-time combination filter.
+//
+// Deprecated: set Options.PruneOverlap via NewQueryWith or SetOptions.
 func (q *Query) EnableOverlapPruning() *Query {
-	q.prune = true
+	q.opts.PruneOverlap = true
 	return q
 }
 
-// SetAcceleration sets the Weiszfeld over-relaxation factor λ ∈ [1, 1.5]
-// (≈1.3 cuts iterations ~25%; 0 keeps the paper's plain iteration).
+// SetAcceleration sets the Weiszfeld over-relaxation factor λ.
+//
+// Deprecated: set Options.Acceleration via NewQueryWith or SetOptions.
 func (q *Query) SetAcceleration(lambda float64) *Query {
-	q.accel = lambda
+	q.opts.Acceleration = lambda
 	return q
 }
 
-// SetSpillDir makes the final (largest) diagram overlap stream to a
-// temporary file in dir and the optimizer stream it back, bounding resident
-// memory for very large queries (the paper's disk-based future work). Empty
-// restores fully in-memory evaluation.
+// SetSpillDir makes the final diagram overlap stream through dir.
+//
+// Deprecated: set Options.SpillDir via NewQueryWith or SetOptions.
 func (q *Query) SetSpillDir(dir string) *Query {
-	q.spillDir = dir
+	q.opts.SpillDir = dir
 	return q
 }
 
@@ -207,27 +248,27 @@ type Result struct {
 	Stats Stats
 }
 
-// Solve evaluates the query with the chosen strategy.
-func (q *Query) Solve(m Method) (Result, error) {
-	in := query.Input{
+// input assembles the internal pipeline input from the query's current sets
+// and options.
+func (q *Query) input() query.Input {
+	return query.Input{
 		Sets:             q.sets,
 		Bounds:           q.bounds,
-		Epsilon:          q.epsilon,
-		DisableCostBound: q.noBound,
+		Epsilon:          q.opts.Epsilon,
+		DisableCostBound: q.opts.DisableCostBound,
 		ObjKinds:         q.kinds,
-		Workers:          q.workers,
-		PruneOverlap:     q.prune,
-		Acceleration:     q.accel,
-		SpillDir:         q.spillDir,
+		Workers:          q.opts.Workers,
+		PruneOverlap:     q.opts.PruneOverlap,
+		Acceleration:     q.opts.Acceleration,
+		SpillDir:         q.opts.SpillDir,
 	}
-	res, err := query.Solve(in, m)
-	if err != nil {
-		return Result{}, err
-	}
+}
+
+func toResult(res query.Result) Result {
 	return Result{
 		Location: res.Loc,
 		Cost:     res.Cost,
-		Method:   m,
+		Method:   res.Method,
 		Stats: Stats{
 			OVRs:          res.Stats.OVRs,
 			Groups:        res.Stats.Groups,
@@ -236,7 +277,24 @@ func (q *Query) Solve(m Method) (Result, error) {
 			Iterations:    res.Stats.Fermat.TotalIters,
 			Pruned:        res.Stats.Fermat.Prefiltered + res.Stats.Fermat.PrunedGroups,
 		},
-	}, nil
+	}
+}
+
+// Solve evaluates the query with the chosen strategy.
+func (q *Query) Solve(m Method) (Result, error) {
+	return q.SolveContext(context.Background(), m)
+}
+
+// SolveContext is Solve honouring a context: cancelling it stops the
+// evaluation — including the optimizer's worker pool when Options.Workers
+// is set — and returns the context's error.
+func (q *Query) SolveContext(ctx context.Context, m Method) (Result, error) {
+	res, err := query.SolveContext(ctx, q.input(), m)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Method = m
+	return toResult(res), nil
 }
 
 // Engine is a prepared query: the overlapped Voronoi diagram is computed
@@ -256,9 +314,9 @@ func (q *Query) Prepare(m Method) (*Engine, error) {
 	in := query.Input{
 		Sets:     q.sets,
 		Bounds:   q.bounds,
-		Epsilon:  q.epsilon,
+		Epsilon:  q.opts.Epsilon,
 		ObjKinds: q.kinds,
-		Workers:  q.workers,
+		Workers:  q.opts.Workers,
 	}
 	eng, err := query.NewEngine(in, m)
 	if err != nil {
@@ -268,29 +326,110 @@ func (q *Query) Prepare(m Method) (*Engine, error) {
 }
 
 // Solve answers the prepared query for one type-weight vector (one positive
-// entry per type, in AddType order).
+// entry per type, in AddType order). Safe for concurrent use, including
+// concurrently with Insert/Delete — each call reads one consistent engine
+// version.
 func (e *Engine) Solve(typeWeights []float64) (Result, error) {
-	res, err := e.eng.Query(typeWeights)
+	return e.SolveContext(context.Background(), typeWeights)
+}
+
+// SolveContext is Solve honouring a context: cancelling it stops the
+// optimizer (and its worker pool) and returns the context's error.
+func (e *Engine) SolveContext(ctx context.Context, typeWeights []float64) (Result, error) {
+	res, err := e.eng.QueryContext(ctx, typeWeights)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{
-		Location: res.Loc,
-		Cost:     res.Cost,
-		Method:   res.Method,
-		Stats: Stats{
-			OVRs:          res.Stats.OVRs,
-			Groups:        res.Stats.Groups,
-			PointsManaged: res.Stats.PointsManaged,
-			Iterations:    res.Stats.Fermat.TotalIters,
-			Pruned:        res.Stats.Fermat.Prefiltered + res.Stats.Fermat.PrunedGroups,
-		},
-	}, nil
+	return toResult(res), nil
+}
+
+// SolveBatch answers the prepared query for many type-weight vectors at
+// once, returning one Result per vector in order. All vectors share one
+// worker pool and the precomputed problem geometry, so a batch is
+// substantially cheaper than len(vecs) Solve calls.
+func (e *Engine) SolveBatch(vecs [][]float64) ([]Result, error) {
+	return e.SolveBatchContext(context.Background(), vecs)
+}
+
+// SolveBatchContext is SolveBatch honouring a context (see SolveContext).
+func (e *Engine) SolveBatchContext(ctx context.Context, vecs [][]float64) ([]Result, error) {
+	batch, err := e.eng.QueryBatchContext(ctx, vecs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(batch))
+	for i, res := range batch {
+		out[i] = toResult(res)
+	}
+	return out, nil
 }
 
 // Combinations reports how many candidate object combinations the prepared
 // MOVD admits (the number of Fermat-Weber problems per Solve).
 func (e *Engine) Combinations() int { return e.eng.Combinations() }
+
+// Version reports the engine's data version: 1 after Prepare, incremented by
+// every successful Insert or Delete.
+func (e *Engine) Version() int64 { return e.eng.Version() }
+
+// ObjectCounts reports the current number of objects per type, in AddType
+// order.
+func (e *Engine) ObjectCounts() []int { return e.eng.ObjectCounts() }
+
+// Update describes what one Insert or Delete did.
+type Update struct {
+	// Version is the engine version the mutation published.
+	Version int64
+	// Incremental is true when the prepared diagram was repaired by splicing
+	// only the dirty region (cells adjacent to the mutated site); false when
+	// the mutation fell back to a full pipeline rebuild. Results are
+	// identical either way.
+	Incremental bool
+	// DirtyCells is the number of Voronoi cells the mutation invalidated
+	// (incremental repairs only).
+	DirtyCells int
+	// Duration is the wall-clock cost of the repair.
+	Duration time.Duration
+}
+
+// Insert adds one object to the prepared engine's type typeIndex and repairs
+// the overlapped diagram incrementally — only the Voronoi cells adjacent to
+// the new site and the candidate regions intersecting them are recomputed.
+// obj.ID must be unused within the type and obj.Loc unoccupied; obj's
+// TypeWeight is irrelevant (Solve supplies type weights). In-flight Solve
+// calls are unaffected: they keep answering on the version they started
+// with, and the new version becomes visible atomically.
+func (e *Engine) Insert(typeIndex int, obj Object) (Update, error) {
+	obj.Type = typeIndex
+	if obj.ObjWeight == 0 {
+		obj.ObjWeight = 1
+	}
+	us, err := e.eng.InsertObject(obj)
+	if err != nil {
+		return Update{}, err
+	}
+	return toUpdate(us), nil
+}
+
+// Delete removes the object with the given ID from type typeIndex and
+// repairs the overlapped diagram incrementally (see Insert). Every type must
+// retain at least one object.
+func (e *Engine) Delete(typeIndex, id int) (Update, error) {
+	us, err := e.eng.DeleteObject(typeIndex, id)
+	if err != nil {
+		return Update{}, err
+	}
+	return toUpdate(us), nil
+}
+
+func toUpdate(us query.UpdateStats) Update {
+	return Update{
+		Version:     us.Version,
+		Incremental: !us.Rebuilt,
+		DirtyCells:  us.DirtyCells,
+		Duration:    us.TotalTime,
+	}
+}
 
 // Alternative is one ranked candidate location from TopK.
 type Alternative struct {
@@ -305,9 +444,9 @@ func (q *Query) TopK(m Method, k int) ([]Alternative, error) {
 	in := query.Input{
 		Sets:     q.sets,
 		Bounds:   q.bounds,
-		Epsilon:  q.epsilon,
+		Epsilon:  q.opts.Epsilon,
 		ObjKinds: q.kinds,
-		Workers:  q.workers,
+		Workers:  q.opts.Workers,
 	}
 	cands, err := query.TopK(in, m, k)
 	if err != nil {

@@ -1,0 +1,142 @@
+package molq_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"molq"
+)
+
+func mutateQuery() *molq.Query {
+	q := molq.NewQuery(molq.NewRect(molq.Pt(0, 0), molq.Pt(100, 100)))
+	q.AddType("school",
+		molq.POI(molq.Pt(20, 30), 2, 1),
+		molq.POI(molq.Pt(80, 40), 2, 1),
+	)
+	q.AddType("market",
+		molq.POI(molq.Pt(10, 80), 1, 1),
+		molq.POI(molq.Pt(60, 20), 1, 1),
+	)
+	return q
+}
+
+// TestOptionsRoundTrip checks NewQueryWith, Options/SetOptions, and that the
+// deprecated setters write through to the same struct.
+func TestOptionsRoundTrip(t *testing.T) {
+	opts := molq.Options{Epsilon: 1e-7, Workers: 3, PruneOverlap: true}
+	q := molq.NewQueryWith(molq.NewRect(molq.Pt(0, 0), molq.Pt(10, 10)), opts)
+	if got := q.Options(); got != opts {
+		t.Fatalf("Options() = %+v, want %+v", got, opts)
+	}
+	q.SetEpsilon(1e-4).SetWorkers(2)
+	got := q.Options()
+	if got.Epsilon != 1e-4 || got.Workers != 2 || !got.PruneOverlap {
+		t.Fatalf("after setters: %+v", got)
+	}
+	got.DisableCostBound = true
+	q.SetOptions(got)
+	if !q.Options().DisableCostBound {
+		t.Fatal("SetOptions did not apply")
+	}
+}
+
+// TestSolveContextCancel checks an already-canceled context stops the solve
+// while a live context matches the plain Solve answer.
+func TestSolveContextCancel(t *testing.T) {
+	q := mutateQuery()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := q.SolveContext(ctx, molq.RRB); err == nil {
+		t.Fatal("canceled context: want error")
+	}
+	res, err := q.SolveContext(context.Background(), molq.RRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mutateQuery().Solve(molq.RRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Cost-want.Cost) > 1e-9 {
+		t.Fatalf("SolveContext cost %v, Solve cost %v", res.Cost, want.Cost)
+	}
+}
+
+// TestEngineMutation drives the public Insert/Delete surface: versions
+// advance, repairs are incremental, and the mutated engine answers exactly
+// like a freshly prepared one over the same objects.
+func TestEngineMutation(t *testing.T) {
+	eng, err := mutateQuery().Prepare(molq.RRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Version() != 1 {
+		t.Fatalf("fresh engine version %d", eng.Version())
+	}
+	base, err := eng.Solve([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obj := molq.POI(molq.Pt(75, 45), 1, 1)
+	obj.ID = 2
+	up, err := eng.Insert(1, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Version != 2 || !up.Incremental || up.DirtyCells == 0 {
+		t.Fatalf("insert update: %+v", up)
+	}
+	if got := eng.ObjectCounts(); got[1] != 3 {
+		t.Fatalf("object counts %v", got)
+	}
+	res, err := eng.SolveContext(context.Background(), []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh engine over the same five objects must agree exactly.
+	q3 := molq.NewQuery(molq.NewRect(molq.Pt(0, 0), molq.Pt(100, 100)))
+	q3.AddType("school", molq.POI(molq.Pt(20, 30), 2, 1), molq.POI(molq.Pt(80, 40), 2, 1))
+	q3.AddType("market", molq.POI(molq.Pt(10, 80), 1, 1), molq.POI(molq.Pt(60, 20), 1, 1),
+		molq.POI(molq.Pt(75, 45), 1, 1))
+	fresh, err := q3.Prepare(molq.RRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Solve([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Cost-want.Cost) > 1e-9*math.Max(1, want.Cost) {
+		t.Fatalf("mutated engine cost %v, fresh %v", res.Cost, want.Cost)
+	}
+
+	// Deleting the insert restores the original instance and answer.
+	up, err = eng.Delete(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Version != 3 || !up.Incremental {
+		t.Fatalf("delete update: %+v", up)
+	}
+	out, err := eng.SolveBatchContext(context.Background(), [][]float64{{1, 1}, {2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("batch result count %d", len(out))
+	}
+	if math.Abs(out[0].Cost-base.Cost) > 1e-9*math.Max(1, base.Cost) {
+		t.Fatalf("cost after delete %v, original %v", out[0].Cost, base.Cost)
+	}
+
+	// Mutation errors surface as the documented sentinels.
+	if _, err := eng.Insert(9, molq.POI(molq.Pt(1, 1), 1, 1)); err == nil {
+		t.Fatal("insert into unknown type: want error")
+	}
+	if _, err := eng.Delete(1, 99); err == nil {
+		t.Fatal("delete unknown id: want error")
+	}
+}
