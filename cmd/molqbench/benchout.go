@@ -107,6 +107,28 @@ func benchSuite(quick bool) ([]benchSpec, error) {
 					b.ReportMetric(float64(ovrs), "OVRs")
 				},
 			})
+			// The sharded sweep at the Fig-11 size, so the SoA kernel work
+			// is gated on its own baseline entry, not only via the
+			// sequential figure benchmarks.
+			if sz.fig == "Fig11_OverlapTwoDiagrams" {
+				workers := runtime.GOMAXPROCS(0)
+				specs = append(specs, benchSpec{
+					name: fmt.Sprintf("BenchmarkOverlapParallel/%s/n=%d/workers=%d", mc.label, sz.n, workers),
+					fn: func(b *testing.B) {
+						var ovrs int
+						b.ReportAllocs()
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							m, _, err := core.OverlapParallel(x, y, workers)
+							if err != nil {
+								b.Fatal(err)
+							}
+							ovrs = m.Len()
+						}
+						b.ReportMetric(float64(ovrs), "OVRs")
+					},
+				})
+			}
 		}
 	}
 
@@ -320,6 +342,10 @@ func collectBenchSuite(quick bool, progress io.Writer) ([]benchfmt.Result, error
 		if progress != nil {
 			fmt.Fprintf(progress, "benchout: running %s\n", spec.name)
 		}
+		// Collect the garbage the previous spec left behind, so a benchmark's
+		// numbers reflect its own allocation behaviour, not its position in
+		// the suite.
+		runtime.GC()
 		r := testing.Benchmark(spec.fn)
 		metrics := map[string]float64{
 			"ns/op":     float64(r.NsPerOp()),

@@ -2,11 +2,10 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"molq/internal/geom"
-	"molq/internal/interval"
 	"molq/internal/polyclip"
 )
 
@@ -74,8 +73,9 @@ func OverlapPruned(a, b *MOVD, prune PruneFunc) (*MOVD, OverlapStats, error) {
 		Bounds: a.Bounds,
 		Mode:   a.Mode,
 	}
+	var arena ovrArena
 	stats, err := OverlapStream(a, b, prune, func(o *OVR) error {
-		result.OVRs = append(result.OVRs, o.Clone())
+		result.OVRs = append(result.OVRs, arena.clone(o))
 		return nil
 	})
 	if err != nil {
@@ -96,7 +96,7 @@ func OverlapStream(a, b *MOVD, prune PruneFunc, emit func(*OVR) error) (OverlapS
 	if err := checkOperands(a, b); err != nil {
 		return stats, err
 	}
-	err := sweep(a, b, nil, nil, nil, prune, &stats, emit)
+	err := sweep(a, b, nil, nil, nil, nil, nil, prune, &stats, emit)
 	recordSweep(stats)
 	return stats, err
 }
@@ -113,30 +113,41 @@ func checkOperands(a, b *MOVD) error {
 }
 
 // sweepScratch bundles the allocation-heavy working state of one plane sweep:
-// the clipping buffers, the event queue, the two status trees (whose node
-// freelists survive Clear) and the merged-POI buffer the emitted OVR borrows.
-// Sweeps draw it from sweepScratchPool, so each concurrent strip of the
-// sharded parallel engine works on private scratch (race-free by
-// construction) while repeated sweeps reuse the grown buffers.
+// the clipping buffers, the event queue, the two flat active sets and the
+// merged-POI buffer the emitted OVR borrows. Sweeps draw it from
+// sweepScratchPool, so each concurrent strip of the sharded parallel engine
+// works on private scratch (race-free by construction) while repeated sweeps
+// reuse the grown buffers.
 type sweepScratch struct {
 	clip   polyclip.ClipBuf
 	events []event
-	status [2]interval.Tree[int32]
+	status [2]activeSet
 	pois   []Object
+	flats  [2]flatMBRs
 }
 
 var sweepScratchPool = sync.Pool{New: func() any { return new(sweepScratch) }}
 
 // sweep runs the Algorithm 2 plane sweep over the OVR index subsets subA and
-// subB (nil means every OVR of that operand). own, when non-nil, restricts
-// the evaluation to candidate pairs this sweep is responsible for — the
-// sharded parallel engine (overlap_parallel.go) runs one sweep per
-// horizontal strip, assigns each OVR to every strip its y-range touches, and
-// owns each pair in exactly one strip, so the union of the strips' emissions
-// is exactly the sequential sweep's multiset. The ownership test runs before
+// subB (nil means every OVR of that operand). fa and fb are the operands'
+// MBRs in structure-of-arrays form; nil means "load into pooled scratch" —
+// the sharded parallel engine loads them once and shares them read-only
+// across every strip so k strips do not rebuild the layout k times.
+//
+// own, when non-nil, restricts the evaluation to candidate pairs this sweep
+// is responsible for — the parallel engine (overlap_parallel.go) runs one
+// sweep per horizontal strip, assigns each OVR to every strip its y-range
+// touches, and owns each pair in exactly one strip, so the union of the
+// strips' emissions is exactly the sequential sweep's multiset. A pair is
+// first discovered at the start event of its later-starting member, where
+// the top edge of the pair's y-intersection min(maxY_1, maxY_2) equals the
+// event's own y (the earlier member is still in the status tree, so its max
+// y is ≥ the sweep line): ownership therefore depends only on the start
+// event, and the test is hoisted out of the per-pair callback — a non-owner
+// strip skips the status-tree range query entirely. The test runs before
 // any statistic other than Events is counted, so every OverlapStats field
 // except Events is shard-independent.
-func sweep(a, b *MOVD, subA, subB []int32, own func(x, y *OVR) bool, prune PruneFunc, stats *OverlapStats, emit func(*OVR) error) error {
+func sweep(a, b *MOVD, fa, fb *flatMBRs, subA, subB []int32, own func(topY float64) bool, prune PruneFunc, stats *OverlapStats, emit func(*OVR) error) error {
 	mode := a.Mode
 	operands := [2]*MOVD{a, b}
 	subsets := [2][]int32{subA, subB}
@@ -149,24 +160,25 @@ func sweep(a, b *MOVD, subA, subB []int32, own func(x, y *OVR) bool, prune Prune
 		}
 	}
 	scratch := sweepScratchPool.Get().(*sweepScratch)
-	defer func() {
-		// The trees are empty here in the normal case (every start event has
-		// a matching end event); after an aborted sweep Clear recycles the
-		// leftovers onto the freelists.
-		scratch.status[0].Clear()
-		scratch.status[1].Clear()
-		sweepScratchPool.Put(scratch)
-	}()
+	defer sweepScratchPool.Put(scratch)
+	flats := [2]*flatMBRs{fa, fb}
+	for side, m := range operands {
+		if flats[side] == nil {
+			scratch.flats[side].load(m.OVRs)
+			flats[side] = &scratch.flats[side]
+		}
+		scratch.status[side].reset(len(m.OVRs))
+	}
 	events := scratch.events[:0]
 	if cap(events) < 2*n {
 		events = make([]event, 0, 2*n)
 	}
-	for side, m := range operands {
+	for side := range operands {
+		f := flats[side]
 		add := func(i int32) {
-			r := m.OVRs[i].MBR
 			events = append(events,
-				event{y: r.Max.Y, kind: 0, side: uint8(side), idx: i},
-				event{y: r.Min.Y, kind: 1, side: uint8(side), idx: i},
+				event{y: f.maxY[i], kind: 0, side: uint8(side), idx: i},
+				event{y: f.minY[i], kind: 1, side: uint8(side), idx: i},
 			)
 		}
 		if sub := subsets[side]; sub != nil {
@@ -174,7 +186,7 @@ func sweep(a, b *MOVD, subA, subB []int32, own func(x, y *OVR) bool, prune Prune
 				add(i)
 			}
 		} else {
-			for i := range m.OVRs {
+			for i := range operands[side].OVRs {
 				add(int32(i))
 			}
 		}
@@ -182,75 +194,111 @@ func sweep(a, b *MOVD, subA, subB []int32, own func(x, y *OVR) bool, prune Prune
 	// Descending y; at equal y, starts precede ends so regions touching
 	// along a horizontal line are still paired (their intersection is
 	// degenerate and RRB drops it).
-	sort.Slice(events, func(i, j int) bool {
-		ei, ej := events[i], events[j]
-		if ei.y != ej.y {
-			return ei.y > ej.y
+	slices.SortFunc(events, func(ei, ej event) int {
+		switch {
+		case ei.y > ej.y:
+			return -1
+		case ei.y < ej.y:
+			return 1
 		}
 		if ei.kind != ej.kind {
-			return ei.kind < ej.kind
+			return int(ei.kind) - int(ej.kind)
 		}
 		if ei.side != ej.side {
-			return ei.side < ej.side
+			return int(ei.side) - int(ej.side)
 		}
-		return ei.idx < ej.idx
+		return int(ei.idx) - int(ej.idx)
 	})
 	scratch.events = events // keep the (possibly grown) buffer for reuse
 	status := &scratch.status
 	var emitErr error
+	// One reusable emission record for the whole sweep: emit receives its
+	// address, so a callback-local would escape and cost one heap allocation
+	// per emitted OVR — the reuse is exactly the documented emit contract
+	// (the value is overwritten by the next candidate pair).
+	var out OVR
 	for _, e := range events {
 		if emitErr != nil {
 			break
 		}
 		stats.Events++
-		m := operands[e.side]
-		ovr := &m.OVRs[e.idx]
+		f := flats[e.side]
+		i := e.idx
 		if e.kind == 1 {
-			status[e.side].Delete(ovr.MBR.Min.X, int(e.idx))
+			status[e.side].remove(i)
 			continue
 		}
-		status[e.side].Insert(ovr.MBR.Min.X, ovr.MBR.Max.X, int(e.idx), e.idx)
+		status[e.side].insert(i, f.minX[i], f.maxX[i])
+		if own != nil && !own(e.y) {
+			continue
+		}
+		ovr := &operands[e.side].OVRs[i]
 		otherMOVD := operands[1-e.side]
-		status[1-e.side].Overlapping(ovr.MBR.Min.X, ovr.MBR.Max.X,
-			func(_, _ float64, _ int, j int32) bool {
-				other := &otherMOVD.OVRs[j]
-				if own != nil && !own(ovr, other) {
-					return true
+		of := flats[1-e.side]
+		act := &status[1-e.side]
+		lo, hi := f.minX[i], f.maxX[i]
+		// Candidate scan: every active member of the other operand whose
+		// x-range overlaps (closed intervals, so touching ranges pair up
+		// exactly like the interval tree paired them).
+		for k := 0; k < len(act.idx); k++ {
+			if act.minX[k] > hi || act.maxX[k] < lo {
+				continue
+			}
+			j := act.idx[k]
+			stats.CandidatePairs++
+			if mode == RRB {
+				stats.RegionTests++
+				// Degenerate-sliver screen from the cached flat areas;
+				// ConvexIntersectBuf would otherwise rescan both regions'
+				// vertices for every candidate pair.
+				if f.area[i] <= polyclip.MinArea || of.area[j] <= polyclip.MinArea {
+					continue
 				}
-				stats.CandidatePairs++
-				var out OVR
-				if mode == RRB {
-					stats.RegionTests++
-					region := polyclip.ConvexIntersectBuf(&scratch.clip, ovr.Region, other.Region)
-					if region == nil {
-						return true
-					}
-					out = OVR{Region: region, MBR: region.Bounds()}
-				} else {
-					mbr := ovr.MBR.Intersect(other.MBR)
-					if mbr.IsEmpty() {
-						return true
-					}
-					out = OVR{MBR: mbr}
+				region := polyclip.ConvexIntersectTrustedBuf(&scratch.clip, ovr.Region, otherMOVD.OVRs[j].Region)
+				if region == nil {
+					continue
 				}
-				scratch.pois = mergePOIsInto(scratch.pois[:0], ovr.POIs, other.POIs)
-				out.POIs = scratch.pois
-				if prune != nil && prune(out.MBR, out.POIs) {
-					stats.PrunedOVRs++
-					return true
+				out = OVR{Region: region, MBR: region.Bounds()}
+			} else {
+				// Flat-layout MBR intersection, matching Rect.Intersect +
+				// IsEmpty exactly: empty iff strictly inverted, so
+				// touching and degenerate rectangles survive.
+				lox, hix := lo, hi
+				if of.minX[j] > lox {
+					lox = of.minX[j]
 				}
-				stats.OutputOVRs++
-				if mode == RRB {
-					stats.OutputPoints += len(out.Region)
-				} else {
-					stats.OutputPoints += 2
+				if of.maxX[j] < hix {
+					hix = of.maxX[j]
 				}
-				if err := emit(&out); err != nil {
-					emitErr = err
-					return false
+				loy, hiy := f.minY[i], f.maxY[i]
+				if of.minY[j] > loy {
+					loy = of.minY[j]
 				}
-				return true
-			})
+				if of.maxY[j] < hiy {
+					hiy = of.maxY[j]
+				}
+				if lox > hix || loy > hiy {
+					continue
+				}
+				out = OVR{MBR: geom.Rect{Min: geom.Pt(lox, loy), Max: geom.Pt(hix, hiy)}}
+			}
+			scratch.pois = mergePOIsInto(scratch.pois[:0], ovr.POIs, otherMOVD.OVRs[j].POIs)
+			out.POIs = scratch.pois
+			if prune != nil && prune(out.MBR, out.POIs) {
+				stats.PrunedOVRs++
+				continue
+			}
+			stats.OutputOVRs++
+			if mode == RRB {
+				stats.OutputPoints += len(out.Region)
+			} else {
+				stats.OutputPoints += 2
+			}
+			if err := emit(&out); err != nil {
+				emitErr = err
+				break
+			}
+		}
 	}
 	return emitErr
 }
@@ -268,6 +316,19 @@ func mergePOIs(a, b []Object) []Object {
 // mergePOIsInto is mergePOIs appending into dst (typically recycled sweep
 // scratch) instead of allocating; dst must not alias a or b.
 func mergePOIsInto(dst, a, b []Object) []Object {
+	if len(a) == 1 && len(b) == 1 {
+		// Basic ⊕ basic, the bulk of every chain's first level: one POI per
+		// side, so the merge is a single comparison.
+		x, y := &a[0], &b[0]
+		switch {
+		case x.Type < y.Type || (x.Type == y.Type && x.ID < y.ID):
+			return append(dst, *x, *y)
+		case x.Type == y.Type && x.ID == y.ID:
+			return append(dst, *x)
+		default:
+			return append(dst, *y, *x)
+		}
+	}
 	out := dst
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {

@@ -63,12 +63,13 @@ func (s stripper) index(y float64) int {
 	return i
 }
 
-// assign lists, per strip, the OVR indices whose MBR y-range intersects it.
-func (s stripper) assign(ovrs []OVR) [][]int32 {
+// assignFlat lists, per strip, the OVR indices whose [minY, maxY] range
+// intersects it, reading the flat coordinate slices of the SoA layout.
+func (s stripper) assignFlat(minY, maxY []float64) [][]int32 {
 	out := make([][]int32, s.k)
-	for i := range ovrs {
-		lo := s.index(ovrs[i].MBR.Min.Y)
-		hi := s.index(ovrs[i].MBR.Max.Y)
+	for i := range minY {
+		lo := s.index(minY[i])
+		hi := s.index(maxY[i])
 		for si := lo; si <= hi; si++ {
 			out[si] = append(out[si], int32(i))
 		}
@@ -98,30 +99,9 @@ func OverlapStreamParallel(a, b *MOVD, prune PruneFunc, workers int, emit func(*
 // shows the shard balance of one ⊕. A nil span costs one pointer check
 // per strip.
 func OverlapStreamParallelSpan(a, b *MOVD, prune PruneFunc, workers int, span *obs.Span, emit func(*OVR) error) (OverlapStats, error) {
-	var total OverlapStats
-	if err := checkOperands(a, b); err != nil {
-		return total, err
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers <= 1 || a.Bounds.Height() <= 0 || len(a.OVRs) == 0 || len(b.OVRs) == 0 {
-		st, err := OverlapStream(a, b, prune, emit)
-		if span != nil {
-			sp := span.Child("sweep")
-			setSweepAttrs(sp, st)
-			sp.End()
-		}
-		return st, err
-	}
-	strips := newStripper(a.Bounds, workers)
-	subA := strips.assign(a.OVRs)
-	subB := strips.assign(b.OVRs)
-
 	var (
-		mu      sync.Mutex // guards emit (the merge-emitter), total and emitErr
+		mu      sync.Mutex // guards emit (the merge-emitter) and emitErr
 		emitErr error
-		wg      sync.WaitGroup
 	)
 	sharedEmit := func(o *OVR) error {
 		mu.Lock()
@@ -137,35 +117,90 @@ func OverlapStreamParallelSpan(a, b *MOVD, prune PruneFunc, workers int, span *o
 		}
 		return nil
 	}
+	return stripSweeps(a, b, prune, workers, span, func(int, int) func(*OVR) error {
+		return sharedEmit
+	})
+}
+
+// stripSweeps is the sharded-sweep core shared by the streaming and the
+// materialising entry points. It normalises workers, falls back to one
+// sequential sweep when sharding cannot help, and otherwise loads both
+// operands' MBRs into a flat SoA layout ONCE, shares the arrays read-only
+// across all strips, and runs one sweep goroutine per non-empty strip.
+//
+// emitFor(si, hint) is called serially (from this goroutine) once per active
+// strip — strip 0 for the sequential fallback — and returns the emit
+// callback that strip's sweep uses; the callback itself runs on the strip's
+// goroutine, so a caller wanting lock-free emission hands out a private
+// per-strip buffer and a caller wanting streaming hands out one
+// mutex-serialised closure. hint is the strip's input OVR count, a cheap
+// pre-sizing estimate for output buffers.
+func stripSweeps(a, b *MOVD, prune PruneFunc, workers int, span *obs.Span, emitFor func(si, hint int) func(*OVR) error) (OverlapStats, error) {
+	var total OverlapStats
+	if err := checkOperands(a, b); err != nil {
+		return total, err
+	}
+	if p := runtime.GOMAXPROCS(0); workers <= 0 || workers > p {
+		// More strips than cores cannot run concurrently; they only add
+		// duplicated boundary events and per-strip sort work. Clamping keeps
+		// the requested degree an upper bound, never a demand.
+		workers = p
+	}
+	if workers <= 1 || a.Bounds.Height() <= 0 || len(a.OVRs) == 0 || len(b.OVRs) == 0 {
+		err := sweep(a, b, nil, nil, nil, nil, nil, prune, &total, emitFor(0, len(a.OVRs)+len(b.OVRs)))
+		recordSweep(total)
+		if span != nil {
+			sp := span.Child("sweep")
+			setSweepAttrs(sp, total)
+			sp.End()
+		}
+		return total, err
+	}
+	strips := newStripper(a.Bounds, workers)
+	var fa, fb flatMBRs
+	fa.load(a.OVRs)
+	fb.load(b.OVRs)
+	subA := strips.assignFlat(fa.minY, fa.maxY)
+	subB := strips.assignFlat(fb.minY, fb.maxY)
+
+	var (
+		mu       sync.Mutex // guards total and firstErr
+		firstErr error
+		wg       sync.WaitGroup
+	)
 	for si := 0; si < strips.k; si++ {
 		if len(subA[si]) == 0 || len(subB[si]) == 0 {
 			continue
 		}
+		stripEmit := emitFor(si, len(subA[si])+len(subB[si]))
 		wg.Add(1)
-		go func(si int, subA, subB []int32) {
+		go func(si int, subA, subB []int32, stripEmit func(*OVR) error) {
 			defer wg.Done()
-			own := func(x, y *OVR) bool {
-				return strips.index(math.Min(x.MBR.Max.Y, y.MBR.Max.Y)) == si
+			// A pair's owner strip is the strip holding the top edge of its
+			// y-intersection; the sweep evaluates ownership once per start
+			// event (see sweep), so topY is always the event's own y.
+			own := func(topY float64) bool {
+				return strips.index(topY) == si
 			}
 			var stripSpan *obs.Span
 			if span != nil {
 				stripSpan = span.Child(fmt.Sprintf("strip %d", si))
 			}
 			var local OverlapStats
-			err := sweep(a, b, subA, subB, own, prune, &local, sharedEmit)
+			err := sweep(a, b, &fa, &fb, subA, subB, own, prune, &local, stripEmit)
 			recordSweep(local)
 			setSweepAttrs(stripSpan, local)
 			stripSpan.End()
 			mu.Lock()
 			total.Add(local)
-			if err != nil && emitErr == nil {
-				emitErr = err
+			if err != nil && firstErr == nil {
+				firstErr = err
 			}
 			mu.Unlock()
-		}(si, subA[si], subB[si])
+		}(si, subA[si], subB[si], stripEmit)
 	}
 	wg.Wait()
-	return total, emitErr
+	return total, firstErr
 }
 
 // OverlapParallel is Overlap evaluated by the sharded parallel sweep; it
@@ -182,19 +217,55 @@ func OverlapParallelPruned(a, b *MOVD, prune PruneFunc, workers int) (*MOVD, Ove
 }
 
 // overlapParallelSpan materialises one sharded ⊕ under an optional trace
-// span.
+// span. Unlike the streaming path it never serialises emission: every strip
+// clones surviving OVRs into a private buffer on its own goroutine, and the
+// buffers are concatenated in strip order afterwards — the Clone (the bulk
+// of each emission: region vertices + merged POIs) runs fully parallel
+// instead of inside a shared mutex.
 func overlapParallelSpan(a, b *MOVD, prune PruneFunc, workers int, span *obs.Span) (*MOVD, OverlapStats, error) {
 	result := &MOVD{
 		Types:  typesUnion(a.Types, b.Types),
 		Bounds: a.Bounds,
 		Mode:   a.Mode,
 	}
-	stats, err := OverlapStreamParallelSpan(a, b, prune, workers, span, func(o *OVR) error {
-		result.OVRs = append(result.OVRs, o.Clone())
-		return nil
+	k := workers
+	if k <= 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	if k < 1 {
+		k = 1
+	}
+	bufs := make([][]OVR, k)
+	arenas := make([]ovrArena, k)
+	stats, err := stripSweeps(a, b, prune, workers, span, func(si, hint int) func(*OVR) error {
+		buf, arena := &bufs[si], &arenas[si]
+		// ⊕ output is proportional to its input (each OVR gains a bounded
+		// number of partners); seeding capacity at the input size skips the
+		// small early doublings of the append ramp.
+		*buf = make([]OVR, 0, hint)
+		return func(o *OVR) error {
+			*buf = append(*buf, arena.clone(o))
+			return nil
+		}
 	})
 	if err != nil {
 		return nil, stats, err
+	}
+	total, nonEmpty, last := 0, 0, 0
+	for si, buf := range bufs {
+		if len(buf) > 0 {
+			total += len(buf)
+			nonEmpty++
+			last = si
+		}
+	}
+	if nonEmpty == 1 {
+		result.OVRs = bufs[last] // single emitting strip: adopt its buffer
+		return result, stats, nil
+	}
+	result.OVRs = make([]OVR, 0, total)
+	for _, buf := range bufs {
+		result.OVRs = append(result.OVRs, buf...)
 	}
 	return result, stats, nil
 }

@@ -1,0 +1,222 @@
+package fermat
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"molq/internal/geom"
+)
+
+// randomFlatInstance builds one multi-batch instance in both layouts: nv
+// weight-vector problems over ng shared groups whose sizes run from empty
+// through the 1/2/3-point fast paths to iterative sizes.
+func randomFlatInstance(r *rand.Rand, ng, nv int, withOffsets bool) ([]BatchProblem, []FlatProblem, *FlatGroups) {
+	sizes := make([]int, ng)
+	for i := range sizes {
+		switch r.Intn(6) {
+		case 0:
+			sizes[i] = 1
+		case 1:
+			sizes[i] = 2
+		case 2:
+			sizes[i] = 3
+		default:
+			sizes[i] = 4 + r.Intn(8)
+		}
+	}
+	// One group in each instance is empty: both drivers must skip it.
+	sizes[r.Intn(ng)] = 0
+
+	fg := &FlatGroups{Starts: make([]int32, 0, ng+1)}
+	base := make([][]geom.Point, ng)
+	for gi, n := range sizes {
+		fg.Starts = append(fg.Starts, int32(len(fg.X)))
+		pts := make([]geom.Point, n)
+		for k := range pts {
+			pts[k] = geom.Pt(r.Float64()*100, r.Float64()*100)
+		}
+		base[gi] = pts
+		for _, p := range pts {
+			fg.X = append(fg.X, p.X)
+			fg.Y = append(fg.Y, p.Y)
+		}
+	}
+	fg.Starts = append(fg.Starts, int32(len(fg.X)))
+	fg.PairDist = make([]float64, ng)
+	for gi, pts := range base {
+		if len(pts) >= 2 {
+			fg.PairDist[gi] = pts[0].Dist(pts[1])
+		}
+	}
+
+	aos := make([]BatchProblem, nv)
+	flat := make([]FlatProblem, nv)
+	for vi := 0; vi < nv; vi++ {
+		w := make([]float64, len(fg.X))
+		groups := make([]Group, ng)
+		var offsets []float64
+		if withOffsets {
+			offsets = make([]float64, ng)
+		}
+		for gi, pts := range base {
+			g := make(Group, len(pts))
+			s := int(fg.Starts[gi])
+			for k, p := range pts {
+				wk := 0.1 + r.Float64()*3
+				w[s+k] = wk
+				g[k] = WeightedPoint{P: p, W: wk}
+			}
+			groups[gi] = g
+			if withOffsets {
+				offsets[gi] = r.Float64() * 5
+			}
+		}
+		aos[vi] = BatchProblem{Groups: groups, Offsets: offsets, PairDist: fg.PairDist}
+		flat[vi] = FlatProblem{Geom: fg, W: w, Offsets: offsets}
+	}
+	return aos, flat, fg
+}
+
+func checkBatchesEqual(t *testing.T, tag string, want, got []BatchResult) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d results, want %d", tag, len(got), len(want))
+	}
+	for vi := range want {
+		w, g := want[vi], got[vi]
+		if g.GroupIndex != w.GroupIndex {
+			t.Fatalf("%s vector %d: winner group %d, want %d", tag, vi, g.GroupIndex, w.GroupIndex)
+		}
+		if g.Cost != w.Cost || g.Loc != w.Loc {
+			t.Fatalf("%s vector %d: result (%v, %v), want (%v, %v)", tag, vi, g.Loc, g.Cost, w.Loc, w.Cost)
+		}
+	}
+}
+
+// TestFlatMultiBatchMatchesSlices cross-checks the flat multi-batch driver
+// against the slice-of-structs one on random instances: same winners, same
+// costs, bit for bit — both sequential and parallel, with and without
+// offsets. Parallel pruning statistics are schedule-dependent, so only the
+// results are compared.
+func TestFlatMultiBatchMatchesSlices(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	ctx := context.Background()
+	for trial := 0; trial < 30; trial++ {
+		aos, flat, _ := randomFlatInstance(r, 3+r.Intn(20), 1+r.Intn(4), trial%2 == 1)
+		for _, workers := range []int{1, 4} {
+			want, err := CostBoundMultiBatchCtx(ctx, aos, Options{}, workers)
+			if err != nil {
+				t.Fatalf("trial %d workers %d: slice driver: %v", trial, workers, err)
+			}
+			got, err := CostBoundMultiBatchFlatCtx(ctx, flat, Options{}, workers)
+			if err != nil {
+				t.Fatalf("trial %d workers %d: flat driver: %v", trial, workers, err)
+			}
+			checkBatchesEqual(t, "multi", want, got)
+			// Sequential scans share the warm-start order, so even the work
+			// counters must agree.
+			if workers == 1 {
+				for vi := range want {
+					if want[vi].Stats != got[vi].Stats {
+						t.Fatalf("trial %d vector %d: flat stats %+v != %+v", trial, vi, got[vi].Stats, want[vi].Stats)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFlatBatchMatchesParallel cross-checks the single-problem flat driver
+// against CostBoundBatchParallelCtx.
+func TestFlatBatchMatchesParallel(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	ctx := context.Background()
+	for trial := 0; trial < 20; trial++ {
+		aos, flat, _ := randomFlatInstance(r, 4+r.Intn(16), 1, trial%2 == 0)
+		for _, workers := range []int{1, 4} {
+			want, err := CostBoundBatchParallelCtx(ctx, aos[0].Groups, aos[0].Offsets, Options{}, workers)
+			if err != nil {
+				t.Fatalf("trial %d workers %d: slice driver: %v", trial, workers, err)
+			}
+			got, err := CostBoundBatchFlatCtx(ctx, flat[0], Options{}, workers)
+			if err != nil {
+				t.Fatalf("trial %d workers %d: flat driver: %v", trial, workers, err)
+			}
+			checkBatchesEqual(t, "single", []BatchResult{want}, []BatchResult{got})
+		}
+	}
+}
+
+// TestFlatValidation pins the error contract of the flat entry points.
+func TestFlatValidation(t *testing.T) {
+	ctx := context.Background()
+	ok := FlatProblem{
+		Geom: &FlatGroups{X: []float64{0, 1}, Y: []float64{0, 0}, Starts: []int32{0, 2}},
+		W:    []float64{1, 2},
+	}
+	if _, err := CostBoundBatchFlatCtx(ctx, ok, Options{}, 1); err != nil {
+		t.Fatalf("valid problem rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		p    FlatProblem
+		want error
+	}{
+		{"nil geom", FlatProblem{}, ErrNoPoints},
+		{"empty geom", FlatProblem{Geom: &FlatGroups{Starts: []int32{0}}}, ErrNoPoints},
+		{"weights length", FlatProblem{Geom: ok.Geom, W: []float64{1}}, ErrBadFlat},
+		{"offsets length", FlatProblem{Geom: ok.Geom, W: ok.W, Offsets: []float64{0, 0}}, ErrBadOffsets},
+		{"pairdist length", FlatProblem{
+			Geom: &FlatGroups{X: ok.Geom.X, Y: ok.Geom.Y, Starts: ok.Geom.Starts, PairDist: []float64{1, 1}},
+			W:    ok.W,
+		}, ErrBadPairDist},
+	}
+	for _, tc := range cases {
+		if _, err := CostBoundBatchFlatCtx(ctx, tc.p, Options{}, 1); err != tc.want {
+			t.Errorf("%s: err %v, want %v", tc.name, err, tc.want)
+		}
+		if _, err := CostBoundMultiBatchFlatCtx(ctx, []FlatProblem{tc.p}, Options{}, 1); err != tc.want {
+			t.Errorf("%s (multi): err %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestFlatCancellation checks a canceled context stops the flat drivers.
+func TestFlatCancellation(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	_, flat, _ := randomFlatInstance(r, 64, 4, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CostBoundMultiBatchFlatCtx(ctx, flat, Options{}, 1); err != context.Canceled {
+		t.Fatalf("sequential: err %v, want context.Canceled", err)
+	}
+	if _, err := CostBoundMultiBatchFlatCtx(ctx, flat, Options{}, 4); err != context.Canceled {
+		t.Fatalf("parallel: err %v, want context.Canceled", err)
+	}
+	if _, err := CostBoundBatchFlatCtx(ctx, flat[0], Options{}, 4); err != context.Canceled {
+		t.Fatalf("single: err %v, want context.Canceled", err)
+	}
+}
+
+// TestFlatTwoPointExactness pins the flat 2-point fast path against solve2 on
+// the same data: identical location and cost without gathering.
+func TestFlatTwoPointExactness(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		a, b := geom.Pt(r.Float64()*10, r.Float64()*10), geom.Pt(r.Float64()*10, r.Float64()*10)
+		wa, wb := 0.1+r.Float64(), 0.1+r.Float64()
+		fg := &FlatGroups{X: []float64{a.X, b.X}, Y: []float64{a.Y, b.Y}, Starts: []int32{0, 2}}
+		if i%2 == 0 {
+			fg.PairDist = []float64{a.Dist(b)}
+		}
+		got, err := CostBoundBatchFlatCtx(context.Background(), FlatProblem{Geom: fg, W: []float64{wa, wb}}, Options{}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := solve2([]WeightedPoint{{P: a, W: wa}, {P: b, W: wb}})
+		if got.Loc != want.Loc || got.Cost != want.Cost {
+			t.Fatalf("iter %d: flat 2-point (%v, %v) != solve2 (%v, %v)", i, got.Loc, got.Cost, want.Loc, want.Cost)
+		}
+	}
+}

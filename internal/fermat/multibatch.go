@@ -203,20 +203,134 @@ func CostBoundMultiBatchCtx(ctx context.Context, problems []BatchProblem, opt Op
 			}
 			mu.Lock()
 			for pi := range locals {
+				if touched[pi] {
+					mergeBatchResult(&merged[pi], &locals[pi])
+				}
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for pi := range merged {
+		if merged[pi].GroupIndex < 0 {
+			return nil, ErrNoPoints
+		}
+	}
+	return merged, nil
+}
+
+// CostBoundMultiBatchFlatCtx is CostBoundMultiBatchCtx over the flat layout:
+// one FlatProblem per weight vector, typically all sharing one FlatGroups.
+// The scan order, warm starts, per-problem cost bounds and results match the
+// slice-of-structs driver exactly; only the memory traffic differs — the
+// prefilter and the 1/2-point fast paths read contiguous float64 arrays and
+// never touch a Group header.
+func CostBoundMultiBatchFlatCtx(ctx context.Context, problems []FlatProblem, opt Options, workers int) ([]BatchResult, error) {
+	if len(problems) == 0 {
+		return nil, nil
+	}
+	total := 0
+	starts := make([]int, len(problems)+1)
+	for pi := range problems {
+		if err := problems[pi].validate(); err != nil {
+			return nil, err
+		}
+		starts[pi] = total
+		total += problems[pi].Geom.Len()
+	}
+	starts[len(problems)] = total
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	opt = opt.norm()
+	done := ctx.Done()
+	if workers <= 1 {
+		// Sequential path: warm-start each problem at the previous winner,
+		// exactly as the slice driver (see CostBoundMultiBatchCtx).
+		out := make([]BatchResult, len(problems))
+		var scratch []WeightedPoint
+		first := 0
+		for pi := range problems {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			res, err := costBoundFlatOrdered(done, ctx.Err, &problems[pi], opt, first, &scratch)
+			if err != nil {
+				return nil, err
+			}
+			out[pi] = res
+			first = res.GroupIndex
+		}
+		return out, nil
+	}
+
+	bounds := make([]*atomicMin, len(problems))
+	for pi := range bounds {
+		bounds[pi] = newAtomicMin()
+	}
+	var next atomic.Int64
+	var mu sync.Mutex
+	merged := make([]BatchResult, len(problems))
+	for pi := range merged {
+		merged[pi] = BatchResult{Cost: math.Inf(1), GroupIndex: -1}
+	}
+	var firstErr error
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch []WeightedPoint
+			locals := make([]BatchResult, len(problems))
+			touched := make([]bool, len(problems))
+			for !canceled(done) {
+				task := int(next.Add(1) - 1)
+				if task >= total {
+					break
+				}
+				pi := sort.SearchInts(starts, task+1) - 1
+				gi := task - starts[pi]
+				p := &problems[pi]
+				local := &locals[pi]
 				if !touched[pi] {
+					touched[pi] = true
+					local.Cost = math.Inf(1)
+					local.GroupIndex = -1
+				}
+				res, ok, err := solveGroupBoundedFlat(p, gi, opt, bounds[pi], &local.Stats, &scratch)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				if !ok {
 					continue
 				}
-				local := &locals[pi]
-				m := &merged[pi]
-				m.Stats.Problems += local.Stats.Problems
-				m.Stats.ExactSolves += local.Stats.ExactSolves
-				m.Stats.Prefiltered += local.Stats.Prefiltered
-				m.Stats.PrunedGroups += local.Stats.PrunedGroups
-				m.Stats.TotalIters += local.Stats.TotalIters
-				if local.GroupIndex >= 0 && local.Cost < m.Cost {
-					m.Cost = local.Cost
-					m.Loc = local.Loc
-					m.GroupIndex = local.GroupIndex
+				total := res.Cost + p.off(gi)
+				bounds[pi].update(total)
+				if total < local.Cost {
+					local.Cost = total
+					local.Loc = res.Loc
+					local.GroupIndex = gi
+				}
+			}
+			mu.Lock()
+			for pi := range locals {
+				if touched[pi] {
+					mergeBatchResult(&merged[pi], &locals[pi])
 				}
 			}
 			mu.Unlock()

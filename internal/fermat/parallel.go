@@ -87,6 +87,22 @@ func solveGroupBounded(g Group, off, twoCost float64, opt Options, bound *atomic
 	return res, true, nil
 }
 
+// mergeBatchResult folds one worker's local best and work counters into dst.
+// dst must start as {Cost: +Inf, GroupIndex: -1}; a src that never won a
+// group (GroupIndex < 0) contributes only its counters.
+func mergeBatchResult(dst, src *BatchResult) {
+	dst.Stats.Problems += src.Stats.Problems
+	dst.Stats.ExactSolves += src.Stats.ExactSolves
+	dst.Stats.Prefiltered += src.Stats.Prefiltered
+	dst.Stats.PrunedGroups += src.Stats.PrunedGroups
+	dst.Stats.TotalIters += src.Stats.TotalIters
+	if src.GroupIndex >= 0 && src.Cost < dst.Cost {
+		dst.Cost = src.Cost
+		dst.Loc = src.Loc
+		dst.GroupIndex = src.GroupIndex
+	}
+}
+
 // CostBoundBatchParallel is CostBoundBatchOffsets distributed over `workers`
 // goroutines (≤0 means GOMAXPROCS). All workers share the global cost bound
 // through an atomic, so a good early optimum found by one worker prunes the
@@ -169,16 +185,87 @@ func CostBoundBatchParallelCtx(ctx context.Context, groups []Group, offsets []fl
 				}
 			}
 			mu.Lock()
-			best.Stats.Problems += local.Stats.Problems
-			best.Stats.ExactSolves += local.Stats.ExactSolves
-			best.Stats.Prefiltered += local.Stats.Prefiltered
-			best.Stats.PrunedGroups += local.Stats.PrunedGroups
-			best.Stats.TotalIters += local.Stats.TotalIters
-			if local.GroupIndex >= 0 && local.Cost < best.Cost {
-				best.Cost = local.Cost
-				best.Loc = local.Loc
-				best.GroupIndex = local.GroupIndex
+			mergeBatchResult(&best, &local)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return best, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return best, err
+	}
+	if best.GroupIndex < 0 {
+		return best, ErrNoPoints
+	}
+	return best, nil
+}
+
+// CostBoundBatchFlatCtx is CostBoundBatchParallelCtx over the flat layout:
+// one weight vector's Algorithm-5 batch read straight from FlatProblem's
+// contiguous arrays. workers ≤ 0 means GOMAXPROCS; ≤ 1 runs the sequential
+// warm-start-free scan. Results are identical to the slice-of-structs
+// drivers' — groups that iterate are gathered into per-worker scratch and
+// solved by the same code.
+func CostBoundBatchFlatCtx(ctx context.Context, p FlatProblem, opt Options, workers int) (BatchResult, error) {
+	if err := p.validate(); err != nil {
+		return BatchResult{}, err
+	}
+	opt = opt.norm()
+	n := p.Geom.Len()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	done := ctx.Done()
+	if workers <= 1 {
+		var scratch []WeightedPoint
+		return costBoundFlatOrdered(done, ctx.Err, &p, opt, 0, &scratch)
+	}
+
+	bound := newAtomicMin()
+	var next atomic.Int64
+	var mu sync.Mutex
+	best := BatchResult{Cost: math.Inf(1), GroupIndex: -1}
+	var firstErr error
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch []WeightedPoint
+			local := BatchResult{Cost: math.Inf(1), GroupIndex: -1}
+			for !canceled(done) {
+				gi := int(next.Add(1) - 1)
+				if gi >= n {
+					break
+				}
+				res, ok, err := solveGroupBoundedFlat(&p, gi, opt, bound, &local.Stats, &scratch)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				if !ok {
+					continue
+				}
+				total := res.Cost + p.off(gi)
+				bound.update(total)
+				if total < local.Cost {
+					local.Cost = total
+					local.Loc = res.Loc
+					local.GroupIndex = gi
+				}
 			}
+			mu.Lock()
+			mergeBatchResult(&best, &local)
 			mu.Unlock()
 		}()
 	}

@@ -3,6 +3,7 @@ package httpapi
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -69,8 +70,42 @@ func TestEngineQueryBatchBodies(t *testing.T) {
 	check("bare array body", bare)
 	check("whitespace body", []byte(" { \"type_weights\" : [ [1,1], [50,1], [1,50] ] } "))
 
+	// A one-vector batch still responds in the batch envelope.
+	one, err := json.Marshal([][]float64{{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/engines/batcher/query", "application/json", bytes.NewReader(one))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var oneOut EngineBatchResponse
+	if err := json.Unmarshal(raw, &oneOut); err != nil || resp.StatusCode != http.StatusOK || len(oneOut.Results) != 1 {
+		t.Fatalf("one-vector batch: status %d body %s (err %v)", resp.StatusCode, raw, err)
+	}
+	if math.Abs(oneOut.Results[0].Cost-want[0].Cost) > 1e-9*(1+want[0].Cost) {
+		t.Fatalf("one-vector batch: cost %v, want %v", oneOut.Results[0].Cost, want[0].Cost)
+	}
+
+	// An empty batch body is a valid request for zero answers: 200 with an
+	// empty JSON results array — never null.
+	resp, err = http.Post(ts.URL+"/v1/engines/batcher/query", "application/json", bytes.NewReader([]byte("[]")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty batch: status %d body %s", resp.StatusCode, raw)
+	}
+	if !bytes.Contains(raw, []byte(`"results":[]`)) {
+		t.Fatalf("empty batch: results not encoded as []: %s", raw)
+	}
+
 	// A bad vector anywhere fails the whole batch.
-	resp, _ := postJSON(t, ts.URL+"/v1/engines/batcher/query", EngineBatchQueryRequest{
+	resp, _ = postJSON(t, ts.URL+"/v1/engines/batcher/query", EngineBatchQueryRequest{
 		TypeWeights: [][]float64{{1, 1}, {1}},
 	})
 	if resp.StatusCode != http.StatusUnprocessableEntity {

@@ -193,6 +193,11 @@ type EngineRequest struct {
 	Types  []TypeJSON  `json:"types"`
 	// Epsilon default 1e-3.
 	Epsilon float64 `json:"epsilon,omitempty"`
+	// Replicas is the number of per-core read replicas the engine keeps of
+	// its hot query state, so concurrent queries admitted past the gate never
+	// stream the same cache-hot arrays across cores. Omitted or 0 means one
+	// replica per CPU; a negative value disables replication.
+	Replicas int `json:"replicas,omitempty"`
 }
 
 // EngineInfo describes a prepared engine. Version and Objects track the
@@ -632,6 +637,12 @@ func (s *Server) handleEngineCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	in.Cache = s.cache
+	switch {
+	case req.Replicas > 0:
+		in.Replicas = req.Replicas
+	case req.Replicas == 0:
+		in.Replicas = runtime.GOMAXPROCS(0)
+	}
 	eng, err := query.NewEngine(in, m)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
@@ -736,12 +747,12 @@ func (s *Server) handleEngineQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := EngineBatchResponse{Results: make([]SolveResponse, len(out))}
 	for i, res := range out {
+		// Per-vector Micros is the vector's amortized share of the batch;
+		// the envelope's Micros is the batch wall clock itself.
 		resp.Results[i] = solveResponse(res)
-		// Per-vector times are the shared batch clock; report it once.
-		resp.Results[i].Micros = 0
 	}
 	if len(out) > 0 {
-		resp.Micros = out[0].Stats.TotalTime.Microseconds()
+		resp.Micros = out[0].Stats.BatchElapsed.Microseconds()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

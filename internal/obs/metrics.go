@@ -113,10 +113,13 @@ func (h *Histogram) BucketCount(i int) int64 {
 
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
 // distribution by linear interpolation inside the bucket the rank falls
-// into — the same estimate Prometheus's histogram_quantile gives. It
-// returns NaN for an empty histogram or out-of-range q. Ranks landing in
-// the +Inf bucket return the largest finite bound: the histogram does not
-// know how far beyond it the observations went.
+// into — the same estimate Prometheus's histogram_quantile gives. Empty
+// buckets are skipped: a rank can only land where observations are, so a
+// boundary rank (q=0, or exactly a cumulative count) resolves against the
+// nearest non-empty bucket, never an empty one's bound. It returns NaN
+// for an empty histogram or out-of-range q. Ranks landing in the +Inf
+// bucket return the largest finite bound: the histogram does not know how
+// far beyond it the observations went.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.count.Load()
 	if total == 0 || q < 0 || q > 1 || len(h.bounds) == 0 {
@@ -126,13 +129,13 @@ func (h *Histogram) Quantile(q float64) float64 {
 	cum := int64(0)
 	for i, b := range h.bounds {
 		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
 		if float64(cum)+float64(c) >= rank {
 			lower := 0.0
 			if i > 0 {
 				lower = h.bounds[i-1]
-			}
-			if c == 0 {
-				return b
 			}
 			return lower + (b-lower)*(rank-float64(cum))/float64(c)
 		}

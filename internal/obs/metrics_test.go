@@ -4,6 +4,7 @@ import (
 	"math"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -109,6 +110,51 @@ func TestHistogramQuantile(t *testing.T) {
 	h2.Observe(100)
 	if got := h2.Quantile(0.99); got != 2 {
 		t.Errorf("overflowed histogram Quantile = %g, want clamp to 2", got)
+	}
+}
+
+// TestHistogramQuantileBoundaries pins the edge cases: ranks landing
+// exactly on a bucket edge, q=0 and q=1, empty leading/middle buckets, and
+// observations in the implicit +Inf bucket. Empty buckets must be skipped
+// — a rank can only resolve against a bucket that holds observations.
+func TestHistogramQuantileBoundaries(t *testing.T) {
+	bounds := []float64{1, 2, 3}
+	for _, tc := range []struct {
+		name string
+		obs  []float64
+		q    float64
+		want float64
+	}{
+		// All observations in the third bucket: every quantile must
+		// interpolate inside (2,3], never touch the empty buckets below.
+		{"leading empty q=0", []float64{2.5, 2.5, 2.5, 2.5}, 0, 2},
+		{"leading empty q=0.5", []float64{2.5, 2.5, 2.5, 2.5}, 0.5, 2.5},
+		{"leading empty q=1", []float64{2.5, 2.5, 2.5, 2.5}, 1, 3},
+		// Rank exactly on the edge between buckets 1 and 3 (bucket 2 empty):
+		// rank 2 of 4 is satisfied by the first bucket, at its upper bound.
+		{"edge rank across gap", []float64{0.5, 0.5, 2.5, 2.5}, 0.5, 1},
+		// Rank just past the edge lands in the third bucket's lower half.
+		{"past edge across gap", []float64{0.5, 0.5, 2.5, 2.5}, 0.75, 2.5},
+		// q=0 with a non-empty first bucket interpolates from zero.
+		{"q=0 first bucket", []float64{0.5, 0.5}, 0, 0},
+		// Everything beyond the last bound: any rank lands in the +Inf
+		// bucket and answers the largest finite bound, not bounds[0].
+		{"all +Inf q=0", []float64{99, 99}, 0, 3},
+		{"all +Inf q=1", []float64{99, 99}, 1, 3},
+		// q=1 with the top half in +Inf still clamps to the last bound.
+		{"half +Inf q=1", []float64{0.5, 0.5, 99, 99}, 1, 3},
+		// ...while ranks inside the finite buckets are unaffected by +Inf.
+		{"half +Inf q=0.5", []float64{0.5, 0.5, 99, 99}, 0.5, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds))}
+			for _, v := range tc.obs {
+				h.Observe(v)
+			}
+			if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+			}
+		})
 	}
 }
 

@@ -56,7 +56,12 @@ func convexIntersectONM(buf *ClipBuf, p, q geom.Polygon) (geom.Polygon, bool) {
 		qb0, qb1 := q[b1], q[b]
 		ae := pa1.Sub(pa0)
 		be := qb1.Sub(qb0)
-		lenA, lenB := ae.Norm(), be.Norm()
+		// Sqrt(Dot) instead of Norm (math.Hypot): the coordinates are search
+		// space scaled, so Hypot's overflow guard is pure overhead — and the
+		// lengths only size fuzzy guard bands, which an ulp cannot flip
+		// meaningfully (anything near a band falls back to the exact cascade).
+		lenA := math.Sqrt(ae.Dot(ae))
+		lenB := math.Sqrt(be.Dot(be))
 		if lenA < clipEps || lenB < clipEps {
 			return nil, false // degenerate edge: undefined direction
 		}
@@ -128,9 +133,26 @@ func convexIntersectONM(buf *ClipBuf, p, q geom.Polygon) (geom.Polygon, bool) {
 	}
 	if inflag == unknown {
 		// Boundaries never properly crossed: disjoint, containment, or a
-		// touching configuration. All three are left to the halfplane
-		// cascade, which handles them exactly.
-		return nil, false
+		// touching configuration. Convexity lets two guarded seed-vertex
+		// tests decide the first two: with no crossings, either one polygon
+		// contains the other (then its seed vertex is strictly interior) or
+		// the interiors are disjoint (then both seeds are strictly outside).
+		// Touching configurations put a seed inside a guard band, and the
+		// halfplane cascade decides exactly as before. This epilogue spares
+		// the ⊕ sweep the full O(n·m) cascade on the many candidate pairs
+		// whose MBRs overlap but whose regions do not.
+		switch pin, qin := classifyInConvex(p[0], q), classifyInConvex(q[0], p); {
+		case pin > 0:
+			out = append(out[:0], p...) // P ⊂ Q: intersection is P
+			return out, true
+		case qin > 0:
+			out = append(out[:0], q...) // Q ⊂ P: intersection is Q
+			return out, true
+		case pin < 0 && qin < 0:
+			return nil, true // decisively disjoint
+		default:
+			return nil, false // a seed is too close to a boundary
+		}
 	}
 	if aAdv > 2*n || bAdv > 2*m {
 		return nil, false // advance loop failed to close
@@ -147,4 +169,31 @@ func convexIntersectONM(buf *ClipBuf, p, q geom.Polygon) (geom.Polygon, bool) {
 		return nil, false
 	}
 	return res, true
+}
+
+// classifyInConvex reports whether s lies decisively inside (+1) or outside
+// (-1) the convex counterclockwise polygon pg, or too close to its boundary
+// to certify either (0). The guard band is scaled like the kernel's other
+// predicates: Orient(a, b, s) = |ab| · dist(s, line).
+func classifyInConvex(s geom.Point, pg geom.Polygon) int {
+	n := len(pg)
+	inside := 1
+	for i := 0; i < n; i++ {
+		a := pg[i]
+		b := pg[(i+1)%n]
+		e := b.Sub(a)
+		le := math.Sqrt(e.Dot(e))
+		if le < clipEps {
+			return 0 // degenerate edge: undefined side
+		}
+		o := geom.Orient(a, b, s)
+		tol := onmGuard * le * (1 + le)
+		switch {
+		case o <= -tol:
+			return -1 // decisively outside this edge's halfplane
+		case o < tol:
+			inside = 0 // within the band: cannot certify interior
+		}
+	}
+	return inside
 }

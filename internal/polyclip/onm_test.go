@@ -189,24 +189,36 @@ func TestONMDifferential(t *testing.T) {
 // correctly: containment (no boundary crossings), disjoint operands, and
 // shared collinear boundary edges — all common along the search-space border.
 func TestONMFallbackCases(t *testing.T) {
-	hex := func(cx, cy, r float64) geom.Polygon {
+	hexAt := func(cx, cy, r, phase float64) geom.Polygon {
 		pg := make(geom.Polygon, 0, 6)
 		for i := 0; i < 6; i++ {
-			a := 2 * math.Pi * float64(i) / 6
+			a := phase + 2*math.Pi*float64(i)/6
 			pg = append(pg, geom.Pt(cx+r*math.Cos(a), cy+r*math.Sin(a)))
 		}
 		return pg
 	}
+	hex := func(cx, cy, r float64) geom.Polygon { return hexAt(cx, cy, r, 0) }
 	var buf ClipBuf
 
-	// Containment: inner hexagon fully inside outer — no crossings, must
-	// decline (the cascade then resolves it exactly).
+	// Containment with exactly parallel edge pairs (same-phase concentric
+	// hexagons): the near-parallel guard fires before any epilogue and the
+	// kernel must decline — the cascade resolves it exactly.
 	if out, ok := convexIntersectONM(&buf, hex(0, 0, 10), hex(0, 0, 2)); ok {
-		t.Fatalf("containment accepted by ONM kernel: %v", out)
+		t.Fatalf("parallel-edge containment accepted by ONM kernel: %v", out)
 	}
-	// Disjoint: also no crossings, must decline.
-	if out, ok := convexIntersectONM(&buf, hex(0, 0, 1), hex(100, 0, 1)); ok {
-		t.Fatalf("disjoint accepted by ONM kernel: %v", out)
+	// Containment in general position (inner hexagon rotated so no edge
+	// pair is parallel): no crossings; the guarded seed-vertex epilogue
+	// must decide it and return the inner polygon.
+	inner := hexAt(0, 0, 2, 0.25)
+	if out, ok := convexIntersectONM(&buf, hex(0, 0, 10), inner); !ok {
+		t.Fatalf("containment declined by ONM kernel")
+	} else if math.Abs(out.Area()-inner.Area()) > 1e-9 {
+		t.Fatalf("containment via ONM kernel: area %v", out.Area())
+	}
+	// Disjoint in general position: no crossings and both seeds decisively
+	// outside — the epilogue must decide emptiness without the cascade.
+	if out, ok := convexIntersectONM(&buf, hex(0, 0, 1), hexAt(100, 0, 1, 0.25)); !ok || out != nil {
+		t.Fatalf("disjoint not decided by ONM kernel: out=%v ok=%v", out, ok)
 	}
 	// Whatever the kernel does on these, the public entry point must be
 	// exact.

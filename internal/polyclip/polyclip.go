@@ -21,6 +21,7 @@
 package polyclip
 
 import (
+	"math"
 	"sync"
 
 	"molq/internal/geom"
@@ -29,6 +30,12 @@ import (
 // clipEps is the tolerance used when classifying a vertex against a clipping
 // halfplane. It is scaled by edge length inside the clipper.
 const clipEps = 1e-9
+
+// MinArea is the positive-area threshold below which an operand polygon is
+// treated as a degenerate sliver that cannot contribute to an intersection.
+// Callers of ConvexIntersectTrustedBuf use it to pre-screen operands whose
+// areas they have cached.
+const MinArea = clipEps
 
 // ClipBuf holds the scratch buffers one clipping call chain ping-pongs
 // between. A ClipBuf is not safe for concurrent use; give each goroutine its
@@ -75,6 +82,15 @@ func ConvexIntersectBuf(buf *ClipBuf, subject, clip geom.Polygon) geom.Polygon {
 	if subject.Area() <= clipEps || clip.Area() <= clipEps {
 		return nil
 	}
+	return ConvexIntersectTrustedBuf(buf, subject, clip)
+}
+
+// ConvexIntersectTrustedBuf is ConvexIntersectBuf minus the operand checks:
+// the caller guarantees both polygons are non-empty with Area() > MinArea.
+// The ⊕ sweep intersects the same regions against many partners and caches
+// each region's area in its flat layout, so screening there turns two full
+// vertex scans per candidate pair into two float comparisons.
+func ConvexIntersectTrustedBuf(buf *ClipBuf, subject, clip geom.Polygon) geom.Polygon {
 	if len(subject) >= onmMinVerts && len(clip) >= onmMinVerts {
 		if out, ok := convexIntersectONM(buf, subject, clip); ok {
 			return out
@@ -167,7 +183,8 @@ func clipHalfplaneInto(dst geom.Polygon, pg geom.Polygon, a, b geom.Point) geom.
 	if n == 0 {
 		return dst
 	}
-	scale := a.Dist(b)
+	ab := b.Sub(a)
+	scale := math.Sqrt(ab.Dot(ab)) // Sqrt(Dot): see onm.go on why not Hypot
 	if scale < clipEps {
 		return append(dst, pg...)
 	}

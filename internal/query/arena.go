@@ -1,0 +1,43 @@
+package query
+
+import "sync"
+
+// queryArena is the per-query scratch allocator for the optimizer's flat
+// problem setup: folded weights and offsets for every vector of a query are
+// carved out of one grow-only float64 slab instead of per-vector heap slabs.
+// A query declares its total demand up front (begin), so the slab is a single
+// allocation that reaches a steady state after the first query at the
+// high-water size; reset between queries is a truncation. Carved slices are
+// full-capacity subslices of the slab and stay valid until the next begin —
+// exactly one query's lifetime, which is also how long fermat.FlatProblem
+// needs them.
+//
+// An arena is single-goroutine state. Engines give each read replica its own
+// arena; queries that run without a replica borrow one from arenaPool.
+type queryArena struct {
+	buf  []float64
+	used int
+}
+
+// begin resets the arena and guarantees capacity for n floats.
+func (a *queryArena) begin(n int) {
+	if cap(a.buf) < n {
+		a.buf = make([]float64, n)
+	}
+	a.buf = a.buf[:cap(a.buf)]
+	a.used = 0
+}
+
+// floats carves n floats out of the slab. The caller must stay within the
+// demand declared to begin.
+func (a *queryArena) floats(n int) []float64 {
+	s := a.buf[a.used : a.used+n : a.used+n]
+	a.used += n
+	return s
+}
+
+// arenaPool serves queries that could not claim a replica slot (replicas
+// disabled, or all slots busy): the arena is still a single grow-only slab
+// per query, just shared across goroutines over time instead of pinned to a
+// replica.
+var arenaPool = sync.Pool{New: func() any { return new(queryArena) }}

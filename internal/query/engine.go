@@ -33,6 +33,11 @@ type Engine struct {
 	method Method
 	state  atomic.Pointer[engineState]
 
+	// replicas are the per-core read replicas of the flat query state (nil
+	// when Input.Replicas ≤ 0). Slots are claimed with TryLock and refreshed
+	// lazily against the current snapshot version.
+	replicas []*engReplica
+
 	// updMu serialises mutations. The incremental substrate below it (one
 	// maintained Delaunay triangulation per type, plus the object↔slot maps)
 	// is only touched under updMu; nil entries mean the type repairs by full
@@ -87,22 +92,18 @@ type typeDynamic struct {
 
 // engineFlat is the combo-major flattening of combos, precomputed once per
 // version so every Query/QueryBatch call assembles its Fermat-Weber problems
-// from contiguous arrays (one slab allocation per weight vector) instead of
-// walking the nested combo slices. additive marks the ς^o family per type;
-// anyAdditive short-circuits the offset scan for the common
-// all-multiplicative case.
+// from contiguous arrays (folded weights carved out of a per-query arena)
+// instead of walking the nested combo slices. groups is the fermat-facing
+// structure-of-arrays geometry (coordinates, group boundaries, cached pair
+// distances for the two-point prefilter); objW and typ drive the per-vector
+// weight folding. additive marks the ς^o family per type; anyAdditive
+// short-circuits the offset scan for the common all-multiplicative case.
 type engineFlat struct {
-	pts         []geom.Point
+	groups      fermat.FlatGroups
 	objW        []float64
 	typ         []int32
-	starts      []int32
 	additive    []bool
 	anyAdditive bool
-	// pairDist[i] is the distance between the first two points of combo i
-	// (0 for combos shorter than two points). It feeds the batched
-	// optimizer's two-point prefilter, whose geometry is weight-independent:
-	// one sqrt per combo at preparation instead of one per combo per vector.
-	pairDist []float64
 }
 
 // buildFlat derives the flat combo representation for one state snapshot.
@@ -112,10 +113,11 @@ func (in *Input) buildFlat(combos [][]core.Object) engineFlat {
 		n += len(c)
 	}
 	var f engineFlat
-	f.pts = make([]geom.Point, 0, n)
+	f.groups.X = make([]float64, 0, n)
+	f.groups.Y = make([]float64, 0, n)
 	f.objW = make([]float64, 0, n)
 	f.typ = make([]int32, 0, n)
-	f.starts = make([]int32, len(combos)+1)
+	f.groups.Starts = make([]int32, len(combos)+1)
 	f.additive = make([]bool, len(in.Sets))
 	for ti := range in.Sets {
 		if in.kind(ti) == AdditiveObjWeights {
@@ -123,55 +125,130 @@ func (in *Input) buildFlat(combos [][]core.Object) engineFlat {
 			f.anyAdditive = true
 		}
 	}
-	f.pairDist = make([]float64, len(combos))
+	// pairDist[i] is the distance between the first two points of combo i
+	// (0 for shorter combos). The prefilter's geometry is weight-independent:
+	// one sqrt per combo at preparation instead of one per combo per vector.
+	f.groups.PairDist = make([]float64, len(combos))
 	for i, c := range combos {
-		f.starts[i] = int32(len(f.pts))
+		f.groups.Starts[i] = int32(len(f.groups.X))
 		for _, o := range c {
-			f.pts = append(f.pts, o.Loc)
+			f.groups.X = append(f.groups.X, o.Loc.X)
+			f.groups.Y = append(f.groups.Y, o.Loc.Y)
 			f.objW = append(f.objW, o.ObjWeight)
 			f.typ = append(f.typ, int32(o.Type))
 		}
 		if len(c) >= 2 {
-			f.pairDist[i] = c[0].Loc.Dist(c[1].Loc)
+			f.groups.PairDist[i] = c[0].Loc.Dist(c[1].Loc)
 		}
 	}
-	f.starts[len(combos)] = int32(len(f.pts))
+	f.groups.Starts[len(combos)] = int32(len(f.groups.X))
 	return f
 }
 
-// problemFor assembles the Fermat-Weber batch for one weight vector from
-// the snapshot's flat representation. All group backing storage comes from
-// one slab, so a vector costs three allocations regardless of combo count,
-// and every call owns its slab outright — concurrent queries share nothing
-// mutable.
-func (st *engineState) problemFor(typeWeights []float64) ([]fermat.Group, []float64) {
-	f := &st.flat
-	slab := make([]fermat.WeightedPoint, len(f.pts))
-	for i := range slab {
+// copyFrom deep-copies src into f, reusing capacity — the replica refresh
+// path. After it returns, f shares no backing array with src.
+func (f *engineFlat) copyFrom(src *engineFlat) {
+	f.groups.X = append(f.groups.X[:0], src.groups.X...)
+	f.groups.Y = append(f.groups.Y[:0], src.groups.Y...)
+	f.groups.Starts = append(f.groups.Starts[:0], src.groups.Starts...)
+	f.groups.PairDist = append(f.groups.PairDist[:0], src.groups.PairDist...)
+	f.objW = append(f.objW[:0], src.objW...)
+	f.typ = append(f.typ[:0], src.typ...)
+	f.additive = append(f.additive[:0], src.additive...)
+	f.anyAdditive = src.anyAdditive
+}
+
+// arenaDemand returns how many arena floats one weight vector's problem setup
+// carves.
+func (f *engineFlat) arenaDemand() int {
+	n := len(f.groups.X)
+	if f.anyAdditive {
+		n += f.groups.Len()
+	}
+	return n
+}
+
+// problemFor folds one weight vector into a flat Fermat-Weber problem: the
+// per-point weights (and, for additive types, per-combo constant offsets) are
+// carved out of the caller's arena; the geometry is shared by reference. The
+// returned problem is valid until the arena's next begin.
+func (f *engineFlat) problemFor(typeWeights []float64, a *queryArena) fermat.FlatProblem {
+	w := a.floats(len(f.groups.X))
+	for i := range w {
 		ti := f.typ[i]
-		w := typeWeights[ti]
 		if f.additive[ti] {
-			slab[i] = fermat.WeightedPoint{P: f.pts[i], W: w}
+			w[i] = typeWeights[ti]
 		} else {
-			slab[i] = fermat.WeightedPoint{P: f.pts[i], W: w * f.objW[i]}
+			w[i] = typeWeights[ti] * f.objW[i]
 		}
 	}
-	groups := make([]fermat.Group, len(st.combos))
-	offsets := make([]float64, len(st.combos))
-	for ci := range groups {
-		s, t := f.starts[ci], f.starts[ci+1]
-		groups[ci] = fermat.Group(slab[s:t:t])
-		if f.anyAdditive {
+	p := fermat.FlatProblem{Geom: &f.groups, W: w}
+	if f.anyAdditive {
+		nc := f.groups.Len()
+		p.Offsets = a.floats(nc)
+		for ci := 0; ci < nc; ci++ {
 			off := 0.0
-			for i := s; i < t; i++ {
+			for i := f.groups.Starts[ci]; i < f.groups.Starts[ci+1]; i++ {
 				if f.additive[f.typ[i]] {
 					off += typeWeights[f.typ[i]] * f.objW[i]
 				}
 			}
-			offsets[ci] = off
+			p.Offsets[ci] = off
 		}
 	}
-	return groups, offsets
+	return p
+}
+
+// engReplica is one per-core read replica of the engine's hot query state: a
+// private deep copy of the flat combo arrays plus a private arena. Concurrent
+// QueryBatch readers each claim one slot, so two cores never stream the same
+// cache-hot arrays (no shared-line traffic on the hottest read path), and the
+// arena needs no synchronisation at all. A replica refreshes lazily: claiming
+// it under a newer engine version re-copies the flat arrays before use.
+type engReplica struct {
+	mu      sync.Mutex // claimed with TryLock; never contended-on
+	version int64
+	flat    engineFlat
+	arena   queryArena
+}
+
+// initReplicas sizes the replica set from Input.Replicas (0 disables).
+func (e *Engine) initReplicas() {
+	if e.in.Replicas <= 0 {
+		return
+	}
+	e.replicas = make([]*engReplica, e.in.Replicas)
+	for i := range e.replicas {
+		e.replicas[i] = &engReplica{}
+	}
+}
+
+// acquireReplica claims a free replica slot and brings it up to date with the
+// given snapshot. nil means no slot was free (or replicas are disabled); the
+// caller then reads the shared snapshot directly — always correct, just not
+// core-private. The caller must Unlock the returned replica.
+func (e *Engine) acquireReplica(st *engineState) *engReplica {
+	for _, rep := range e.replicas {
+		if rep.mu.TryLock() {
+			if rep.version != st.version {
+				rep.flat.copyFrom(&st.flat)
+				rep.version = st.version
+			}
+			return rep
+		}
+	}
+	return nil
+}
+
+// claimQueryState picks the flat arrays and arena for one query: a replica's
+// when a slot is free, the shared snapshot's plus a pooled arena otherwise.
+// release must be called when the query is done.
+func (e *Engine) claimQueryState(st *engineState) (flat *engineFlat, arena *queryArena, release func()) {
+	if rep := e.acquireReplica(st); rep != nil {
+		return &rep.flat, &rep.arena, rep.mu.Unlock
+	}
+	a := arenaPool.Get().(*queryArena)
+	return &st.flat, a, func() { arenaPool.Put(a) }
 }
 
 // checkTypeWeights validates one weight vector against the engine's sets.
@@ -230,6 +307,7 @@ func NewEngine(in Input, method Method) (*Engine, error) {
 		flat:    in.buildFlat(combos),
 	})
 	e.dyn = make([]*typeDynamic, len(in.Sets))
+	e.initReplicas()
 	e.prepTime = time.Since(start)
 	return e, nil
 }
@@ -287,20 +365,21 @@ func (e *Engine) QueryContext(ctx context.Context, typeWeights []float64) (Resul
 		res.Stats.Trace = root
 	}
 	start := time.Now()
-	groups, offsets := st.problemFor(typeWeights)
-	var batch fermat.BatchResult
-	var err error
-	if e.in.Workers > 1 {
-		batch, err = fermat.CostBoundBatchParallelCtx(ctx, groups, offsets, e.in.options(), e.in.Workers)
-	} else {
-		batch, err = fermat.CostBoundBatchOffsetsCtx(ctx, groups, offsets, e.in.options())
+	flat, arena, release := e.claimQueryState(st)
+	defer release()
+	arena.begin(flat.arenaDemand())
+	p := flat.problemFor(typeWeights, arena)
+	workers := e.in.Workers
+	if workers < 1 {
+		workers = 1
 	}
+	batch, err := fermat.CostBoundBatchFlatCtx(ctx, p, e.in.options(), workers)
 	if err != nil {
 		return res, err
 	}
 	res.Loc = batch.Loc
 	res.Cost = batch.Cost
-	res.Stats.Groups = len(groups)
+	res.Stats.Groups = flat.groups.Len()
 	res.Stats.OVRs = st.movd.Len()
 	res.Stats.PointsManaged = st.movd.PointsManaged()
 	res.Stats.Fermat = batch.Stats
@@ -334,9 +413,11 @@ func (e *Engine) QueryBatch(vecs [][]float64) ([]Result, error) {
 }
 
 // QueryBatchContext is QueryBatch honouring a context (see QueryContext).
+// An empty batch is answered with an empty, non-nil result slice — callers
+// (and JSON encoders downstream) can rely on len(vecs) results always.
 func (e *Engine) QueryBatchContext(ctx context.Context, vecs [][]float64) ([]Result, error) {
 	if len(vecs) == 0 {
-		return nil, nil
+		return []Result{}, nil
 	}
 	for vi, tw := range vecs {
 		if err := e.checkTypeWeights(tw); err != nil {
@@ -349,26 +430,35 @@ func (e *Engine) QueryBatchContext(ctx context.Context, vecs [][]float64) ([]Res
 		root = obs.StartSpan(fmt.Sprintf("engine-query-batch/%s/%d", e.method.String(), len(vecs)))
 	}
 	start := time.Now()
-	problems := make([]fermat.BatchProblem, len(vecs))
+	flat, arena, release := e.claimQueryState(st)
+	defer release()
+	arena.begin(len(vecs) * flat.arenaDemand())
+	problems := make([]fermat.FlatProblem, len(vecs))
 	for vi, tw := range vecs {
-		groups, offsets := st.problemFor(tw)
-		problems[vi] = fermat.BatchProblem{Groups: groups, Offsets: offsets, PairDist: st.flat.pairDist}
+		problems[vi] = flat.problemFor(tw, arena)
 	}
-	batches, err := fermat.CostBoundMultiBatchCtx(ctx, problems, e.in.options(), e.in.Workers)
+	batches, err := fermat.CostBoundMultiBatchFlatCtx(ctx, problems, e.in.options(), e.in.Workers)
 	if err != nil {
 		return nil, err
 	}
 	elapsed := time.Since(start)
+	// The vectors were solved together over one pool, so wall-clock time is
+	// only attributable to the batch: report it in BatchElapsed on every
+	// item, and give each item its amortized share as the per-item phase
+	// time, so summing per-item times over the batch yields the batch cost —
+	// not len(vecs) times it.
+	share := elapsed / time.Duration(len(vecs))
 	out := make([]Result, len(vecs))
 	for vi, b := range batches {
 		out[vi] = Result{Method: e.method, Loc: b.Loc, Cost: b.Cost}
 		st2 := &out[vi].Stats
-		st2.Groups = len(problems[vi].Groups)
+		st2.Groups = flat.groups.Len()
 		st2.OVRs = st.movd.Len()
 		st2.PointsManaged = st.movd.PointsManaged()
 		st2.Fermat = b.Stats
-		st2.OptimizeTime = elapsed
-		st2.TotalTime = elapsed
+		st2.OptimizeTime = share
+		st2.TotalTime = share
+		st2.BatchElapsed = elapsed
 	}
 	if root != nil {
 		root.SetAttr("vectors", len(vecs))

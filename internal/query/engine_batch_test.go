@@ -103,8 +103,10 @@ func TestQueryBatchValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out, err := eng.QueryBatch(nil); err != nil || out != nil {
-		t.Fatalf("empty batch: got (%v, %v)", out, err)
+	// An empty batch answers with an empty, non-nil slice: JSON encoders
+	// downstream must see [], not null.
+	if out, err := eng.QueryBatch(nil); err != nil || out == nil || len(out) != 0 {
+		t.Fatalf("empty batch: got (%v, %v), want ([], nil)", out, err)
 	}
 	if _, err := eng.QueryBatch([][]float64{{1, 2}, {1}}); err == nil {
 		t.Fatal("short vector accepted")

@@ -85,6 +85,7 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		flat:    snap.Input.buildFlat(combos),
 	})
 	e.dyn = make([]*typeDynamic, len(snap.Input.Sets))
+	e.initReplicas()
 	return e, nil
 }
 

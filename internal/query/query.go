@@ -128,6 +128,13 @@ type Input struct {
 	// bypassing the cache entirely (used by construction benchmarks and
 	// callers that mutate object sets in place between solves).
 	DisableDiagramCache bool
+	// Replicas is the number of per-core read replicas an Engine keeps of its
+	// flat query state (see engReplica): concurrent Query/QueryBatch calls
+	// each claim a private replica, so readers on different cores never
+	// stream the same cache-hot arrays. 0 (the default) disables replication
+	// — queries read the shared snapshot, which is always correct. Only
+	// engines use this; one-shot Solve calls ignore it.
+	Replicas int
 	// Trace records a span tree over the solve — one span per Fig-3 module,
 	// one per pairwise ⊕ (with per-strip children under the parallel
 	// engine), one per Fermat-Weber batch — exported on Result.Stats.Trace.
@@ -151,6 +158,11 @@ type Stats struct {
 	OverlapTime  time.Duration // MOVD Overlapper
 	OptimizeTime time.Duration // Optimizer
 	TotalTime    time.Duration
+	// BatchElapsed is the wall clock of the whole Engine.QueryBatch call this
+	// result came from (zero outside batched queries). Batched vectors are
+	// solved together over one worker pool, so per-item phase times report
+	// each item's amortized share of BatchElapsed, not its own wall clock.
+	BatchElapsed time.Duration
 
 	OVRs          int // |MOVD| after the final overlap (0 for SSC)
 	Groups        int // Fermat-Weber problems examined
