@@ -13,8 +13,10 @@ import (
 	"molq/internal/core"
 	"molq/internal/dataset"
 	"molq/internal/geom"
+	"molq/internal/mwvd"
 	"molq/internal/query"
 	"molq/internal/voronoi"
+	"molq/internal/weighted"
 )
 
 // This file implements -benchout: a fixed microbenchmark suite over the
@@ -302,7 +304,98 @@ func benchSuite(quick bool) ([]benchSpec, error) {
 			},
 		},
 	)
+	// Weighted-prepare pair: the exact O(n²) Apollonius pair construction
+	// against the near-linear approximate MWVD refinement over the same
+	// weighted site set. Both produce conservative MBRB boxes; the committed
+	// baseline gates the approximate path's ns/op like any other benchmark
+	// and keeps the exact path honest about its quadratic cost.
+	weightedPairN := 10000
+	weightedSweep := []int{12500, 50000}
+	if quick {
+		weightedPairN = 1500
+		weightedSweep = []int{4000}
+	}
+	wsites := weightedBenchSites(weightedPairN)
+	specs = append(specs,
+		benchSpec{
+			name: fmt.Sprintf("BenchmarkWeightedPrepare/exact/n=%d", weightedPairN),
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					weighted.DominanceMBRs(wsites, dataset.DefaultBounds)
+				}
+			},
+		},
+		benchSpec{
+			name: fmt.Sprintf("BenchmarkWeightedPrepare/approx/n=%d", weightedPairN),
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				var cells int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_, st, err := mwvd.ApproxDominanceMBRs(wsites, dataset.DefaultBounds, mwvd.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cells = st.Cells
+				}
+				b.ReportMetric(float64(cells), "cells")
+			},
+		},
+	)
+	// Weighted n-sweep through the full MBRB pipeline (automatic routing
+	// picks the approximate construction at these sizes). A single weighted
+	// type isolates the prepare cost: vd-ns/op is the weighted diagram
+	// build, overlap is trivial, optimize is linear. Consecutive sweep sizes
+	// in the committed baseline demonstrate near-linear growth.
+	for _, n := range weightedSweep {
+		in := weightedBenchInput(n)
+		in.DisableDiagramCache = true
+		specs = append(specs, benchSpec{
+			name: fmt.Sprintf("BenchmarkWeightedSolve/MBRB/n=%d", n),
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				var phases phaseTotals
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := query.Solve(in, query.MBRB)
+					if err != nil {
+						b.Fatal(err)
+					}
+					phases.add(res.Stats)
+				}
+				phases.report(b)
+			},
+		})
+	}
 	return specs, nil
+}
+
+// weightedBenchSites draws one non-uniformly weighted site set for the
+// weighted-prepare pair.
+func weightedBenchSites(n int) []weighted.Site {
+	pts := dataset.Generate(dataset.Config{Seed: 19}, dataset.STM, n)
+	r := rand.New(rand.NewSource(43))
+	sites := make([]weighted.Site, n)
+	for i, p := range pts {
+		sites[i] = weighted.Site{P: p, W: 0.5 + 2*r.Float64()}
+	}
+	return sites
+}
+
+// weightedBenchInput is the same workload as weightedBenchSites shaped as a
+// one-type pipeline input.
+func weightedBenchInput(n int) query.Input {
+	pts := dataset.Generate(dataset.Config{Seed: 19}, dataset.STM, n)
+	r := rand.New(rand.NewSource(43))
+	set := make([]core.Object, n)
+	for i, p := range pts {
+		set[i] = core.Object{
+			ID: i, Type: 0, Loc: p,
+			TypeWeight: 1, ObjWeight: 0.5 + 2*r.Float64(),
+		}
+	}
+	return query.Input{Sets: [][]core.Object{set}, Bounds: dataset.DefaultBounds, Epsilon: 1e-3}
 }
 
 // phaseTotals accumulates per-phase solve durations across benchmark

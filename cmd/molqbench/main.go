@@ -1,5 +1,5 @@
 // Command molqbench regenerates the paper's evaluation figures (Figs 8–14)
-// and the ablation extensions (ext1–ext6) as aligned text tables.
+// and the ablation extensions (ext1–ext7) as aligned text tables.
 //
 // Usage:
 //

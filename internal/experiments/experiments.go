@@ -44,7 +44,7 @@ type Figure struct {
 }
 
 // All returns the paper-figure registry in paper order, followed by the
-// ablation extensions (ext1–ext6).
+// ablation extensions (ext1–ext7).
 func All() []Figure {
 	figs := []Figure{
 		{ID: "fig8", Title: "MOLQ with three object types (SSC vs RRB vs MBRB)", Run: RunFig8},

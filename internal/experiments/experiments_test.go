@@ -31,16 +31,16 @@ func runQuick(t *testing.T, id string) []string {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(All()) != 13 { // 7 paper figures + 6 ablations
-		t.Fatalf("expected 13 experiments, got %d", len(All()))
+	if len(All()) != 14 { // 7 paper figures + 7 ablations
+		t.Fatalf("expected 14 experiments, got %d", len(All()))
 	}
 	if _, ok := ByID("nope"); ok {
 		t.Fatal("unknown id resolved")
 	}
-	if len(IDs()) != 13 {
+	if len(IDs()) != 14 {
 		t.Fatal("IDs() incomplete")
 	}
-	for _, id := range []string{"fig8", "fig14", "ext1", "ext4", "ext6"} {
+	for _, id := range []string{"fig8", "fig14", "ext1", "ext4", "ext7"} {
 		if _, ok := ByID(id); !ok {
 			t.Fatalf("%s missing from registry", id)
 		}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"molq/internal/dataset"
+	"molq/internal/mwvd"
+	"molq/internal/query"
+	"molq/internal/stats"
+	"molq/internal/weighted"
+)
+
+// RunExt7 studies the approximate MWVD construction against the exact
+// Apollonius pair path (Sec 2.2.2 / Fig 5 realization).
+//
+// Part A sweeps n and times both constructions of the conservative per-site
+// boxes: the exact path is Θ(n²) pairs, the approximate refinement is
+// near-linear at fixed ε, so the speedup column should cross 10× well before
+// n = 50k and keep widening.
+//
+// Part B fixes a moderate n (where the exact path is still affordable) and
+// sweeps ε through the full MBRB pipeline: because both constructions are
+// conservative, the reported optimum must agree — the cost delta column is a
+// correctness check, not a tradeoff — while the Fermat-Weber group count
+// measures the candidate-set inflation ε admits and the prepare column the
+// time it buys.
+func RunExt7(o Options) ([]*stats.Table, error) {
+	// Part A: construction time, exact vs approximate, default ε.
+	sizes := sizesFor([]int{5000, 12500, 25000, 50000}, []int{500, 1500}, o)
+	tbA := stats.NewTable(
+		fmt.Sprintf("Ext 7a: weighted dominance boxes, exact O(n²) vs approximate MWVD (ε=%g)", mwvd.DefaultEpsilon),
+		"sites", "exact", "approx", "speedup", "cells", "scans/site")
+	for _, n := range sizes {
+		sites := weightedSites(dataset.STM, n, o.Seed+int64(n))
+		exStart := time.Now()
+		weighted.DominanceMBRs(sites, searchBounds)
+		exact := time.Since(exStart)
+		apStart := time.Now()
+		_, st, err := mwvd.ApproxDominanceMBRs(sites, searchBounds, mwvd.Options{})
+		if err != nil {
+			return nil, err
+		}
+		approx := time.Since(apStart)
+		tbA.AddRow(
+			fmt.Sprintf("%d", n),
+			stats.Dur(exact),
+			stats.Dur(approx),
+			fmt.Sprintf("%.1fx", float64(exact)/float64(approx)),
+			fmt.Sprintf("%d", st.Cells),
+			fmt.Sprintf("%.0f", float64(st.SitesScanned)/float64(n)),
+		)
+		o.logf("ext7a: n=%d done (exact %v, approx %v)", n, exact, approx)
+	}
+
+	// Part B: answer quality and candidate inflation across ε, full MBRB.
+	n := 2000
+	if o.Quick {
+		n = 300
+	}
+	in := weightedMolqInput([]string{dataset.STM, dataset.CH}, n, o.Seed+3)
+	in.DisableDiagramCache = true
+	in.WeightedEpsilon = -1 // exact
+	exRes, err := query.Solve(in, query.MBRB)
+	if err != nil {
+		return nil, err
+	}
+	tbB := stats.NewTable(
+		fmt.Sprintf("Ext 7b: MBRB answer quality under approximate weighted diagrams (2 types, %d objects/type)", n),
+		"weighted ε", "prepare", "groups", "group inflation", "cost delta")
+	tbB.AddRow("exact", stats.Dur(exRes.Stats.VDTime), fmt.Sprintf("%d", exRes.Stats.Groups), "1.00x", "0")
+	for _, eps := range []float64{0.05, mwvd.DefaultEpsilon, 0.5} {
+		in.WeightedEpsilon = eps
+		res, err := query.Solve(in, query.MBRB)
+		if err != nil {
+			return nil, err
+		}
+		delta := math.Abs(res.Cost-exRes.Cost) / exRes.Cost
+		tbB.AddRow(
+			fmt.Sprintf("%g", eps),
+			stats.Dur(res.Stats.VDTime),
+			fmt.Sprintf("%d", res.Stats.Groups),
+			fmt.Sprintf("%.2fx", float64(res.Stats.Groups)/float64(exRes.Stats.Groups)),
+			fmt.Sprintf("%.2e", delta),
+		)
+		o.logf("ext7b: eps=%g done (cost delta %.2e)", eps, delta)
+	}
+	return []*stats.Table{tbA, tbB}, nil
+}
+
+// weightedSites draws n sites of the named distribution with non-uniform
+// multiplicative weights in [0.5, 2.5].
+func weightedSites(name string, n int, seed int64) []weighted.Site {
+	cfg := dataset.Config{Seed: seed, Bounds: searchBounds}
+	pts := dataset.Generate(cfg, name, n)
+	r := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
+	sites := make([]weighted.Site, n)
+	for i, p := range pts {
+		sites[i] = weighted.Site{P: p, W: 0.5 + 2*r.Float64()}
+	}
+	return sites
+}
+
+// weightedMolqInput is molqInput with non-uniform object weights, so the
+// pipeline routes through the weighted dominance constructions.
+func weightedMolqInput(types []string, n int, seed int64) query.Input {
+	in := molqInput(types, n, seed)
+	r := rand.New(rand.NewSource(seed ^ 0x2545F491))
+	for _, set := range in.Sets {
+		for i := range set {
+			set[i].ObjWeight = 0.5 + 2*r.Float64()
+		}
+	}
+	return in
+}

@@ -85,6 +85,11 @@ type SolveRequest struct {
 	Types  []TypeJSON  `json:"types"`
 	// Epsilon for the iterative solver (default 1e-3).
 	Epsilon float64 `json:"epsilon,omitempty"`
+	// WeightedEpsilon mirrors molq.Options.WeightedEpsilon: 0 picks the
+	// weighted diagram construction automatically (approximate above 2048
+	// objects per weighted type), > 0 forces the approximate construction
+	// with that relative error bound, < 0 forces the exact one.
+	WeightedEpsilon float64 `json:"weighted_epsilon,omitempty"`
 	// Workers and PruneOverlap mirror the library options.
 	Workers      int  `json:"workers,omitempty"`
 	PruneOverlap bool `json:"prune_overlap,omitempty"`
@@ -193,6 +198,9 @@ type EngineRequest struct {
 	Types  []TypeJSON  `json:"types"`
 	// Epsilon default 1e-3.
 	Epsilon float64 `json:"epsilon,omitempty"`
+	// WeightedEpsilon selects the weighted diagram construction; see
+	// SolveRequest.WeightedEpsilon.
+	WeightedEpsilon float64 `json:"weighted_epsilon,omitempty"`
 	// Replicas is the number of per-core read replicas the engine keeps of
 	// its hot query state, so concurrent queries admitted past the gate never
 	// stream the same cache-hot arrays across cores. Omitted or 0 means one
@@ -576,6 +584,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	in.WeightedEpsilon = req.WeightedEpsilon
 	in.Workers = req.Workers
 	in.PruneOverlap = req.PruneOverlap
 	in.Cache = s.cache
@@ -636,6 +645,7 @@ func (s *Server) handleEngineCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	in.WeightedEpsilon = req.WeightedEpsilon
 	in.Cache = s.cache
 	switch {
 	case req.Replicas > 0:

@@ -91,6 +91,54 @@ func TestSolveEndpoint(t *testing.T) {
 	}
 }
 
+// TestWeightedEpsilonOption: weighted_epsilon routes weighted MBRB sets to
+// the approximate diagram without changing the optimum on a small instance
+// (the conservative boxes admit the same winning combination), and both
+// forced modes (-1 exact, >0 approximate) agree.
+func TestWeightedEpsilonOption(t *testing.T) {
+	ts := newTestServer(t)
+	types := []TypeJSON{
+		{Name: "school", Objects: []ObjectJSON{
+			{X: 20, Y: 30, ObjWeight: fw(1.5)}, {X: 80, Y: 40, ObjWeight: fw(0.5)},
+		}},
+		{Name: "market", Objects: []ObjectJSON{
+			{X: 10, Y: 80, ObjWeight: fw(2)}, {X: 60, Y: 20},
+		}},
+	}
+	var costs []float64
+	for _, weps := range []float64{-1, 0.05, 0.5} {
+		req := SolveRequest{
+			Method:          "mbrb",
+			Bounds:          &[4]float64{0, 0, 100, 100},
+			Types:           types,
+			Epsilon:         1e-9,
+			WeightedEpsilon: weps,
+		}
+		resp, body := postJSON(t, ts.URL+"/v1/solve", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("weighted_epsilon=%g: status %d: %s", weps, resp.StatusCode, body)
+		}
+		var out SolveResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		costs = append(costs, out.Cost)
+	}
+	for _, c := range costs[1:] {
+		if math.Abs(c-costs[0]) > 1e-6 {
+			t.Fatalf("approximate diagram changed the optimum: exact %v, approx %v", costs[0], costs[1:])
+		}
+	}
+	// Engine creation accepts the knob too.
+	resp, body := postJSON(t, ts.URL+"/v1/engines", EngineRequest{
+		Name: "weps", Method: "mbrb", Bounds: &[4]float64{0, 0, 100, 100},
+		Types: types, WeightedEpsilon: 0.1,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("engine create: status %d: %s", resp.StatusCode, body)
+	}
+}
+
 func TestSolveValidation(t *testing.T) {
 	ts := newTestServer(t)
 	cases := []SolveRequest{

@@ -1,0 +1,612 @@
+// Package mwvd builds error-bounded approximate multiplicatively (and
+// additively) weighted Voronoi diagrams by adaptive quadtree refinement, in
+// the spirit of the linear-size approximate MWVD construction of
+// arXiv:2112.12350.
+//
+// The exact multiplicatively weighted diagram has curved (Apollonius) cell
+// boundaries and Θ(n²) worst-case complexity, which is why the exact
+// realization in internal/weighted caps weighted workloads at small n. This
+// package trades exactness for near-linear size: the search space is
+// subdivided until, within each cell, every surviving candidate site is a
+// (1+ε)-approximate weighted nearest neighbor of every point of the cell.
+// Cells still ambiguous at the stopping rule are assigned to all surviving
+// candidates, so a site's approximate region is always a superset of its
+// true dominance region. That conservativeness (false positives only) is
+// exactly the contract the MBRB pipeline already tolerates — the per-site
+// bounding boxes of the refined cells feed core.FromRegions unchanged.
+//
+// Refinement of a cell scans only the candidate list inherited from its
+// parent, pruned against an upper bound seeded by a kd-tree nearest-site
+// lookup, so the total work is near-linear in n instead of all-pairs. The
+// root is pre-split into a fixed 4×4 grid of subtrees refined independently
+// (Options.Workers at a time); the decomposition is fixed so the resulting
+// diagram is identical at every worker count.
+package mwvd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"molq/internal/geom"
+	"molq/internal/kdtree"
+	"molq/internal/weighted"
+)
+
+// Site is a weighted Voronoi generator, shared with the exact realization in
+// internal/weighted: position plus positive weight (multiplicative w multiplies
+// distance and smaller weights dominate larger regions; additive w adds to it).
+type Site = weighted.Site
+
+// Metric selects the weighted distance ς(d, w) a diagram approximates.
+type Metric int
+
+const (
+	// Multiplicative is ς(d, w) = d·w (Apollonius boundaries).
+	Multiplicative Metric = iota
+	// Additive is ς(d, w) = d + w (hyperbolic boundaries).
+	Additive
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case Multiplicative:
+		return "multiplicative"
+	case Additive:
+		return "additive"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// DefaultEpsilon is the relative error bound used when Options.Epsilon is 0.
+// Refinement cost scales as ~1/ε (boundary cells shrink until the bound gap
+// closes to the relative factor), so the default trades: loose enough that
+// bisector-adjacent refinement stays shallow and a 50k-site build beats the
+// exact quadratic path by over an order of magnitude, tight enough that the
+// measured candidate-set inflation stays under ~1.4 assignments per cell.
+const DefaultEpsilon = 0.15
+
+// DefaultMaxDepth caps refinement below the top-level 4×4 grid. 24 halvings
+// resolve a cell to ~6e-8 of the search space per axis — far below any
+// meaningful site separation — so the cap only stops degenerate ties
+// (co-located sites) from recursing forever.
+const DefaultMaxDepth = 24
+
+// Options configure a Build.
+type Options struct {
+	// Epsilon is the relative separation ε at which an ambiguous cell stops
+	// refining: once every surviving candidate's weighted distance to every
+	// point of the cell is within a (1+ε) factor of the best possible, the
+	// cell is emitted with all survivors. 0 means DefaultEpsilon. Smaller ε
+	// refines further (more cells, tighter regions); conservativeness holds
+	// at every ε.
+	Epsilon float64
+	// MaxDepth caps refinement depth below the top-level grid (0 means
+	// DefaultMaxDepth).
+	MaxDepth int
+	// Workers refines the 16 top-level subtrees with up to this many
+	// goroutines (0 or 1: sequential). The diagram is identical at every
+	// worker count.
+	Workers int
+	// Metric selects the weighted distance family (default Multiplicative).
+	Metric Metric
+}
+
+// Stats reports the work and shape of one Build.
+type Stats struct {
+	// Cells is the number of leaf cells in the refined quadtree.
+	Cells int
+	// Assignments is the total number of site↦cell assignments (≥ Cells;
+	// the excess over Cells measures ε-ambiguity).
+	Assignments int
+	// AmbiguousCells counts leaves holding more than one candidate site.
+	AmbiguousCells int
+	// MaxDepth is the deepest refinement level reached (root grid = 2).
+	MaxDepth int
+	// SitesScanned is the total number of candidate bound evaluations — the
+	// metric that stays near-linear in n where the exact path is n².
+	SitesScanned int
+}
+
+// Validation errors.
+var (
+	ErrNoSites   = errors.New("mwvd: no sites")
+	ErrBadWeight = errors.New("mwvd: site weights must be positive")
+	ErrBadBounds = errors.New("mwvd: empty bounds")
+)
+
+// gridLevel is the fixed pre-split depth of the top-level task grid: 2 levels
+// of quadtree splitting = 16 independent subtrees. Fixed (rather than derived
+// from Workers) so the refined diagram never depends on parallelism.
+const gridLevel = 2
+
+const gridDim = 1 << gridLevel // 4×4 tasks
+
+// qnode is one quadtree node in structure-of-arrays-friendly compact form.
+// Internal nodes hold the index of their first child (the four children are
+// consecutive); leaves hold kids == -1 and their assigned-site span in the
+// subtree's site slab.
+type qnode struct {
+	kids     int32
+	sitesOff int32
+	sitesLen int32
+}
+
+// subtree is one refined top-level grid cell: its node arena plus the flat
+// slab its leaves' site lists are carved from (the slab-arena idiom of
+// internal/core/soa.go — leaves alias spans of one grow-only array instead of
+// owning per-leaf allocations).
+type subtree struct {
+	rect  geom.Rect
+	nodes []qnode
+	slab  []int32
+}
+
+// Diagram is an immutable approximate weighted Voronoi diagram. Build once,
+// query concurrently.
+type Diagram struct {
+	bounds geom.Rect
+	sites  []Site
+	metric Metric
+	eps    float64
+	trees  [gridDim * gridDim]subtree
+	mbrs   []geom.Rect
+	stats  Stats
+}
+
+// Bounds returns the diagram's search space.
+func (d *Diagram) Bounds() geom.Rect { return d.bounds }
+
+// Epsilon returns the relative error bound the diagram was refined to.
+func (d *Diagram) Epsilon() float64 { return d.eps }
+
+// Stats returns build statistics.
+func (d *Diagram) Stats() Stats { return d.stats }
+
+// MBRs returns, for every site, the bounding box of the cells assigned to it
+// — a conservative superset of the site's true weighted dominance region
+// intersected with the bounds (EmptyRect for sites dominated everywhere).
+// The slice is shared; callers must not mutate it.
+func (d *Diagram) MBRs() []geom.Rect { return d.mbrs }
+
+// Locate returns the candidate site indices of the leaf cell containing q
+// (sites whose weighted distance is within (1+ε) of optimal everywhere in
+// that cell — always including q's true weighted nearest site), or nil for q
+// outside the bounds. The returned slice aliases the diagram; do not mutate.
+func (d *Diagram) Locate(q geom.Point) []int32 {
+	if !d.bounds.Contains(q) {
+		return nil
+	}
+	// Descend the two fixed grid levels with the same midpoint arithmetic
+	// refinement used, so boundary points land in the same task either way.
+	rect := d.bounds
+	ti := 0
+	for l := 0; l < gridLevel; l++ {
+		k, sub := childAt(rect, q)
+		ti = ti*4 + k
+		rect = sub
+	}
+	t := &d.trees[ti]
+	ni := int32(0)
+	for {
+		n := &t.nodes[ni]
+		if n.kids < 0 {
+			return t.slab[n.sitesOff : n.sitesOff+n.sitesLen]
+		}
+		k, sub := childAt(rect, q)
+		ni = n.kids + int32(k)
+		rect = sub
+	}
+}
+
+// childAt returns the quadrant index of q within rect and the quadrant's
+// rectangle, using the same midpoint arithmetic as refinement (quadrant k:
+// bit 0 = east, bit 1 = north; points on a midline go east/north).
+func childAt(rect geom.Rect, q geom.Point) (int, geom.Rect) {
+	cx := (rect.Min.X + rect.Max.X) / 2
+	cy := (rect.Min.Y + rect.Max.Y) / 2
+	k := 0
+	sub := rect
+	if q.X >= cx {
+		k |= 1
+		sub.Min.X = cx
+	} else {
+		sub.Max.X = cx
+	}
+	if q.Y >= cy {
+		k |= 2
+		sub.Min.Y = cy
+	} else {
+		sub.Max.Y = cy
+	}
+	return k, sub
+}
+
+// quadrant returns child k of rect (same convention as childAt).
+func quadrant(rect geom.Rect, k int) geom.Rect {
+	cx := (rect.Min.X + rect.Max.X) / 2
+	cy := (rect.Min.Y + rect.Max.Y) / 2
+	sub := rect
+	if k&1 != 0 {
+		sub.Min.X = cx
+	} else {
+		sub.Max.X = cx
+	}
+	if k&2 != 0 {
+		sub.Min.Y = cy
+	} else {
+		sub.Max.Y = cy
+	}
+	return sub
+}
+
+// minDist2 returns the squared Euclidean distance from p to the closest point
+// of rect (0 when p is inside).
+func minDist2(rect geom.Rect, p geom.Point) float64 {
+	dx := math.Max(0, math.Max(rect.Min.X-p.X, p.X-rect.Max.X))
+	dy := math.Max(0, math.Max(rect.Min.Y-p.Y, p.Y-rect.Max.Y))
+	return dx*dx + dy*dy
+}
+
+// rectInside reports whether inner lies fully within outer.
+func rectInside(inner, outer geom.Rect) bool {
+	return inner.Min.X >= outer.Min.X && inner.Min.Y >= outer.Min.Y &&
+		inner.Max.X <= outer.Max.X && inner.Max.Y <= outer.Max.Y
+}
+
+// maxDist2 returns the squared distance from p to the farthest point of rect
+// (always a corner).
+func maxDist2(rect geom.Rect, p geom.Point) float64 {
+	dx := math.Max(rect.Max.X-p.X, p.X-rect.Min.X)
+	dy := math.Max(rect.Max.Y-p.Y, p.Y-rect.Min.Y)
+	return dx*dx + dy*dy
+}
+
+// Build refines the approximate weighted Voronoi diagram of sites over
+// bounds, materializing the leaf tree so Locate works.
+func Build(sites []Site, bounds geom.Rect, opts Options) (*Diagram, error) {
+	return build(sites, bounds, opts, true)
+}
+
+// ApproxDominanceMBRs is the pipeline entry point: it runs the same
+// refinement as Build but streams the leaves straight into the per-site
+// conservative boxes without materializing the quadtree (the drop-in
+// replacement for weighted.DominanceMBRs / AdditiveDominanceMBRs, which only
+// needs the boxes). Skipping the tree matters: at pipeline scale the leaf
+// arena is tens of millions of nodes, and its allocation — not the bound
+// arithmetic — would dominate the build.
+func ApproxDominanceMBRs(sites []Site, bounds geom.Rect, opts Options) ([]geom.Rect, Stats, error) {
+	d, err := build(sites, bounds, opts, false)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return d.mbrs, d.stats, nil
+}
+
+func build(sites []Site, bounds geom.Rect, opts Options, emitTree bool) (*Diagram, error) {
+	if len(sites) == 0 {
+		return nil, ErrNoSites
+	}
+	if bounds.IsEmpty() {
+		return nil, fmt.Errorf("%w: %v", ErrBadBounds, bounds)
+	}
+	pts := make([]geom.Point, len(sites))
+	for i, s := range sites {
+		if s.W <= 0 || math.IsNaN(s.W) {
+			return nil, fmt.Errorf("%w (site %d: %g)", ErrBadWeight, i, s.W)
+		}
+		pts[i] = s.P
+	}
+	eps := opts.Epsilon
+	if eps <= 0 {
+		eps = DefaultEpsilon
+	}
+	maxDepth := opts.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	d := &Diagram{
+		bounds: bounds,
+		sites:  sites,
+		metric: opts.Metric,
+		eps:    eps,
+		mbrs:   make([]geom.Rect, len(sites)),
+	}
+	for i := range d.mbrs {
+		d.mbrs[i] = geom.EmptyRect()
+	}
+	// Hot-loop site state as flat structure-of-arrays slices (the soa.go
+	// idiom): coordinates plus the per-site factor in comparison space —
+	// w² for the multiplicative metric, where all bound comparisons happen
+	// on squared distances so the refinement scan never takes a square
+	// root, and plain w for the additive one, which needs real distances.
+	px := make([]float64, len(sites))
+	py := make([]float64, len(sites))
+	wf := make([]float64, len(sites))
+	for i, s := range sites {
+		px[i], py[i] = s.P.X, s.P.Y
+		if opts.Metric == Additive {
+			wf[i] = s.W
+		} else {
+			wf[i] = s.W * s.W
+		}
+	}
+	// Task rects are generated by the same midpoint splitting Locate
+	// replays, so grid boundaries agree bit-for-bit.
+	for q1 := 0; q1 < 4; q1++ {
+		r1 := quadrant(bounds, q1)
+		for q2 := 0; q2 < 4; q2++ {
+			d.trees[q1*4+q2].rect = quadrant(r1, q2)
+		}
+	}
+	kd := kdtree.Build(pts)
+
+	newW := func() *refiner {
+		w := &refiner{
+			d: d, kd: kd, maxDepth: maxDepth, emitTree: emitTree,
+			px: px, py: py, wf: wf, additive: opts.Metric == Additive,
+		}
+		if w.additive {
+			w.epsCmp = 1 + eps
+		} else {
+			w.epsCmp = (1 + eps) * (1 + eps)
+		}
+		w.pos = make([]int32, len(sites))
+		for i := range w.pos {
+			w.pos[i] = -1
+		}
+		return w
+	}
+	workers := opts.Workers
+	if workers > gridDim*gridDim {
+		workers = gridDim * gridDim
+	}
+	if workers <= 1 {
+		w := newW()
+		for ti := range d.trees {
+			w.refineTask(&d.trees[ti])
+		}
+		w.merge(d)
+		return d, nil
+	}
+	var next atomic.Int32
+	results := make([]*refiner, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w := newW()
+			results[wi] = w
+			for {
+				ti := int(next.Add(1)) - 1
+				if ti >= len(d.trees) {
+					return
+				}
+				w.refineTask(&d.trees[ti])
+			}
+		}(wi)
+	}
+	wg.Wait()
+	for _, w := range results {
+		w.merge(d)
+	}
+	return d, nil
+}
+
+// siteMBR is one worker-local (site, box) accumulation entry.
+type siteMBR struct {
+	site int32
+	mbr  geom.Rect
+}
+
+// refiner is the single-goroutine state of one worker: grow-only scratch for
+// candidate stacks and bound arrays, the sparse per-site MBR accumulator, and
+// local stats — all merged into the Diagram once, after refinement, so the
+// hot loops never share mutable state across goroutines.
+type refiner struct {
+	d        *Diagram
+	kd       *kdtree.Tree
+	maxDepth int
+	epsCmp   float64 // comparison-space (1+ε): squared for multiplicative
+	emitTree bool
+
+	px, py, wf []float64 // read-only SoA site state, shared across workers
+	additive   bool
+
+	cur   *subtree
+	cands []int32   // stack-allocated candidate lists (watermark discipline)
+	lo    []float64 // per-cell candidate bounds, parallel to the cell's kept span
+	hi    []float64
+
+	pos     []int32 // site -> index into touched, -1 when absent
+	touched []siteMBR
+	stats   Stats
+}
+
+// cmpBounds returns the comparison-space cost bounds of site i against cell
+// rect: the smallest and largest weighted distance any point of the cell can
+// have to the site — squared for the multiplicative metric (ordering and the
+// relative-factor stop rule are preserved under squaring, and the scan skips
+// the square roots), true cost for the additive one.
+func (w *refiner) cmpBounds(rect geom.Rect, i int32) (lo, hi float64) {
+	p := geom.Point{X: w.px[i], Y: w.py[i]}
+	lo2 := minDist2(rect, p)
+	hi2 := maxDist2(rect, p)
+	if w.additive {
+		return math.Sqrt(lo2) + w.wf[i], math.Sqrt(hi2) + w.wf[i]
+	}
+	return lo2 * w.wf[i], hi2 * w.wf[i]
+}
+
+// refineTask refines one top-level grid cell. The initial candidate list is
+// every site, pruned in the first refine pass.
+func (w *refiner) refineTask(t *subtree) {
+	w.cur = t
+	if w.emitTree {
+		t.nodes = append(t.nodes[:0], qnode{})
+	}
+	mark := len(w.cands)
+	for i := range w.d.sites {
+		w.cands = append(w.cands, int32(i))
+	}
+	taskStart := len(w.touched)
+	w.refine(0, t.rect, gridLevel, w.cands[mark:])
+	w.cands = w.cands[:mark]
+	// Reset the sparse accumulator's index for this task's entries, so the
+	// next task starts fresh while the accumulated boxes stay queued for
+	// merge (a site touched by several tasks simply gets several entries).
+	for i := taskStart; i < len(w.touched); i++ {
+		w.pos[w.touched[i].site] = -1
+	}
+}
+
+// refine resolves node ni covering rect at the given depth against the
+// parent's candidate list, splitting until a single site dominates, the
+// (1+ε) separation holds, or the depth cap is reached.
+func (w *refiner) refine(ni int32, rect geom.Rect, depth int, parentCands []int32) {
+	// Seed the pruning bound from the (unweighted) nearest site to the cell
+	// center: any single site's upper bound validly prunes candidates whose
+	// lower bound exceeds it, and the kd-tree finds a good one in O(log n)
+	// instead of waiting for the scan to stumble on it.
+	minUpper := math.Inf(1)
+	if len(parentCands) > 8 {
+		if s, _ := w.kd.Nearest(rect.Center()); s >= 0 {
+			_, minUpper = w.cmpBounds(rect, int32(s))
+		}
+	}
+	// One pass: keep candidates whose lower bound does not exceed the
+	// running upper bound. The running bound only decreases, so a drop
+	// against it is also a drop against the final bound; keeping too much is
+	// corrected by the compaction below.
+	mark := len(w.cands)
+	w.lo = w.lo[:0]
+	w.hi = w.hi[:0]
+	w.stats.SitesScanned += len(parentCands)
+	for _, i := range parentCands {
+		lo, hi := w.cmpBounds(rect, i)
+		if lo > minUpper {
+			continue
+		}
+		w.cands = append(w.cands, i)
+		w.lo = append(w.lo, lo)
+		w.hi = append(w.hi, hi)
+		if hi < minUpper {
+			minUpper = hi
+		}
+	}
+	// Compact against the final bound; track the survivors' extremes.
+	kept := w.cands[mark:]
+	n := 0
+	minLo, maxHi := math.Inf(1), 0.0
+	for k, i := range kept {
+		if w.lo[k] > minUpper {
+			continue
+		}
+		kept[n] = i
+		if w.lo[k] < minLo {
+			minLo = w.lo[k]
+		}
+		if w.hi[k] > maxHi {
+			maxHi = w.hi[k]
+		}
+		n++
+	}
+	kept = kept[:n]
+	w.cands = w.cands[:mark+n]
+
+	// Box-coverage cutoff (MBR-only mode): when the cell already lies inside
+	// every survivor's accumulated box, no leaf below this node can grow any
+	// box — subcell assignments are subsets of the survivors and their area
+	// subsets of rect — so the whole subtree is contribution-free and the
+	// output is bit-identical to full refinement. This is what makes the
+	// pipeline path scale: only cells near a region's bounding-box edge
+	// refine deeply, interior boundary detail is skipped. The per-task
+	// accumulator is deterministic, so the cutoff preserves worker-count
+	// invariance. Build keeps full refinement: Locate's (1+ε) guarantee
+	// needs the real leaves.
+	if !w.emitTree && n > 1 {
+		covered := true
+		for _, i := range kept {
+			p := w.pos[i]
+			if p < 0 || !rectInside(rect, w.touched[p].mbr) {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			w.stats.Cells++
+			w.stats.Assignments += n
+			w.stats.AmbiguousCells++
+			if depth > w.stats.MaxDepth {
+				w.stats.MaxDepth = depth
+			}
+			w.cands = w.cands[:mark]
+			return
+		}
+	}
+
+	// Leaf when resolved (one candidate), ε-separated (every survivor is a
+	// (1+ε)-approximate weighted nearest neighbor everywhere in the cell:
+	// cost_j(x) ≤ maxHi ≤ (1+ε)·minLo ≤ (1+ε)·min_i cost_i(x)), or capped.
+	if n <= 1 || maxHi <= w.epsCmp*minLo || depth >= w.maxDepth {
+		if w.emitTree {
+			t := w.cur
+			off := int32(len(t.slab))
+			t.slab = append(t.slab, kept...)
+			t.nodes[ni] = qnode{kids: -1, sitesOff: off, sitesLen: int32(n)}
+		}
+		w.stats.Cells++
+		w.stats.Assignments += n
+		if n > 1 {
+			w.stats.AmbiguousCells++
+		}
+		if depth > w.stats.MaxDepth {
+			w.stats.MaxDepth = depth
+		}
+		for _, i := range kept {
+			if p := w.pos[i]; p >= 0 {
+				w.touched[p].mbr = w.touched[p].mbr.Union(rect)
+			} else {
+				w.pos[i] = int32(len(w.touched))
+				w.touched = append(w.touched, siteMBR{site: i, mbr: rect})
+			}
+		}
+		w.cands = w.cands[:mark]
+		return
+	}
+
+	var kids int32
+	if w.emitTree {
+		t := w.cur
+		kids = int32(len(t.nodes))
+		t.nodes = append(t.nodes, qnode{}, qnode{}, qnode{}, qnode{})
+		t.nodes[ni].kids = kids
+	}
+	for k := 0; k < 4; k++ {
+		// kept stays valid even if deeper appends regrow w.cands: the slice
+		// header pins the old backing array.
+		w.refine(kids+int32(k), quadrant(rect, k), depth+1, kept)
+	}
+	w.cands = w.cands[:mark]
+}
+
+// merge folds the worker's accumulated per-site boxes and stats into the
+// diagram (single-goroutine, after all refinement is done).
+func (w *refiner) merge(d *Diagram) {
+	for i := range w.touched {
+		e := &w.touched[i]
+		d.mbrs[e.site] = d.mbrs[e.site].Union(e.mbr)
+	}
+	d.stats.Cells += w.stats.Cells
+	d.stats.Assignments += w.stats.Assignments
+	d.stats.AmbiguousCells += w.stats.AmbiguousCells
+	d.stats.SitesScanned += w.stats.SitesScanned
+	if w.stats.MaxDepth > d.stats.MaxDepth {
+		d.stats.MaxDepth = w.stats.MaxDepth
+	}
+}

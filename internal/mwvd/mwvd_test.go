@@ -1,0 +1,327 @@
+package mwvd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"molq/internal/geom"
+	"molq/internal/weighted"
+)
+
+func testBounds() geom.Rect {
+	return geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+}
+
+// randomSites draws n sites with clustered positions and weights in
+// [0.5, 2.5], including occasional near-ties and exact duplicates of weight.
+func randomSites(r *rand.Rand, n int, bounds geom.Rect) []Site {
+	sites := make([]Site, n)
+	for i := range sites {
+		p := geom.Pt(
+			bounds.Min.X+r.Float64()*bounds.Width(),
+			bounds.Min.Y+r.Float64()*bounds.Height(),
+		)
+		w := 0.5 + 2*r.Float64()
+		if i > 0 && r.Intn(8) == 0 {
+			w = sites[i-1].W // exact weight tie
+		}
+		sites[i] = Site{P: p, W: w}
+	}
+	return sites
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, testBounds(), Options{}); err == nil {
+		t.Fatal("expected error for no sites")
+	}
+	if _, err := Build([]Site{{P: geom.Pt(1, 1), W: 0}}, testBounds(), Options{}); err == nil {
+		t.Fatal("expected error for zero weight")
+	}
+	if _, err := Build([]Site{{P: geom.Pt(1, 1), W: 1}}, geom.EmptyRect(), Options{}); err == nil {
+		t.Fatal("expected error for empty bounds")
+	}
+}
+
+func TestSingleSiteCoversBounds(t *testing.T) {
+	b := testBounds()
+	d, err := Build([]Site{{P: geom.Pt(30, 70), W: 2}}, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.MBRs()[0]; got != b {
+		t.Fatalf("single-site MBR = %v, want full bounds %v", got, b)
+	}
+	if st := d.Stats(); st.Cells != 16 || st.Assignments != 16 || st.AmbiguousCells != 0 {
+		t.Fatalf("unexpected stats for single site: %+v", st)
+	}
+}
+
+// TestUniformWeightsMatchBisectors checks the approximation against the
+// analytically known uniform-weight case: two equal-weight sites split the
+// space at their perpendicular bisector, so each approximate box must cover
+// its halfplane side and exceed the bisector by at most the ε slack.
+func TestUniformWeightsMatchBisectors(t *testing.T) {
+	b := testBounds()
+	sites := []Site{{P: geom.Pt(25, 50), W: 1}, {P: geom.Pt(75, 50), W: 1}}
+	d, err := Build(sites, b, Options{Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.MBRs()
+	// Site 0 owns x ≤ 50: its box must reach the bisector but not go far past.
+	if m[0].Min.X > 0 || m[0].Max.X < 50 {
+		t.Fatalf("site 0 box %v does not cover its halfplane", m[0])
+	}
+	if m[1].Max.X < 100 || m[1].Min.X > 50 {
+		t.Fatalf("site 1 box %v does not cover its halfplane", m[1])
+	}
+	// ε=0.01 on a 100-wide box: the overshoot past the bisector should be a
+	// few cell widths, not a quarter of the space.
+	if m[0].Max.X > 65 || m[1].Min.X < 35 {
+		t.Fatalf("boxes overshoot the bisector too far: %v / %v", m[0], m[1])
+	}
+}
+
+// TestDominatedSiteVanishes: a heavy (low-preference) site co-located region
+// fully dominated by a light site everywhere must get an empty box.
+func TestDominatedSiteVanishes(t *testing.T) {
+	b := testBounds()
+	// Site 1 sits next to site 0 but with a weight so much larger that
+	// w₀·d₀ < w₁·d₁ everywhere outside a tiny disk that site 0's proximity
+	// still wins.
+	sites := []Site{
+		{P: geom.Pt(50, 50), W: 1},
+		{P: geom.Pt(50.01, 50), W: 1000},
+	}
+	d, err := Build(sites, b, Options{Epsilon: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.MBRs()
+	if m[0] != b {
+		t.Fatalf("dominating site box = %v, want full bounds", m[0])
+	}
+	// Site 1 wins only within ~d/999 of itself; its conservative box must be
+	// tiny, not the whole space.
+	if m[1].Width() > 1 || m[1].Height() > 1 {
+		t.Fatalf("dominated site box %v should be tiny", m[1])
+	}
+	if !m[1].Contains(sites[1].P) {
+		t.Fatalf("dominated site box %v must still contain its own site", m[1])
+	}
+}
+
+// TestWorkerCountInvariance: the fixed 16-subtree decomposition makes the
+// diagram identical at every worker count — MBRs, stats, and leaf structure.
+func TestWorkerCountInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	b := testBounds()
+	sites := randomSites(r, 300, b)
+	seq, err := Build(sites, b, Options{Epsilon: 0.1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16, 64} {
+		par, err := Build(sites, b, Options{Epsilon: 0.1, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Stats() != seq.Stats() {
+			t.Fatalf("workers=%d stats %+v != sequential %+v", workers, par.Stats(), seq.Stats())
+		}
+		for i := range sites {
+			if par.MBRs()[i] != seq.MBRs()[i] {
+				t.Fatalf("workers=%d site %d MBR %v != sequential %v",
+					workers, i, par.MBRs()[i], seq.MBRs()[i])
+			}
+		}
+	}
+	// The streaming path's box-coverage cutoff consults a per-task
+	// accumulator; invariance must hold there too.
+	seqMBRs, seqStats, err := ApproxDominanceMBRs(sites, b, Options{Epsilon: 0.1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 16} {
+		parMBRs, parStats, err := ApproxDominanceMBRs(sites, b, Options{Epsilon: 0.1, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parStats != seqStats {
+			t.Fatalf("streaming workers=%d stats %+v != sequential %+v", workers, parStats, seqStats)
+		}
+		for i := range sites {
+			if parMBRs[i] != seqMBRs[i] {
+				t.Fatalf("streaming workers=%d site %d MBR %v != sequential %v",
+					workers, i, parMBRs[i], seqMBRs[i])
+			}
+		}
+	}
+}
+
+// TestEpsilonControlsRefinement: tightening ε refines further (more cells)
+// and never loosens the boxes' conservativeness.
+func TestEpsilonControlsRefinement(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	b := testBounds()
+	sites := randomSites(r, 200, b)
+	var prevCells int
+	for i, eps := range []float64{0.5, 0.05, 0.005} {
+		d, err := Build(sites, b, Options{Epsilon: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := d.Stats()
+		if i > 0 && st.Cells < prevCells {
+			t.Fatalf("eps=%g produced %d cells, fewer than looser eps (%d)", eps, st.Cells, prevCells)
+		}
+		prevCells = st.Cells
+		if st.Assignments < st.Cells {
+			t.Fatalf("eps=%g: assignments %d < cells %d", eps, st.Assignments, st.Cells)
+		}
+	}
+}
+
+// TestLocateCoversLeaves: Locate must return a non-empty candidate list for
+// every in-bounds point and nil outside.
+func TestLocate(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	b := testBounds()
+	sites := randomSites(r, 100, b)
+	d, err := Build(sites, b, Options{Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Locate(geom.Pt(-1, 50)) != nil {
+		t.Fatal("Locate outside bounds must return nil")
+	}
+	probes := []geom.Point{
+		b.Min, b.Max, b.Center(),
+		geom.Pt(50, 0), geom.Pt(0, 50), // edge and midline points
+		geom.Pt(25, 25), geom.Pt(75, 75), // internal grid corners
+	}
+	for i := 0; i < 100; i++ {
+		probes = append(probes, geom.Pt(
+			b.Min.X+r.Float64()*b.Width(), b.Min.Y+r.Float64()*b.Height()))
+	}
+	for _, q := range probes {
+		got := d.Locate(q)
+		if len(got) == 0 {
+			t.Fatalf("Locate(%v) returned no candidates", q)
+		}
+	}
+}
+
+// TestNearLinearScanGrowth pins the near-linearity claim structurally: the
+// total candidate evaluations must grow far slower than n², the exact path's
+// pair count.
+func TestNearLinearScanGrowth(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	b := testBounds()
+	scans := make(map[int]int)
+	ns := []int{500, 2000}
+	for _, n := range ns {
+		d, err := Build(randomSites(r, n, b), b, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scans[n] = d.Stats().SitesScanned
+	}
+	// 4× the sites: the exact path quadruples-squared (16×); the refinement
+	// scan should stay well under 8× (it is ~linear with a log factor).
+	if growth := float64(scans[2000]) / float64(scans[500]); growth > 8 {
+		t.Fatalf("scan growth %0.1f× over 4× sites — not near-linear (scans: %v)", growth, scans)
+	}
+}
+
+// TestAdditiveMetric exercises the additive family end to end: ground truth
+// containment at several ε.
+func TestAdditiveMetric(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	b := testBounds()
+	sites := randomSites(r, 150, b)
+	for _, eps := range []float64{0.02, 0.2} {
+		d, err := Build(sites, b, Options{Epsilon: eps, Metric: Additive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := d.MBRs()
+		for i := 0; i < 2000; i++ {
+			q := geom.Pt(b.Min.X+r.Float64()*b.Width(), b.Min.Y+r.Float64()*b.Height())
+			win := weighted.NearestAdditive(sites, q)
+			if !m[win].Contains(q) {
+				t.Fatalf("eps=%g: additive winner %d at %v outside its box %v", eps, win, q, m[win])
+			}
+			if !containsSite(d.Locate(q), int32(win)) {
+				t.Fatalf("eps=%g: additive winner %d at %v missing from cell candidates", eps, win, q)
+			}
+		}
+	}
+}
+
+// TestStreamingMatchesTreeBoxes pins ApproxDominanceMBRs (streaming, with the
+// box-coverage cutoff) to Build's fully refined boxes bit-for-bit: the cutoff
+// may only skip contribution-free subtrees, never change the output.
+func TestStreamingMatchesTreeBoxes(t *testing.T) {
+	r := rand.New(rand.NewSource(59))
+	b := testBounds()
+	for _, n := range []int{1, 25, 400} {
+		sites := randomSites(r, n, b)
+		for _, eps := range []float64{0.03, 0.3} {
+			d, err := Build(sites, b, Options{Epsilon: eps})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mbrs, _, err := ApproxDominanceMBRs(sites, b, Options{Epsilon: eps})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range sites {
+				if mbrs[i] != d.MBRs()[i] {
+					t.Fatalf("n=%d eps=%g: site %d streaming box %v != tree box %v",
+						n, eps, i, mbrs[i], d.MBRs()[i])
+				}
+			}
+		}
+	}
+}
+
+func containsSite(cands []int32, want int32) bool {
+	for _, c := range cands {
+		if c == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestEpsilonBoundsCellError verifies the ε error model itself: every
+// candidate Locate returns is a (1+ε)-approximate weighted nearest neighbor
+// at the located point (up to the depth-cap escape hatch, which the chosen
+// workload does not hit).
+func TestEpsilonBoundsCellError(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	b := testBounds()
+	sites := randomSites(r, 120, b)
+	eps := 0.1
+	d, err := Build(sites, b, Options{Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		q := geom.Pt(b.Min.X+r.Float64()*b.Width(), b.Min.Y+r.Float64()*b.Height())
+		best := math.Inf(1)
+		for _, s := range sites {
+			if v := s.W * q.Dist(s.P); v < best {
+				best = v
+			}
+		}
+		for _, c := range d.Locate(q) {
+			s := sites[c]
+			if v := s.W * q.Dist(s.P); v > (1+eps)*best*(1+1e-12) {
+				t.Fatalf("candidate %d at %v costs %g > (1+ε)·%g", c, q, v, best)
+			}
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package mwvd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"molq/internal/geom"
+	"molq/internal/weighted"
+)
+
+// This file pins the conservativeness invariant the MBRB pipeline depends
+// on: for ANY point q of the search space, q's true weighted nearest site
+// must (a) appear among the candidates of the leaf cell containing q and
+// (b) have q inside its per-site MBR. False positives are fine — extra
+// candidates only add redundant Fermat-Weber groups — but a single false
+// negative would let MBRB drop the optimal combination.
+
+// TestConservativenessProperty samples random weighted site sets across
+// distributions and ε values and checks ground-truth containment at
+// thousands of points, including adversarial ones (near sites, near cell
+// boundaries, on the bounds edge).
+func TestConservativenessProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	b := geom.NewRect(geom.Pt(-50, -20), geom.Pt(150, 180))
+	nSites, nProbes, rounds := 200, 1500, 6
+	if testing.Short() {
+		nSites, nProbes, rounds = 80, 400, 3
+	}
+	for round := 0; round < rounds; round++ {
+		sites := make([]Site, nSites)
+		for i := range sites {
+			var p geom.Point
+			switch round % 3 {
+			case 0: // uniform
+				p = geom.Pt(b.Min.X+r.Float64()*b.Width(), b.Min.Y+r.Float64()*b.Height())
+			case 1: // clustered: heavy skew stresses the kd-seeded pruning
+				c := geom.Pt(b.Min.X+b.Width()*float64(i%4)/4, b.Min.Y+b.Height()*float64(i%3)/3)
+				p = c.Add(geom.Pt(r.NormFloat64(), r.NormFloat64()))
+			default: // collinear-ish with jitter: degenerate geometry
+				x := b.Min.X + r.Float64()*b.Width()
+				p = geom.Pt(x, 80+r.NormFloat64()*0.1)
+			}
+			w := math.Exp(r.NormFloat64()) // log-normal: wide weight spread
+			if i > 0 && r.Intn(10) == 0 {
+				w = sites[i-1].W * (1 + 1e-12) // near-tie
+			}
+			sites[i] = Site{P: p, W: w}
+		}
+		for _, eps := range []float64{0.01, 0.1, 0.5} {
+			d, err := Build(sites, b, Options{Epsilon: eps, Workers: 1 + round%4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mbrs := d.MBRs()
+			for i := 0; i < nProbes; i++ {
+				var q geom.Point
+				switch i % 3 {
+				case 0:
+					q = geom.Pt(b.Min.X+r.Float64()*b.Width(), b.Min.Y+r.Float64()*b.Height())
+				case 1: // just off a site: deepest cells, tightest bounds
+					s := sites[r.Intn(len(sites))]
+					q = s.P.Add(geom.Pt(r.NormFloat64()*1e-3, r.NormFloat64()*1e-3))
+					// Clustered rounds jitter some sites outside the bounds;
+					// the invariant only covers in-bounds probes, so clamp.
+					q = geom.Pt(
+						math.Min(math.Max(q.X, b.Min.X), b.Max.X),
+						math.Min(math.Max(q.Y, b.Min.Y), b.Max.Y),
+					)
+				default: // on the bounds edge
+					q = geom.Pt(b.Min.X+r.Float64()*b.Width(), b.Max.Y)
+				}
+				win := weighted.NearestWeighted(sites, q)
+				if !mbrs[win].Contains(q) {
+					t.Fatalf("round %d eps=%g: winner %d of %v outside its MBR %v",
+						round, eps, win, q, mbrs[win])
+				}
+				cands := d.Locate(q)
+				if !containsSite(cands, int32(win)) {
+					t.Fatalf("round %d eps=%g: winner %d of %v missing from cell candidates %v",
+						round, eps, win, q, cands)
+				}
+			}
+		}
+	}
+}
+
+// TestConservativenessConcurrentBuilds races several parallel builds over
+// shared inputs; combined with -race this verifies the worker refiners never
+// share mutable state.
+func TestConservativenessConcurrentBuilds(t *testing.T) {
+	r := rand.New(rand.NewSource(131))
+	b := geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+	sites := randomSites(r, 250, b)
+	type out struct {
+		d   *Diagram
+		err error
+	}
+	outs := make(chan out, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			d, err := Build(sites, b, Options{Epsilon: 0.05, Workers: 4})
+			outs <- out{d, err}
+		}()
+	}
+	var first *Diagram
+	for i := 0; i < 4; i++ {
+		o := <-outs
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		if first == nil {
+			first = o.d
+			continue
+		}
+		if o.d.Stats() != first.Stats() {
+			t.Fatalf("concurrent builds diverged: %+v vs %+v", o.d.Stats(), first.Stats())
+		}
+	}
+	probes := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		q := geom.Pt(probes.Float64()*100, probes.Float64()*100)
+		win := weighted.NearestWeighted(sites, q)
+		if !first.MBRs()[win].Contains(q) {
+			t.Fatalf("winner %d of %v outside its MBR", win, q)
+		}
+	}
+}
+
+// FuzzConservativeness decodes arbitrary bytes into a small weighted site
+// set plus a probe point and asserts the containment invariant — the fuzzer
+// hunts for geometric configurations the random property test misses.
+func FuzzConservativeness(f *testing.F) {
+	f.Add(int64(1), uint8(3), 0.25, 0.75)
+	f.Add(int64(42), uint8(12), 0.0, 1.0)
+	f.Add(int64(-9), uint8(40), 0.5, 0.5)
+	f.Fuzz(func(t *testing.T, seed int64, n uint8, qx, qy float64) {
+		if n == 0 {
+			n = 1
+		}
+		if n > 64 {
+			n = 64
+		}
+		if math.IsNaN(qx) || math.IsInf(qx, 0) || math.IsNaN(qy) || math.IsInf(qy, 0) {
+			t.Skip()
+		}
+		b := geom.NewRect(geom.Pt(0, 0), geom.Pt(1, 1))
+		r := rand.New(rand.NewSource(seed))
+		sites := make([]Site, int(n))
+		for i := range sites {
+			sites[i] = Site{
+				P: geom.Pt(r.Float64(), r.Float64()),
+				W: math.Exp(2 * r.NormFloat64()),
+			}
+		}
+		q := geom.Pt(math.Mod(math.Abs(qx), 1), math.Mod(math.Abs(qy), 1))
+		for _, eps := range []float64{0.02, 0.3} {
+			d, err := Build(sites, b, Options{Epsilon: eps})
+			if err != nil {
+				t.Fatal(err)
+			}
+			win := weighted.NearestWeighted(sites, q)
+			if !d.MBRs()[win].Contains(q) {
+				t.Fatalf("eps=%g: winner %d of %v outside its MBR %v", eps, win, q, d.MBRs()[win])
+			}
+			if !containsSite(d.Locate(q), int32(win)) {
+				t.Fatalf("eps=%g: winner %d of %v missing from cell candidates", eps, win, q)
+			}
+		}
+	})
+}

@@ -56,8 +56,11 @@ type fingerprint [sha256.Size]byte
 // the optimizer). Epsilon does not influence the diagram itself but is
 // hashed anyway: it keeps the key aligned with the full solve configuration,
 // so a cache entry can never be blamed for a result produced under different
-// solver settings.
-func fingerprintSet(set []core.Object, ti int, bounds geom.Rect, mode core.Mode, kind WeightKind, epsilon float64) fingerprint {
+// solver settings. weightedEps, by contrast, is structural for weighted sets:
+// it selects exact vs approximate construction and the approximation's cell
+// resolution, so diagrams built under different weighted ε must never share
+// an entry.
+func fingerprintSet(set []core.Object, ti int, bounds geom.Rect, mode core.Mode, kind WeightKind, epsilon, weightedEps float64) fingerprint {
 	digests := make([][sha256.Size]byte, len(set))
 	for i, o := range set {
 		var buf [48]byte
@@ -73,8 +76,8 @@ func fingerprintSet(set []core.Object, ti int, bounds geom.Rect, mode core.Mode,
 		return bytes.Compare(digests[i][:], digests[j][:]) < 0
 	})
 	h := sha256.New()
-	var hdr [64]byte
-	hdr[0] = 1 // fingerprint format version
+	var hdr [72]byte
+	hdr[0] = 2 // fingerprint format version (2: weighted ε joined the header)
 	hdr[1] = byte(mode)
 	hdr[2] = byte(kind)
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(int64(ti)))
@@ -84,6 +87,7 @@ func fingerprintSet(set []core.Object, ti int, bounds geom.Rect, mode core.Mode,
 	binary.LittleEndian.PutUint64(hdr[40:], math.Float64bits(bounds.Max.Y))
 	binary.LittleEndian.PutUint64(hdr[48:], math.Float64bits(epsilon))
 	binary.LittleEndian.PutUint64(hdr[56:], uint64(len(set)))
+	binary.LittleEndian.PutUint64(hdr[64:], math.Float64bits(weightedEps))
 	h.Write(hdr[:])
 	for i := range digests {
 		h.Write(digests[i][:])

@@ -493,7 +493,7 @@ func (e *Engine) advanceCache(st *engineState, ti int, newSets [][]core.Object, 
 	}
 	newFps := make([]fingerprint, len(st.fps))
 	copy(newFps, st.fps)
-	newFps[ti] = fingerprintSet(newSets[ti], ti, e.in.Bounds, e.mode, e.in.kind(ti), e.in.Epsilon)
+	newFps[ti] = fingerprintSet(newSets[ti], ti, e.in.Bounds, e.mode, e.in.kind(ti), e.in.Epsilon, e.in.WeightedEpsilon)
 	cache.invalidate(st.fps[ti])
 	cache.put(newFps[ti], newBasic)
 	if len(newSets) >= 2 {

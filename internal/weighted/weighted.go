@@ -16,10 +16,20 @@ package weighted
 
 import (
 	"math"
+	"sync"
 
 	"molq/internal/geom"
 	"molq/internal/polyclip"
 )
+
+// weightTieRel is the relative weight difference below which a site pair is
+// treated as equal-weight. The Apollonius factor f = 1/(1-λ²) diverges as
+// λ = w_j/w_i → 1, producing astronomically large or non-finite disks whose
+// bounding boxes stop constraining anything (or poison intersections with
+// NaN). Substituting the perpendicular-bisector halfplane is conservative on
+// the heavier side: w_i > w_j implies d(x,i) < d(x,j) throughout Dom(i), so
+// the disk is contained in i's halfplane.
+const weightTieRel = 1e-9
 
 // Site is a weighted Voronoi generator: position plus multiplicative object
 // weight w^o (> 0). Smaller weights dominate larger regions.
@@ -60,38 +70,88 @@ func ApolloniusDisk(p, q geom.Point, lambda float64) (geom.Point, float64) {
 func DominanceMBRs(sites []Site, bounds geom.Rect) []geom.Rect {
 	out := make([]geom.Rect, len(sites))
 	boundsPoly := geom.RectPolygon(bounds)
-	for i, si := range sites {
-		box := bounds
-		for j, sj := range sites {
-			if i == j || box.IsEmpty() {
-				continue
-			}
-			switch {
-			case si.W > sj.W:
-				c, r := ApolloniusDisk(si.P, sj.P, sj.W/si.W)
-				disk := geom.Rect{
-					Min: geom.Point{X: c.X - r, Y: c.Y - r},
-					Max: geom.Point{X: c.X + r, Y: c.Y + r},
-				}
-				box = box.Intersect(disk)
-			case si.W == sj.W && si.P != sj.P:
-				// Halfplane closer to s_i: left of the directed bisector.
-				mid := geom.Lerp(si.P, sj.P, 0.5)
-				d := sj.P.Sub(si.P)
-				// Normal pointing from j to i is -d; the halfplane
-				// {x : (x-mid)·d ≤ 0} is bounded by the line through mid
-				// with direction perpendicular to d. Orient a→b so the
-				// interior (i's side) is on the left.
-				perp := geom.Point{X: -d.Y, Y: d.X}
-				a := mid
-				b := mid.Add(perp)
-				clipped := polyclip.ClipHalfplane(boundsPoly, a, b)
-				box = box.Intersect(clipped.Bounds())
-			}
-		}
-		out[i] = box
+	for i := range sites {
+		out[i] = dominanceMBR(sites, i, bounds, boundsPoly)
 	}
 	return out
+}
+
+// DominanceMBRsParallel is DominanceMBRs with the per-site outer loop fanned
+// out across workers. Each site's box depends only on the immutable site
+// slice, so the split is embarrassingly parallel; the bounds polygon is
+// hoisted once per worker because ClipHalfplane only reads it. workers ≤ 1
+// falls back to the sequential path. Output is identical to DominanceMBRs at
+// every worker count.
+func DominanceMBRsParallel(sites []Site, bounds geom.Rect, workers int) []geom.Rect {
+	if workers > len(sites) {
+		workers = len(sites)
+	}
+	if workers <= 1 {
+		return DominanceMBRs(sites, bounds)
+	}
+	out := make([]geom.Rect, len(sites))
+	var wg sync.WaitGroup
+	chunk := (len(sites) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(sites))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			boundsPoly := geom.RectPolygon(bounds)
+			for i := lo; i < hi; i++ {
+				out[i] = dominanceMBR(sites, i, bounds, boundsPoly)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// dominanceMBR computes site i's conservative box by folding every pairwise
+// constraint into bounds. boundsPoly must be geom.RectPolygon(bounds); it is
+// passed in so callers can hoist it out of the loop (and, for the parallel
+// path, keep one per worker).
+func dominanceMBR(sites []Site, i int, bounds geom.Rect, boundsPoly []geom.Point) geom.Rect {
+	si := sites[i]
+	box := bounds
+	for j, sj := range sites {
+		if i == j || box.IsEmpty() {
+			continue
+		}
+		switch {
+		case si.W > sj.W*(1+weightTieRel):
+			c, r := ApolloniusDisk(si.P, sj.P, sj.W/si.W)
+			disk := geom.Rect{
+				Min: geom.Point{X: c.X - r, Y: c.Y - r},
+				Max: geom.Point{X: c.X + r, Y: c.Y + r},
+			}
+			box = box.Intersect(disk)
+		case si.W >= sj.W && si.P != sj.P:
+			// Equal or near-tie weights with i on the heavier side: the
+			// halfplane closer to s_i (left of the directed bisector)
+			// contains the near-degenerate Apollonius disk.
+			mid := geom.Lerp(si.P, sj.P, 0.5)
+			d := sj.P.Sub(si.P)
+			// Normal pointing from j to i is -d; the halfplane
+			// {x : (x-mid)·d ≤ 0} is bounded by the line through mid
+			// with direction perpendicular to d. Orient a→b so the
+			// interior (i's side) is on the left.
+			perp := geom.Point{X: -d.Y, Y: d.X}
+			a := mid
+			b := mid.Add(perp)
+			clipped := polyclip.ClipHalfplane(boundsPoly, a, b)
+			box = box.Intersect(clipped.Bounds())
+		}
+		// si.W < sj.W (beyond the tie band): Dom(i) is unbounded on that
+		// side — no constraint. Inside the tie band with si lighter, the
+		// halfplane would NOT be conservative, so it also stays
+		// unconstrained.
+	}
+	return box
 }
 
 // NearestWeighted returns the index of the site minimising w·d(q, site) — the

@@ -113,6 +113,79 @@ func TestHeavySiteGetsTightBox(t *testing.T) {
 	}
 }
 
+// TestNearTieWeightsStayFinite is the λ→1 regression: weights differing by
+// less than weightTieRel used to feed ApolloniusDisk a λ so close to 1 that
+// f = 1/(1-λ²) produced enormous (or, at bit-level equality after rounding,
+// non-finite) disks. The tie band must route such pairs to the bisector
+// halfplane, yielding finite boxes that are still conservative.
+func TestNearTieWeightsStayFinite(t *testing.T) {
+	finite := func(r geom.Rect) bool {
+		for _, v := range []float64{r.Min.X, r.Min.Y, r.Max.X, r.Max.Y} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, rel := range []float64{0, 1e-16, 1e-13, 1e-10} {
+		sites := []Site{
+			{P: geom.Pt(25, 50), W: 1},
+			{P: geom.Pt(75, 50), W: 1 * (1 + rel)},
+			{P: geom.Pt(50, 90), W: 1 * (1 - rel)},
+		}
+		mbrs := DominanceMBRs(sites, bounds)
+		r := rand.New(rand.NewSource(int64(1 + rel*1e17)))
+		for i, m := range mbrs {
+			if !finite(m) {
+				t.Fatalf("rel=%g: site %d box %v is not finite", rel, i, m)
+			}
+			if m.IsEmpty() {
+				t.Fatalf("rel=%g: site %d box unexpectedly empty", rel, i)
+			}
+			// A near-tie trio splits the space roughly three ways; no box may
+			// collapse below its bisector cell.
+			if m.Width() < 20 || m.Height() < 20 {
+				t.Fatalf("rel=%g: site %d box %v implausibly small", rel, i, m)
+			}
+		}
+		for k := 0; k < 2000; k++ {
+			q := geom.Pt(r.Float64()*100, r.Float64()*100)
+			if w := NearestWeighted(sites, q); !mbrs[w].Contains(q) {
+				t.Fatalf("rel=%g: winner %d at %v outside its box %v", rel, w, q, mbrs[w])
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSequential pins DominanceMBRsParallel to the sequential
+// output exactly, across worker counts exceeding the site count. Run with
+// -race to verify the per-worker boundsPoly hoist shares nothing mutable.
+func TestParallelMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for _, n := range []int{1, 2, 17, 120} {
+		sites := make([]Site, n)
+		for i := range sites {
+			sites[i] = Site{
+				P: geom.Pt(r.Float64()*100, r.Float64()*100),
+				W: 0.5 + 3*r.Float64(),
+			}
+			if i > 0 && r.Intn(6) == 0 {
+				sites[i].W = sites[i-1].W // exercise the tie halfplane path
+			}
+		}
+		want := DominanceMBRs(sites, bounds)
+		for _, workers := range []int{0, 1, 2, 7, 256} {
+			got := DominanceMBRsParallel(sites, bounds, workers)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d workers=%d: site %d box %v != sequential %v",
+						n, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
 func TestNearestWeighted(t *testing.T) {
 	sites := []Site{
 		{P: geom.Pt(0, 0), W: 1},

@@ -80,6 +80,20 @@ type Options struct {
 	// Epsilon is the relative error bound ε of the iterative Fermat-Weber
 	// stopping rule (0 means the 1e-3 default).
 	Epsilon float64
+	// WeightedEpsilon controls how MBRB realizes basic diagrams for types
+	// with non-uniform object weights, whose exact construction is O(n²)
+	// Apollonius pairs:
+	//   - 0 (default): automatic — large weighted sets (≥2048 objects) switch
+	//     to a near-linear approximate construction with relative error
+	//     bound 0.15, small sets stay exact;
+	//   - > 0: always approximate, with this error bound: every candidate
+	//     the diagram admits costs at most (1+ε)× the true weighted minimum
+	//     at its location. Approximation is conservative — the true optimum
+	//     is never excluded, extra candidates only cost optimizer time;
+	//   - < 0: always exact.
+	// Types with uniform object weights use exact Voronoi diagrams and
+	// ignore this knob.
+	WeightedEpsilon float64
 	// Workers evaluates all three pipeline modules — Voronoi generation, the
 	// MOVD overlap (sharded plane sweep plus a balanced reduction of the
 	// diagram chain) and the optimizer — with n goroutines. 0 or 1 runs
@@ -255,6 +269,7 @@ func (q *Query) input() query.Input {
 		Sets:             q.sets,
 		Bounds:           q.bounds,
 		Epsilon:          q.opts.Epsilon,
+		WeightedEpsilon:  q.opts.WeightedEpsilon,
 		DisableCostBound: q.opts.DisableCostBound,
 		ObjKinds:         q.kinds,
 		Workers:          q.opts.Workers,
@@ -312,11 +327,12 @@ type Engine struct {
 // irrelevant; every Engine.Solve supplies its own.
 func (q *Query) Prepare(m Method) (*Engine, error) {
 	in := query.Input{
-		Sets:     q.sets,
-		Bounds:   q.bounds,
-		Epsilon:  q.opts.Epsilon,
-		ObjKinds: q.kinds,
-		Workers:  q.opts.Workers,
+		Sets:            q.sets,
+		Bounds:          q.bounds,
+		Epsilon:         q.opts.Epsilon,
+		WeightedEpsilon: q.opts.WeightedEpsilon,
+		ObjKinds:        q.kinds,
+		Workers:         q.opts.Workers,
 	}
 	eng, err := query.NewEngine(in, m)
 	if err != nil {
@@ -442,11 +458,12 @@ type Alternative struct {
 // fallback sites, not just the optimum. Requires RRB or MBRB.
 func (q *Query) TopK(m Method, k int) ([]Alternative, error) {
 	in := query.Input{
-		Sets:     q.sets,
-		Bounds:   q.bounds,
-		Epsilon:  q.opts.Epsilon,
-		ObjKinds: q.kinds,
-		Workers:  q.opts.Workers,
+		Sets:            q.sets,
+		Bounds:          q.bounds,
+		Epsilon:         q.opts.Epsilon,
+		WeightedEpsilon: q.opts.WeightedEpsilon,
+		ObjKinds:        q.kinds,
+		Workers:         q.opts.Workers,
 	}
 	cands, err := query.TopK(in, m, k)
 	if err != nil {
