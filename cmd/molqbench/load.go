@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -251,8 +252,73 @@ func runLoad(opt loadOptions) ([]benchfmt.Result, error) {
 			totalOK, offered, elapsed.Round(time.Millisecond),
 			float64(totalOK)/elapsed.Seconds(), opt.qps,
 			shedCount.Value(), errCount.Value(), dropped.Load())
+		reportOutliers(client, base, opt.progress)
 	}
 	return results, nil
+}
+
+// outlierReportMax bounds how many retained traces the post-run report
+// fetches phase breakdowns for.
+const outlierReportMax = 5
+
+// reportOutliers asks the target's flight recorder which of the load run's
+// requests it retained as tail outliers, then fetches each one's span tree
+// and prints the trace ID with its phase breakdown — the point of the
+// recorder: the p99 in the table above stops being anonymous. Best-effort:
+// an old or recorder-disabled target just skips the report.
+func reportOutliers(client *http.Client, base string, w io.Writer) {
+	resp, err := client.Get(base + "/debug/traces")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return
+	}
+	var listing httpapi.TracesResponse
+	err = json.NewDecoder(resp.Body).Decode(&listing)
+	resp.Body.Close()
+	if err != nil || len(listing.Slowest) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "load: flight recorder retained %d trace(s) (%d recorded, %d rejected); slowest:\n",
+		listing.Recorder.Retained, listing.Recorder.Recorded, listing.Recorder.Rejected)
+	for i, sum := range listing.Slowest {
+		if i >= outlierReportMax {
+			fmt.Fprintf(w, "  … %d more at %s/debug/traces\n", len(listing.Slowest)-i, base)
+			break
+		}
+		line := fmt.Sprintf("  %s  %-28s %8.1fms", sum.TraceID, sum.Route, float64(sum.DurationUS)/1000)
+		if sum.Engine != "" {
+			line += "  engine=" + sum.Engine
+		}
+		fmt.Fprintln(w, line+phaseBreakdown(client, base, sum.TraceID))
+	}
+}
+
+// phaseBreakdown fetches one retained trace and renders its root span's
+// direct children as "  [phase 12.3ms phase2 4.5ms]"; empty when the trace
+// is gone or carried no span tree.
+func phaseBreakdown(client *http.Client, base, traceID string) string {
+	resp, err := client.Get(base + "/debug/traces/" + traceID)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return ""
+	}
+	var t obs.RecordedTrace
+	err = json.NewDecoder(resp.Body).Decode(&t)
+	resp.Body.Close()
+	if err != nil || t.Root == nil || len(t.Root.Children) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(t.Root.Children))
+	for _, c := range t.Root.Children {
+		parts = append(parts, fmt.Sprintf("%s %.1fms", c.Name, float64(c.DurUS)/1000))
+	}
+	return "  [" + strings.Join(parts, " ") + "]"
 }
 
 // printLoadTable renders the load results as an aligned text table.

@@ -4,24 +4,41 @@
 // Usage:
 //
 //	molqd [-addr :8080] [-log-level info] [-pprof]
-//	      [-max-concurrent 0] [-max-queue 64] [-smoke]
+//	      [-max-concurrent 0] [-max-queue 64]
+//	      [-slow-query 0] [-trace-retain 8] [-smoke]
 //
 // Structured access and error logs (log/slog, text format) go to stderr;
 // -log-level selects debug, info, warn or error. -pprof additionally
 // mounts the net/http/pprof handlers under /debug/pprof/ for live CPU,
 // heap and goroutine profiling; leave it off on untrusted networks.
-// Prometheus metrics are always served at /v1/metrics.
+// Prometheus metrics are always served at /v1/metrics (OpenMetrics with
+// trace-ID exemplars when scraped with Accept: application/openmetrics-text).
 //
 // -max-concurrent > 0 bounds how many CPU-heavy requests (solve, engine
 // create/query, score) run at once; up to -max-queue more wait and the rest
-// are shed with 429 + Retry-After. -smoke boots the server, answers one
-// health check and one solve against itself, then exits 0 — the CI
-// boot-and-serve gate (pass -addr 127.0.0.1:0 for an ephemeral port).
+// are shed with 429 + Retry-After.
+//
+// The flight recorder is always on: it tail-samples the -trace-retain
+// slowest solve-bearing requests per route+engine over a sliding window,
+// pins every errored/shed/panicked request, and serves the retained traces
+// at /debug/traces (see internal/httpapi). -trace-retain 0 disables it.
+// -slow-query DURATION additionally logs one WARN line per request at or
+// above the threshold, carrying the trace ID, engine and the solve's phase
+// breakdown — e.g. -slow-query 250ms.
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, drains
+// in-flight requests for up to 10 seconds, then flushes a final
+// flight-recorder summary to the log before exiting.
+//
+// -smoke boots the server, answers one health check and one solve against
+// itself, then exits 0 — the CI boot-and-serve gate (pass -addr
+// 127.0.0.1:0 for an ephemeral port).
 //
 // Example session:
 //
 //	curl -s localhost:8080/v1/healthz
 //	curl -s localhost:8080/v1/metrics
+//	curl -s localhost:8080/debug/traces
 //	curl -s -X POST localhost:8080/v1/solve -d '{
 //	  "method": "rrb",
 //	  "types": [
@@ -31,6 +48,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -38,20 +57,28 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"molq/internal/httpapi"
+	"molq/internal/obs"
 )
+
+// drainTimeout bounds how long shutdown waits for in-flight requests.
+const drainTimeout = 10 * time.Second
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
-		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
-		maxConc  = flag.Int("max-concurrent", 0, "max simultaneous CPU-heavy requests (0: unlimited)")
-		maxQueue = flag.Int("max-queue", 64, "requests allowed to wait for a slot before shedding with 429")
-		smoke    = flag.Bool("smoke", false, "boot, self-check /v1/healthz and one solve, then exit")
+		addr        = flag.String("addr", ":8080", "listen address")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
+		maxConc     = flag.Int("max-concurrent", 0, "max simultaneous CPU-heavy requests (0: unlimited)")
+		maxQueue    = flag.Int("max-queue", 64, "requests allowed to wait for a slot before shedding with 429")
+		slowQuery   = flag.Duration("slow-query", 0, "log solve-bearing requests at or above this duration (0: off)")
+		traceRetain = flag.Int("trace-retain", obs.DefaultTraceRetention, "slowest traces retained per route+engine by the flight recorder (0: recorder off)")
+		smoke       = flag.Bool("smoke", false, "boot, self-check /v1/healthz and one solve, then exit")
 	)
 	flag.Parse()
 
@@ -62,11 +89,18 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	mux := http.NewServeMux()
-	mux.Handle("/", httpapi.New(
+	var recorder *obs.Recorder
+	if *traceRetain > 0 {
+		recorder = obs.NewRecorder(*traceRetain, obs.DefaultTraceWindow, 0)
+	}
+	api := httpapi.New(
 		httpapi.WithLogger(logger),
 		httpapi.WithAdmission(*maxConc, *maxQueue),
-	))
+		httpapi.WithRecorder(recorder),
+		httpapi.WithSlowQueryLog(*slowQuery),
+	)
+	mux := http.NewServeMux()
+	mux.Handle("/", api)
 	if *pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -85,7 +119,8 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	logger.Info("molqd listening", "addr", ln.Addr().String(), "pprof", *pprofOn,
-		"log_level", level.String(), "max_concurrent", *maxConc, "max_queue", *maxQueue)
+		"log_level", level.String(), "max_concurrent", *maxConc, "max_queue", *maxQueue,
+		"slow_query", slowQuery.String(), "trace_retain", *traceRetain)
 	if *smoke {
 		go srv.Serve(ln)
 		if err := smokeCheck("http://" + ln.Addr().String()); err != nil {
@@ -96,9 +131,37 @@ func main() {
 		srv.Close()
 		return
 	}
-	if err := srv.Serve(ln); err != nil {
-		logger.Error("server exited", "err", err)
-		os.Exit(1)
+
+	// Graceful shutdown: the first SIGINT/SIGTERM stops the listener and
+	// drains in-flight requests for up to drainTimeout; a second signal
+	// (NotifyContext restores default handling once ctx is done) kills the
+	// process the usual way for operators who can't wait.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("server exited", "err", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		logger.Info("shutting down", "drain_timeout", drainTimeout.String())
+		shCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		err := srv.Shutdown(shCtx)
+		cancel()
+		if err != nil {
+			logger.Warn("drain incomplete, closing", "err", err)
+			srv.Close()
+		}
+		// Final flush: the last retained outliers and recorder counters go
+		// to the log so a post-mortem survives the process.
+		api.Flush()
+		logger.Info("molqd stopped")
 	}
 }
 

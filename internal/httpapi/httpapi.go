@@ -15,6 +15,12 @@
 //	                    goroutines, build info
 //	GET  /v1/healthz  — liveness with diagnostic payload
 //	GET  /v1/metrics  — Prometheus text exposition of the obs registry
+//	                    (OpenMetrics with exemplars when the client sends
+//	                    Accept: application/openmetrics-text)
+//	GET  /debug/traces      — flight-recorder contents: the K slowest
+//	                          retained traces per route+engine plus every
+//	                          pinned errored/shed/panicked request
+//	GET  /debug/traces/{id} — one retained trace with its full span tree
 //
 // Every request passes through the middleware stack of middleware.go:
 // request-ID assignment, panic recovery, per-route metrics and structured
@@ -355,6 +361,15 @@ type Server struct {
 	start time.Time
 	// gate bounds concurrent solves (nil: admission disabled).
 	gate *solveGate
+	// recorder tail-samples completed request traces for /debug/traces
+	// (nil: flight recorder disabled, handlers skip building span trees).
+	recorder *obs.Recorder
+	// slowQuery is the slow-query-log threshold (0: disabled). Solve-bearing
+	// requests at or above it emit a WARN line with the phase breakdown.
+	slowQuery time.Duration
+	// recorderSet distinguishes WithRecorder(nil) — recorder explicitly
+	// disabled — from "no option given", which gets the default recorder.
+	recorderSet bool
 	// wrapped is the full middleware-wrapped handler ServeHTTP delegates to.
 	wrapped http.Handler
 }
@@ -377,6 +392,27 @@ func WithMetrics(reg *obs.Registry) Option {
 	return func(s *Server) {
 		if reg != nil {
 			s.metrics = reg
+		}
+	}
+}
+
+// WithRecorder replaces the default flight recorder (nil disables trace
+// retention and /debug/traces entirely; handlers then skip building span
+// trees).
+func WithRecorder(rec *obs.Recorder) Option {
+	return func(s *Server) {
+		s.recorder = rec
+		s.recorderSet = true
+	}
+}
+
+// WithSlowQueryLog enables the slow-query log: every solve-bearing request
+// taking d or longer emits one WARN line with trace ID, engine and phase
+// breakdown. d ≤ 0 disables (the default).
+func WithSlowQueryLog(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.slowQuery = d
 		}
 	}
 }
@@ -404,6 +440,9 @@ func New(opts ...Option) *Server {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if !s.recorderSet {
+		s.recorder = obs.NewRecorder(obs.DefaultTraceRetention, obs.DefaultTraceWindow, 0)
+	}
 	s.h.HandleFunc("GET /v1/healthz", s.handleHealth)
 	s.h.HandleFunc("GET /v1/stats", s.handleStats)
 	s.h.HandleFunc("GET /v1/metrics", s.handleMetrics)
@@ -415,11 +454,16 @@ func New(opts ...Option) *Server {
 	s.h.HandleFunc("POST /v1/engines/{name}/objects", s.handleObjectInsert)
 	s.h.HandleFunc("DELETE /v1/engines/{name}/objects/{id}", s.handleObjectDelete)
 	s.h.HandleFunc("POST /v1/score", s.handleScore)
+	s.h.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.h.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
 	s.wrapped = s.middleware(jsonFallback(s.h))
 	// Process-level gauges, sampled at scrape time. Registration is
 	// idempotent (first wins), so repeated Server constructions are safe.
 	obs.Default.GaugeFunc("molq_goroutines", "goroutines in the process",
 		func() float64 { return float64(runtime.NumGoroutine()) })
+	// Runtime telemetry (GC pauses, heap, scheduler latency) on whichever
+	// registry /v1/metrics exposes; equally idempotent.
+	obs.RegisterRuntimeMetrics(s.metrics)
 	return s
 }
 
@@ -473,8 +517,19 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// handleMetrics serves the Prometheus text exposition of the registry.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves the registry in whichever exposition the client
+// negotiates: OpenMetrics (which can carry per-bucket trace-ID exemplars)
+// when the Accept header asks for it, Prometheus text 0.0.4 otherwise —
+// exemplars are a syntax error in 0.0.4, so the plain format never
+// carries them.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		if err := s.metrics.WriteOpenMetrics(w); err != nil {
+			s.log.Error("metrics exposition failed", "err", err)
+		}
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.metrics.WriteProm(w); err != nil {
 		s.log.Error("metrics exposition failed", "err", err)
@@ -588,11 +643,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	in.Workers = req.Workers
 	in.PruneOverlap = req.PruneOverlap
 	in.Cache = s.cache
+	in.Trace = s.tracing()
 	res, err := query.SolveContext(r.Context(), in, m)
 	if err != nil {
 		writeErr(w, solveStatus(err), "%v", err)
 		return
 	}
+	noteSolve(r, "", 0, res.Stats)
 	out := SolveResponse{
 		Location: PointJSON{X: res.Loc.X, Y: res.Loc.Y},
 		Cost:     res.Cost,
@@ -647,6 +704,9 @@ func (s *Server) handleEngineCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	in.WeightedEpsilon = req.WeightedEpsilon
 	in.Cache = s.cache
+	// Baked into the engine: every later query on it builds a span tree iff
+	// the server has a flight recorder to retain it.
+	in.Trace = s.tracing()
 	switch {
 	case req.Replicas > 0:
 		in.Replicas = req.Replicas
@@ -747,6 +807,7 @@ func (s *Server) handleEngineQuery(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, solveStatus(err), "%v", err)
 			return
 		}
+		noteSolve(r, name, 0, res.Stats)
 		writeJSON(w, http.StatusOK, solveResponse(res))
 		return
 	}
@@ -754,6 +815,10 @@ func (s *Server) handleEngineQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeErr(w, solveStatus(err), "%v", err)
 		return
+	}
+	if len(out) > 0 {
+		// The batch's span tree rides on the first result's stats.
+		noteSolve(r, name, len(out), out[0].Stats)
 	}
 	resp := EngineBatchResponse{Results: make([]SolveResponse, len(out))}
 	for i, res := range out {

@@ -15,14 +15,23 @@ import (
 
 // This file is the server's middleware stack, outermost first:
 //
-//	request ID → panic recovery → metrics + access log → router
+//	request ID + trace context → panic recovery → metrics + access log → router
 //
-// Every request gets an X-Request-Id (incoming IDs are honored so traces
-// correlate across services), a per-route latency observation, a request
-// counter by route and status class, and a structured access-log line. A
-// handler panic is logged with its stack and answered with a JSON 500
-// instead of killing the daemon (net/http would only kill the goroutine,
-// but the client would see a torn connection and nothing would be logged).
+// Every request gets an X-Request-Id (incoming IDs are honored — after
+// validation — so traces correlate across services) and a W3C trace
+// context: an incoming `traceparent` header is parsed and its trace ID
+// adopted, a fresh server span ID is minted, and the resulting identity is
+// echoed on the response `traceparent` header, threaded through the
+// request context into the solve pipeline's span tree, stamped on the
+// access-log line, and used to index the flight recorder — one ID
+// correlates all four. Each request also gets a per-route latency
+// observation (with the trace ID as the bucket's OpenMetrics exemplar), a
+// request counter by route and status class, and a structured access-log
+// line. A handler panic is logged with its stack and answered with a JSON
+// 500 instead of killing the daemon (net/http would only kill the
+// goroutine, but the client would see a torn connection and nothing would
+// be logged). After the response is written, the completed request is
+// offered to the flight recorder and the slow-query log (flightrecorder.go).
 
 // Request metrics on the process-wide registry. Routes are the ServeMux
 // patterns (bounded cardinality — path wildcards like {name} are not
@@ -124,6 +133,31 @@ func newRequestID() string {
 	return hex.EncodeToString(b[:])
 }
 
+// maxRequestIDLen caps honored client request IDs; anything longer is
+// replaced (128 covers every sane ID scheme, UUIDs included).
+const maxRequestIDLen = 128
+
+// validRequestID reports whether an incoming X-Request-Id is safe to echo
+// into response headers and slog lines: bounded length and a conservative
+// charset (alphanumerics plus ._:-). Anything else — control characters,
+// quotes, '=', newlines — is a log-injection vector when reflected
+// verbatim, so the middleware regenerates instead of honoring it.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > maxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.' || c == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // statusClass buckets a status code for the request counter ("2xx"…).
 func statusClass(code int) string {
 	switch {
@@ -144,10 +178,25 @@ func statusClass(code int) string {
 func (s *Server) middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		reqID := r.Header.Get(requestIDHeader)
-		if reqID == "" {
+		if !validRequestID(reqID) {
 			reqID = newRequestID()
 		}
 		w.Header().Set(requestIDHeader, reqID)
+
+		// Trace identity: adopt an incoming traceparent's trace ID (so a
+		// caller's trace continues through this hop), mint the server span,
+		// and advertise both on the response so the client can quote the
+		// exact trace the flight recorder retained.
+		tc := obs.TraceContext{Sampled: true}
+		if parent, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+			tc.TraceID = parent.TraceID
+		} else {
+			tc.TraceID = obs.NewTraceID()
+		}
+		tc.SpanID = obs.NewSpanID()
+		w.Header().Set(obs.TraceparentHeader, tc.Traceparent())
+		slot := &traceSlot{}
+		r = r.WithContext(withTraceSlot(obs.ContextWithTrace(r.Context(), tc), slot))
 
 		// The route label is the matched ServeMux pattern, resolved before
 		// serving so the label is available even if the handler panics.
@@ -161,10 +210,13 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 		start := time.Now()
 		defer func() {
 			elapsed := time.Since(start)
+			panicked := false
 			if p := recover(); p != nil {
+				panicked = true
 				httpPanics.Inc()
 				s.log.Error("handler panic",
 					"request_id", reqID,
+					"trace_id", tc.TraceID.String(),
 					"route", route,
 					"panic", p,
 					"stack", string(debug.Stack()))
@@ -174,18 +226,20 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 			}
 			httpInflight.Dec()
 			httpRequests.With(route, statusClass(rec.status)).Inc()
-			httpLatency.With(route).Observe(elapsed.Seconds())
+			httpLatency.With(route).ObserveWithExemplar(elapsed.Seconds(), tc.TraceID.String())
 			lvl := slog.LevelInfo
 			if rec.status >= 500 {
 				lvl = slog.LevelError
 			}
 			s.log.Log(r.Context(), lvl, "request",
 				"request_id", reqID,
+				"trace_id", tc.TraceID.String(),
 				"method", r.Method,
 				"path", r.URL.Path,
 				"route", route,
 				"status", rec.status,
 				"duration_ms", float64(elapsed.Microseconds())/1000)
+			s.finishRequest(route, reqID, tc, rec.status, panicked, start, elapsed, slot)
 		}()
 		next.ServeHTTP(rec, r)
 	})

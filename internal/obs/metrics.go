@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file is the metrics half of obs: counters, gauges and fixed-bucket
@@ -75,15 +76,43 @@ type Histogram struct {
 	counts []atomic.Int64
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits, CAS-updated
+	// ex holds the last exemplar per bucket (one extra slot for +Inf),
+	// lazily nil until the first ObserveWithExemplar. Swapped whole, so a
+	// scrape never sees a half-written exemplar.
+	ex []atomic.Pointer[exemplar]
+}
+
+// exemplar ties one observation to the trace that produced it — the
+// OpenMetrics mechanism letting a latency alert link straight to a
+// retained trace in the flight recorder.
+type exemplar struct {
+	traceID string
+	value   float64
+	ts      float64 // unix seconds
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{bounds: bounds}
+	h.counts = make([]atomic.Int64, len(bounds))
+	h.ex = make([]atomic.Pointer[exemplar], len(bounds)+1)
+	return h
+}
+
+// bucketIdx returns the index of the bucket v lands in (len(bounds) for
+// the implicit +Inf bucket).
+func (h *Histogram) bucketIdx(v float64) int {
+	for i, b := range h.bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(h.bounds)
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
-	for i, b := range h.bounds {
-		if v <= b {
-			h.counts[i].Add(1)
-			break
-		}
+	if i := h.bucketIdx(v); i < len(h.counts) {
+		h.counts[i].Add(1)
 	}
 	h.count.Add(1)
 	for {
@@ -93,6 +122,20 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveWithExemplar records one value and remembers the trace that
+// produced it as the exemplar of the bucket the value fell in, exposed by
+// WriteOpenMetrics. An empty traceID degrades to a plain Observe.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	if traceID != "" && h.ex != nil {
+		h.ex[h.bucketIdx(v)].Store(&exemplar{
+			traceID: traceID,
+			value:   v,
+			ts:      float64(time.Now().UnixMilli()) / 1000,
+		})
+	}
+	h.Observe(v)
 }
 
 // Count returns the total number of observations.
@@ -211,9 +254,7 @@ func (f *family) get(labelValues []string) *series {
 	case kindGauge:
 		s.gauge = &Gauge{}
 	case kindHistogram:
-		h := &Histogram{bounds: f.bounds}
-		h.counts = make([]atomic.Int64, len(f.bounds))
-		s.hist = h
+		s.hist = newHistogram(f.bounds)
 	}
 	f.series[key] = s
 	f.order = append(f.order, key)
@@ -386,10 +427,8 @@ func labelString(names, values []string, extra string) string {
 	return sb.String()
 }
 
-// WriteProm writes every registered family in Prometheus text exposition
-// format, families sorted by name and series in creation order, so the
-// output is stable enough for golden tests.
-func (r *Registry) WriteProm(w io.Writer) error {
+// snapshotFamilies returns the families sorted by name.
+func (r *Registry) snapshotFamilies() []*family {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for n := range r.families {
@@ -401,15 +440,26 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		fams = append(fams, r.families[n])
 	}
 	r.mu.Unlock()
+	return fams
+}
 
-	for _, f := range fams {
-		f.mu.Lock()
-		keys := append([]string(nil), f.order...)
-		sers := make([]*series, len(keys))
-		for i, k := range keys {
-			sers[i] = f.series[k]
-		}
-		f.mu.Unlock()
+// snapshotSeries returns the family's series in creation order.
+func (f *family) snapshotSeries() []*series {
+	f.mu.Lock()
+	sers := make([]*series, len(f.order))
+	for i, k := range f.order {
+		sers[i] = f.series[k]
+	}
+	f.mu.Unlock()
+	return sers
+}
+
+// WriteProm writes every registered family in Prometheus text exposition
+// format, families sorted by name and series in creation order, so the
+// output is stable enough for golden tests.
+func (r *Registry) WriteProm(w io.Writer) error {
+	for _, f := range r.snapshotFamilies() {
+		sers := f.snapshotSeries()
 		if len(sers) == 0 {
 			continue
 		}
@@ -426,6 +476,85 @@ func (r *Registry) WriteProm(w io.Writer) error {
 				return err
 			}
 		}
+	}
+	return nil
+}
+
+// WriteOpenMetrics writes the registry in OpenMetrics text format
+// (application/openmetrics-text). The payload differs from WriteProm in
+// three spec-mandated ways: counter families are announced without their
+// _total suffix (samples keep it), histogram bucket samples may carry
+// exemplars — `# {trace_id="…"} value timestamp` — recorded via
+// ObserveWithExemplar, and the stream ends with `# EOF`. Exemplars are
+// what let a Prometheus alert on a latency bucket link directly to a
+// trace retained in the flight recorder.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	for _, f := range r.snapshotFamilies() {
+		sers := f.snapshotSeries()
+		if len(sers) == 0 {
+			continue
+		}
+		famName := f.name
+		if f.kind == kindCounter {
+			famName = strings.TrimSuffix(famName, "_total")
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", famName, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", famName, f.kind); err != nil {
+			return err
+		}
+		for _, s := range sers {
+			if err := writeSeriesOM(w, f, famName, s); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "# EOF")
+	return err
+}
+
+// exemplarSuffix renders a bucket exemplar, or "" when none was recorded.
+func exemplarSuffix(p *atomic.Pointer[exemplar]) string {
+	e := p.Load()
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=\"%s\"} %s %.3f",
+		escapeLabel(e.traceID), formatValue(e.value), e.ts)
+}
+
+func writeSeriesOM(w io.Writer, f *family, famName string, s *series) error {
+	switch f.kind {
+	case kindCounter:
+		// OpenMetrics counters require the _total sample suffix.
+		_, err := fmt.Fprintf(w, "%s_total%s %d\n", famName, labelString(f.labelNames, s.labelValues, ""), s.counter.Value())
+		return err
+	case kindGauge, kindGaugeFunc:
+		return writeSeries(w, f, s)
+	case kindHistogram:
+		h := s.hist
+		cum := int64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			le := `le="` + formatValue(b) + `"`
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name,
+				labelString(f.labelNames, s.labelValues, le), cum, exemplarSuffix(&h.ex[i])); err != nil {
+				return err
+			}
+		}
+		count := h.Count()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name,
+			labelString(f.labelNames, s.labelValues, `le="+Inf"`), count, exemplarSuffix(&h.ex[len(h.bounds)])); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.labelNames, s.labelValues, ""), formatValue(h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labelNames, s.labelValues, ""), count)
+		return err
 	}
 	return nil
 }

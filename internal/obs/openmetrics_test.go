@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestWriteOpenMetricsExemplars checks the OpenMetrics exposition: counter
+// families drop the _total suffix in metadata, histogram buckets carry the
+// last trace ID as an exemplar in spec syntax, and the output terminates
+// with # EOF.
+func TestWriteOpenMetricsExemplars(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("req_total", "requests").Add(3)
+	h := reg.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.ObserveWithExemplar(0.05, "4bf92f3577b34da6a3ce929d0e0e4736")
+	h.ObserveWithExemplar(0.5, "00f067aa0ba902b7aabbccddeeff0011")
+	h.Observe(0.06) // plain observation must not clear the bucket's exemplar
+
+	var sb strings.Builder
+	if err := reg.WriteOpenMetrics(&sb); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	text := sb.String()
+
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Errorf("exposition does not terminate with # EOF:\n%s", text)
+	}
+	// OpenMetrics announces counters WITHOUT the _total suffix and samples
+	// WITH it.
+	if !strings.Contains(text, "# TYPE req counter") {
+		t.Errorf("counter family not announced as 'req':\n%s", text)
+	}
+	if !strings.Contains(text, "req_total 3") {
+		t.Errorf("counter sample 'req_total 3' missing:\n%s", text)
+	}
+
+	// Each observed bucket line ends with its exemplar: value and timestamp
+	// after the trace_id label set.
+	ex := regexp.MustCompile(`lat_seconds_bucket\{le="0\.1"\} 2 # \{trace_id="4bf92f3577b34da6a3ce929d0e0e4736"\} 0\.05 \d+`)
+	if !ex.MatchString(text) {
+		t.Errorf("le=0.1 bucket missing exemplar:\n%s", text)
+	}
+	ex = regexp.MustCompile(`lat_seconds_bucket\{le="1"\} 3 # \{trace_id="00f067aa0ba902b7aabbccddeeff0011"\} 0\.5 \d+`)
+	if !ex.MatchString(text) {
+		t.Errorf("le=1 bucket missing exemplar:\n%s", text)
+	}
+	// The never-observed +Inf bucket has no exemplar.
+	if m := regexp.MustCompile(`lat_seconds_bucket\{le="\+Inf"\} 3\n`).FindString(text); m == "" {
+		t.Errorf("+Inf bucket should carry count 3 and no exemplar:\n%s", text)
+	}
+
+	// The Prometheus 0.0.4 exposition of the same registry must NOT carry
+	// exemplars — they are a syntax error there.
+	sb.Reset()
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	if strings.Contains(sb.String(), "trace_id=") {
+		t.Errorf("0.0.4 exposition leaked exemplars:\n%s", sb.String())
+	}
+}
+
+// TestObserveWithExemplarEmptyID degrades to a plain observation.
+func TestObserveWithExemplarEmptyID(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("x_seconds", "", []float64{1})
+	h.ObserveWithExemplar(0.5, "")
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	var sb strings.Builder
+	if err := reg.WriteOpenMetrics(&sb); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	if strings.Contains(sb.String(), "#{") || strings.Contains(sb.String(), "} 0.5 # ") {
+		t.Errorf("empty trace ID produced an exemplar:\n%s", sb.String())
+	}
+}

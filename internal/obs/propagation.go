@@ -1,0 +1,213 @@
+package obs
+
+// This file gives traces a wire identity. PR3's span trees were anonymous:
+// a tree existed for exactly as long as the Result that carried it, and
+// nothing tied it to the request's access-log line, to the response the
+// client saw, or to another process. Here every trace gets the W3C Trace
+// Context identity — a 128-bit trace ID shared by the whole tree and a
+// 64-bit span ID per node — and the `traceparent` header codec that carries
+// it across a network hop, so the future router/coordinator can propagate
+// one trace through a fan-out and the flight recorder can index retained
+// traces by the same ID the client holds.
+//
+// The codec implements the W3C Trace Context "traceparent" field
+// (https://www.w3.org/TR/trace-context/):
+//
+//	version "-" trace-id "-" parent-id "-" trace-flags
+//	  00    -  32 lowerhex -  16 lowerhex  -  2 hex
+//
+// Parsing is liberal within the spec: versions other than 00 are accepted
+// as long as the 00 prefix layout holds (forward compatibility), version ff
+// and all-zero IDs are invalid and rejected.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	mrand "math/rand/v2"
+	"sync"
+)
+
+// TraceparentHeader is the W3C Trace Context request/response header.
+const TraceparentHeader = "Traceparent"
+
+// TraceID is a 128-bit trace identity shared by every span of one trace.
+// The zero value is "no trace" (invalid on the wire, per the W3C spec).
+type TraceID [16]byte
+
+// SpanID is a 64-bit span identity. The zero value is invalid.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String returns the 32-char lowercase hex form ("" for the zero ID, so
+// log lines never carry the misleading all-zero identity).
+func (t TraceID) String() string {
+	if t.IsZero() {
+		return ""
+	}
+	return hex.EncodeToString(t[:])
+}
+
+// String returns the 16-char lowercase hex form ("" for the zero ID).
+func (s SpanID) String() string {
+	if s.IsZero() {
+		return ""
+	}
+	return hex.EncodeToString(s[:])
+}
+
+// idRand is the span-ID source: a ChaCha8 stream seeded once from
+// crypto/rand, behind a mutex. Span IDs need uniqueness, not secrecy, and
+// this costs a few nanoseconds per ID instead of a syscall — cheap enough
+// to stamp every span of every traced request.
+var idRand = struct {
+	sync.Mutex
+	r *mrand.ChaCha8
+}{r: newChaCha8()}
+
+func newChaCha8() *mrand.ChaCha8 {
+	var seed [32]byte
+	if _, err := rand.Read(seed[:]); err != nil {
+		// Degraded but functional: a fixed seed still yields unique IDs
+		// within the process, which is all tracing needs.
+		copy(seed[:], "molq-fallback-trace-id-seed-0000")
+	}
+	return mrand.NewChaCha8(seed)
+}
+
+func randUint64() uint64 {
+	idRand.Lock()
+	v := idRand.r.Uint64()
+	idRand.Unlock()
+	return v
+}
+
+// NewTraceID returns a fresh random (non-zero) trace ID.
+func NewTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		binary.BigEndian.PutUint64(t[:8], randUint64())
+		binary.BigEndian.PutUint64(t[8:], randUint64())
+	}
+	return t
+}
+
+// NewSpanID returns a fresh random (non-zero) span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		binary.BigEndian.PutUint64(s[:], randUint64())
+	}
+	return s
+}
+
+// TraceContext is the propagated identity of one trace position: the trace
+// a request belongs to, the span that is its parent on this hop, and the
+// sampled flag of the trace-flags octet.
+type TraceContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// Traceparent renders the context as a version-00 traceparent value.
+func (tc TraceContext) Traceparent() string {
+	b := make([]byte, 0, 55)
+	b = append(b, "00-"...)
+	b = hex.AppendEncode(b, tc.TraceID[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, tc.SpanID[:])
+	if tc.Sampled {
+		b = append(b, "-01"...)
+	} else {
+		b = append(b, "-00"...)
+	}
+	return string(b)
+}
+
+// ParseTraceparent decodes a traceparent header value. ok is false for
+// malformed values, version ff, and all-zero trace or span IDs — callers
+// then start a fresh trace rather than propagate garbage.
+func ParseTraceparent(h string) (tc TraceContext, ok bool) {
+	// Minimum layout: 2+1+32+1+16+1+2 = 55 bytes. Longer values are allowed
+	// for future versions as long as the extra data is "-"-separated.
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return tc, false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return tc, false
+	}
+	var ver [1]byte
+	if _, err := hex.Decode(ver[:], []byte(h[:2])); err != nil || ver[0] == 0xff {
+		return tc, false
+	}
+	// Version 00 must be exactly 55 bytes.
+	if ver[0] == 0 && len(h) != 55 {
+		return tc, false
+	}
+	if !isLowerHex(h[3:35]) || !isLowerHex(h[36:52]) {
+		return tc, false
+	}
+	if _, err := hex.Decode(tc.TraceID[:], []byte(h[3:35])); err != nil {
+		return tc, false
+	}
+	if _, err := hex.Decode(tc.SpanID[:], []byte(h[36:52])); err != nil {
+		return tc, false
+	}
+	if tc.TraceID.IsZero() || tc.SpanID.IsZero() {
+		return tc, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(h[53:55])); err != nil {
+		return tc, false
+	}
+	tc.Sampled = flags[0]&0x01 != 0
+	return tc, true
+}
+
+// isLowerHex reports whether s is entirely lowercase hex, the only casing
+// the W3C spec permits for traceparent IDs.
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// traceCtxKey keys the TraceContext in a context.Context.
+type traceCtxKey struct{}
+
+// ContextWithTrace returns a context carrying tc; spans started under it
+// (StartSpanCtx) join tc's trace instead of minting a fresh identity.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFromContext returns the propagated trace context, if any.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok
+}
+
+// StartSpanCtx begins a root span that joins the trace propagated in ctx:
+// its TraceID is the context's and its Parent is the context's span (the
+// caller's position — for an HTTP request, the server span advertised in
+// the response traceparent). Without a context identity it is StartSpan
+// with a fresh trace ID.
+func StartSpanCtx(ctx context.Context, name string) *Span {
+	s := StartSpan(name)
+	if tc, ok := TraceFromContext(ctx); ok && !tc.TraceID.IsZero() {
+		s.TraceID = tc.TraceID
+		s.Parent = tc.SpanID
+	}
+	return s
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Sampled: true}
+	h := tc.Traceparent()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("traceparent %q: want 55-char version-00 sampled value", h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected its own encoding", h)
+	}
+	if got != tc {
+		t.Errorf("round trip: got %+v, want %+v", got, tc)
+	}
+
+	tc.Sampled = false
+	got, ok = ParseTraceparent(tc.Traceparent())
+	if !ok || got.Sampled {
+		t.Errorf("unsampled round trip: got %+v ok=%v", got, ok)
+	}
+}
+
+func TestParseTraceparentRejectsInvalid(t *testing.T) {
+	valid := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Sampled: true}.Traceparent()
+	cases := map[string]string{
+		"empty":             "",
+		"short":             valid[:54],
+		"version ff":        "ff" + valid[2:],
+		"non-hex version":   "zz" + valid[2:],
+		"zero trace id":     valid[:3] + strings.Repeat("0", 32) + valid[35:],
+		"zero span id":      valid[:36] + strings.Repeat("0", 16) + valid[52:],
+		"uppercase hex":     strings.ToUpper(valid),
+		"wrong separator 1": valid[:2] + "_" + valid[3:],
+		"wrong separator 2": valid[:35] + "_" + valid[36:],
+		"version 00 extra":  valid + "-extra",
+		"unseparated extra": valid + "x",
+	}
+	for name, h := range cases {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("%s: ParseTraceparent(%q) accepted, want reject", name, h)
+		}
+	}
+}
+
+func TestParseTraceparentFutureVersion(t *testing.T) {
+	valid := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Sampled: true}.Traceparent()
+	// A future version may carry extra "-"-separated fields; the 00 layout
+	// prefix must still parse (W3C forward compatibility).
+	future := "cc" + valid[2:] + "-futurefield"
+	got, ok := ParseTraceparent(future)
+	if !ok {
+		t.Fatalf("future version %q rejected", future)
+	}
+	if got.TraceID.String() != valid[3:35] {
+		t.Errorf("future version trace ID = %s, want %s", got.TraceID, valid[3:35])
+	}
+}
+
+func TestIDStringZero(t *testing.T) {
+	if s := (TraceID{}).String(); s != "" {
+		t.Errorf("zero TraceID.String() = %q, want empty", s)
+	}
+	if s := (SpanID{}).String(); s != "" {
+		t.Errorf("zero SpanID.String() = %q, want empty", s)
+	}
+	if id := NewTraceID(); len(id.String()) != 32 {
+		t.Errorf("NewTraceID().String() = %q, want 32 hex chars", id.String())
+	}
+	if id := NewSpanID(); len(id.String()) != 16 {
+		t.Errorf("NewSpanID().String() = %q, want 16 hex chars", id.String())
+	}
+}
+
+func TestStartSpanCtxJoinsPropagatedTrace(t *testing.T) {
+	tc := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Sampled: true}
+	ctx := ContextWithTrace(context.Background(), tc)
+
+	root := StartSpanCtx(ctx, "solve")
+	if root.TraceID != tc.TraceID {
+		t.Errorf("root joined trace %s, want %s", root.TraceID, tc.TraceID)
+	}
+	if root.Parent != tc.SpanID {
+		t.Errorf("root parent = %s, want propagated span %s", root.Parent, tc.SpanID)
+	}
+	child := root.Child("overlap")
+	if child.TraceID != tc.TraceID || child.Parent != root.SpanID {
+		t.Errorf("child identity: trace %s parent %s, want trace %s parent %s",
+			child.TraceID, child.Parent, tc.TraceID, root.SpanID)
+	}
+	child.End()
+	root.End()
+
+	// Without a propagated identity the span mints a fresh trace.
+	fresh := StartSpanCtx(context.Background(), "solve")
+	if fresh.TraceID.IsZero() || fresh.TraceID == tc.TraceID {
+		t.Errorf("fresh span trace = %s, want new non-zero ID", fresh.TraceID)
+	}
+	if !fresh.Parent.IsZero() {
+		t.Errorf("fresh span parent = %s, want zero", fresh.Parent)
+	}
+	fresh.End()
+}

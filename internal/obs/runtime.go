@@ -1,0 +1,138 @@
+package obs
+
+// A runtime/metrics → Registry bridge. The domain metrics (sweep counters,
+// cache hit rates, request latencies) tell you what the pipeline did; when
+// a p99 spike is the *runtime's* doing — a GC pause landing mid-solve, a
+// goroutine pileup behind the admission gate, scheduler latency under
+// oversubscription — only the runtime's own instrumentation shows it. This
+// file exports the relevant slice of runtime/metrics as go_* gauges on an
+// obs Registry, so one /v1/metrics scrape carries both layers and a latency
+// alert can be cross-read against GC behaviour at the same timestamp.
+//
+// Sampling: all gauges share one cached metrics.Read batch, refreshed at
+// most once per second — a scrape touching every gauge costs one Read, and
+// GaugeFunc callbacks stay allocation-free after the first refresh.
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// runtimeSampler caches one runtime/metrics batch for all bridged gauges.
+type runtimeSampler struct {
+	mu      sync.Mutex
+	last    time.Time
+	samples []metrics.Sample
+	idx     map[string]int
+}
+
+const runtimeSampleMaxAge = time.Second
+
+func newRuntimeSampler(names []string) *runtimeSampler {
+	s := &runtimeSampler{
+		samples: make([]metrics.Sample, len(names)),
+		idx:     make(map[string]int, len(names)),
+	}
+	for i, n := range names {
+		s.samples[i].Name = n
+		s.idx[n] = i
+	}
+	return s
+}
+
+// read refreshes the batch if stale and returns the sample for name.
+func (s *runtimeSampler) read(name string) metrics.Value {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now := time.Now(); now.Sub(s.last) > runtimeSampleMaxAge {
+		metrics.Read(s.samples)
+		s.last = now
+	}
+	return s.samples[s.idx[name]].Value
+}
+
+// scalar converts a sample to float64 (NaN when the metric is unsupported
+// by the running toolchain, which Prometheus renders without complaint).
+func scalar(v metrics.Value) float64 {
+	switch v.Kind() {
+	case metrics.KindUint64:
+		return float64(v.Uint64())
+	case metrics.KindFloat64:
+		return v.Float64()
+	default:
+		return math.NaN()
+	}
+}
+
+// histQuantile estimates the q-quantile of a runtime/metrics histogram by
+// the upper bound of the bucket the rank falls into (conservative — the
+// true quantile is at most the reported value).
+func histQuantile(v metrics.Value, q float64) float64 {
+	if v.Kind() != metrics.KindFloat64Histogram {
+		return math.NaN()
+	}
+	h := v.Float64Histogram()
+	if h == nil || len(h.Counts) == 0 {
+		return math.NaN()
+	}
+	total := uint64(0)
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	cum := uint64(0)
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			// Buckets[i+1] is the bucket's upper bound; the last bucket's
+			// bound may be +Inf, in which case fall back to its lower bound.
+			ub := h.Buckets[i+1]
+			if math.IsInf(ub, 1) {
+				ub = h.Buckets[i]
+			}
+			return ub
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// RegisterRuntimeMetrics registers the go_* runtime telemetry gauges on
+// reg. Registration is idempotent (GaugeFunc's first registration wins),
+// so repeated Server constructions over one registry are safe.
+func RegisterRuntimeMetrics(reg *Registry) {
+	const (
+		mGoroutines = "/sched/goroutines:goroutines"
+		mGomaxprocs = "/sched/gomaxprocs:threads"
+		mHeapObj    = "/memory/classes/heap/objects:bytes"
+		mHeapFree   = "/memory/classes/heap/free:bytes"
+		mMemTotal   = "/memory/classes/total:bytes"
+		mGCCycles   = "/gc/cycles/total:gc-cycles"
+		mGCPauses   = "/gc/pauses:seconds"
+		mSchedLat   = "/sched/latencies:seconds"
+	)
+	s := newRuntimeSampler([]string{
+		mGoroutines, mGomaxprocs, mHeapObj, mHeapFree,
+		mMemTotal, mGCCycles, mGCPauses, mSchedLat,
+	})
+	gauge := func(name, help, metric string) {
+		reg.GaugeFunc(name, help, func() float64 { return scalar(s.read(metric)) })
+	}
+	quant := func(name, help, metric string, q float64) {
+		reg.GaugeFunc(name, help, func() float64 { return histQuantile(s.read(metric), q) })
+	}
+	gauge("go_goroutines", "live goroutines (runtime/metrics)", mGoroutines)
+	gauge("go_gomaxprocs", "GOMAXPROCS setting", mGomaxprocs)
+	gauge("go_heap_objects_bytes", "bytes of live heap objects", mHeapObj)
+	gauge("go_heap_free_bytes", "heap bytes free and reusable", mHeapFree)
+	gauge("go_memory_total_bytes", "total bytes mapped by the Go runtime", mMemTotal)
+	gauge("go_gc_cycles_total", "completed GC cycles since process start", mGCCycles)
+	quant("go_gc_pause_p50_seconds", "median stop-the-world GC pause", mGCPauses, 0.50)
+	quant("go_gc_pause_p99_seconds", "p99 stop-the-world GC pause", mGCPauses, 0.99)
+	quant("go_sched_latency_p50_seconds", "median goroutine scheduling latency", mSchedLat, 0.50)
+	quant("go_sched_latency_p99_seconds", "p99 goroutine scheduling latency", mSchedLat, 0.99)
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRegisterRuntimeMetrics checks the runtime/metrics bridge: the go_*
+// gauges exist, expose sane live values, and appear in the Prometheus text.
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	RegisterRuntimeMetrics(reg) // idempotent: second call must not panic
+
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	text := sb.String()
+	for _, name := range []string{
+		"go_goroutines", "go_gomaxprocs", "go_heap_objects_bytes",
+		"go_memory_total_bytes", "go_gc_cycles_total",
+		"go_gc_pause_p50_seconds", "go_gc_pause_p99_seconds",
+		"go_sched_latency_p50_seconds", "go_sched_latency_p99_seconds",
+	} {
+		if !strings.Contains(text, "\n"+name+" ") {
+			t.Errorf("exposition missing gauge %s", name)
+		}
+	}
+
+	if got := promValue(t, text, "go_gomaxprocs"); got != float64(runtime.GOMAXPROCS(0)) {
+		t.Errorf("go_gomaxprocs = %g, want %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := promValue(t, text, "go_goroutines"); got < 1 {
+		t.Errorf("go_goroutines = %g, want >= 1", got)
+	}
+	if got := promValue(t, text, "go_memory_total_bytes"); got <= 0 {
+		t.Errorf("go_memory_total_bytes = %g, want > 0", got)
+	}
+}
+
+// promValue extracts an unlabeled sample value from Prometheus text.
+func promValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		val, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			t.Fatalf("sample %s: bad value %q: %v", name, val, err)
+		}
+		return f
+	}
+	t.Fatalf("sample %s not found in exposition", name)
+	return 0
+}

@@ -25,8 +25,8 @@ import (
 // Attr is one key=value annotation on a span. Values are pre-formatted to
 // strings at set time so rendering never re-touches pipeline state.
 type Attr struct {
-	Key   string
-	Value string
+	Key   string `json:"key"`
+	Value string `json:"value"`
 }
 
 // Span is one timed region of a trace. Spans form a tree via Child; the
@@ -38,25 +38,47 @@ type Span struct {
 	StartTime time.Time     // wall clock at StartSpan (carries monotonic reading)
 	Duration  time.Duration // fixed by End/EndWith; 0 while running
 
+	// TraceID identifies the whole tree (every child inherits it), SpanID
+	// this node, and Parent the node above — the root's Parent is the
+	// propagated remote span when the trace was started with StartSpanCtx,
+	// zero otherwise. Set once at creation, never mutated, so reads need no
+	// lock.
+	TraceID TraceID
+	SpanID  SpanID
+	Parent  SpanID
+
 	mu       sync.Mutex
 	attrs    []Attr
 	children []*Span
 	ended    bool
 }
 
-// StartSpan begins a new root span. The embedded monotonic clock of
-// time.Now makes Duration immune to wall-clock steps.
+// StartSpan begins a new root span with a fresh trace identity. The
+// embedded monotonic clock of time.Now makes Duration immune to wall-clock
+// steps. To join a propagated trace instead, use StartSpanCtx.
 func StartSpan(name string) *Span {
-	return &Span{Name: name, StartTime: time.Now()}
+	return &Span{
+		Name:      name,
+		StartTime: time.Now(),
+		TraceID:   NewTraceID(),
+		SpanID:    NewSpanID(),
+	}
 }
 
-// Child begins a sub-span. Returns nil when s is nil, so call chains on a
-// disabled trace cost one pointer check per hop.
+// Child begins a sub-span sharing the parent's trace ID. Returns nil when
+// s is nil, so call chains on a disabled trace cost one pointer check per
+// hop.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := StartSpan(name)
+	c := &Span{
+		Name:      name,
+		StartTime: time.Now(),
+		TraceID:   s.TraceID,
+		SpanID:    NewSpanID(),
+		Parent:    s.SpanID,
+	}
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()

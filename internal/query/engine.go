@@ -242,13 +242,16 @@ func (e *Engine) acquireReplica(st *engineState) *engReplica {
 
 // claimQueryState picks the flat arrays and arena for one query: a replica's
 // when a slot is free, the shared snapshot's plus a pooled arena otherwise.
+// claimed reports which path was taken (exported on Stats.ReplicaClaimed for
+// the slow-query log — a query that missed every replica slot streams shared
+// arrays across cores, a plausible tail-latency cause worth recording).
 // release must be called when the query is done.
-func (e *Engine) claimQueryState(st *engineState) (flat *engineFlat, arena *queryArena, release func()) {
+func (e *Engine) claimQueryState(st *engineState) (flat *engineFlat, arena *queryArena, release func(), claimed bool) {
 	if rep := e.acquireReplica(st); rep != nil {
-		return &rep.flat, &rep.arena, rep.mu.Unlock
+		return &rep.flat, &rep.arena, rep.mu.Unlock, true
 	}
 	a := arenaPool.Get().(*queryArena)
-	return &st.flat, a, func() { arenaPool.Put(a) }
+	return &st.flat, a, func() { arenaPool.Put(a) }, false
 }
 
 // checkTypeWeights validates one weight vector against the engine's sets.
@@ -361,12 +364,13 @@ func (e *Engine) QueryContext(ctx context.Context, typeWeights []float64) (Resul
 	res := Result{Method: e.method}
 	var root *obs.Span
 	if e.in.Trace {
-		root = obs.StartSpan("engine-query/" + e.method.String())
+		root = obs.StartSpanCtx(ctx, "engine-query/"+e.method.String())
 		res.Stats.Trace = root
 	}
 	start := time.Now()
-	flat, arena, release := e.claimQueryState(st)
+	flat, arena, release, claimed := e.claimQueryState(st)
 	defer release()
+	res.Stats.ReplicaClaimed = claimed
 	arena.begin(flat.arenaDemand())
 	p := flat.problemFor(typeWeights, arena)
 	workers := e.in.Workers
@@ -427,10 +431,10 @@ func (e *Engine) QueryBatchContext(ctx context.Context, vecs [][]float64) ([]Res
 	st := e.state.Load()
 	var root *obs.Span
 	if e.in.Trace {
-		root = obs.StartSpan(fmt.Sprintf("engine-query-batch/%s/%d", e.method.String(), len(vecs)))
+		root = obs.StartSpanCtx(ctx, fmt.Sprintf("engine-query-batch/%s/%d", e.method.String(), len(vecs)))
 	}
 	start := time.Now()
-	flat, arena, release := e.claimQueryState(st)
+	flat, arena, release, claimed := e.claimQueryState(st)
 	defer release()
 	arena.begin(len(vecs) * flat.arenaDemand())
 	problems := make([]fermat.FlatProblem, len(vecs))
@@ -459,6 +463,7 @@ func (e *Engine) QueryBatchContext(ctx context.Context, vecs [][]float64) ([]Res
 		st2.OptimizeTime = share
 		st2.TotalTime = share
 		st2.BatchElapsed = elapsed
+		st2.ReplicaClaimed = claimed
 	}
 	if root != nil {
 		root.SetAttr("vectors", len(vecs))

@@ -182,6 +182,12 @@ type Stats struct {
 	PointsManaged int // boundary points held by the final MOVD
 	Combinations  int // combinations enumerated (SSC only)
 
+	// ReplicaClaimed reports whether an engine query ran on a private
+	// per-core read replica (false: it fell back to the shared snapshot,
+	// either because replication is off or every slot was busy — a
+	// tail-latency signal the slow-query log records).
+	ReplicaClaimed bool
+
 	Overlap core.OverlapStats // accumulated across sequential overlaps
 	Fermat  fermat.BatchStats
 	Cache   CacheStats // diagram-cache lookups of this solve's VD stage
@@ -498,7 +504,10 @@ func solveMOVD(ctx context.Context, in Input, method Method) (Result, error) {
 	res := Result{Method: method}
 	var root *obs.Span
 	if in.Trace {
-		root = obs.StartSpan("solve/" + method.String())
+		// StartSpanCtx joins the trace identity propagated in ctx (e.g. the
+		// httpapi middleware's traceparent), so the span tree, access log
+		// and flight recorder all share one trace ID.
+		root = obs.StartSpanCtx(ctx, "solve/"+method.String())
 		res.Stats.Trace = root
 	}
 	totalStart := time.Now()
@@ -655,7 +664,7 @@ func solveSSC(ctx context.Context, in Input) (Result, error) {
 	res := Result{Method: SSC}
 	var root *obs.Span
 	if in.Trace {
-		root = obs.StartSpan("solve/SSC")
+		root = obs.StartSpanCtx(ctx, "solve/SSC")
 		res.Stats.Trace = root
 	}
 	optSpan := root.Child("optimize")

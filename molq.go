@@ -117,6 +117,12 @@ type Options struct {
 	// bounding resident memory for very large queries (the paper's
 	// disk-based future work). Empty keeps evaluation fully in memory.
 	SpillDir string
+	// Trace records a span tree over the solve — one W3C-style trace ID and
+	// one timed span per pipeline phase (Voronoi generation, overlap,
+	// optimizer). The trace ID is reported on Stats.TraceID; the HTTP server
+	// uses the same machinery to retain slow solves in its flight recorder.
+	// Off by default: tracing costs a few allocations per phase.
+	Trace bool
 }
 
 // Query accumulates the object sets 𝔼 = {P_1, …, P_n} of one MOLQ.
@@ -248,6 +254,11 @@ type Stats struct {
 	// Pruned is the number of candidate groups eliminated by the cost
 	// bound (prefilter plus in-iteration pruning).
 	Pruned int
+	// TraceID is the solve's 32-hex-digit trace identifier when
+	// Options.Trace was set ("" otherwise). Quote it when correlating a
+	// library solve with server-side logs or a retained flight-recorder
+	// trace.
+	TraceID string
 }
 
 // Result is the answer to a query.
@@ -276,11 +287,12 @@ func (q *Query) input() query.Input {
 		PruneOverlap:     q.opts.PruneOverlap,
 		Acceleration:     q.opts.Acceleration,
 		SpillDir:         q.opts.SpillDir,
+		Trace:            q.opts.Trace,
 	}
 }
 
 func toResult(res query.Result) Result {
-	return Result{
+	out := Result{
 		Location: res.Loc,
 		Cost:     res.Cost,
 		Method:   res.Method,
@@ -293,6 +305,10 @@ func toResult(res query.Result) Result {
 			Pruned:        res.Stats.Fermat.Prefiltered + res.Stats.Fermat.PrunedGroups,
 		},
 	}
+	if res.Stats.Trace != nil {
+		out.Stats.TraceID = res.Stats.Trace.TraceID.String()
+	}
+	return out
 }
 
 // Solve evaluates the query with the chosen strategy.
