@@ -343,6 +343,45 @@ func benchSuite(quick bool) ([]benchSpec, error) {
 			},
 		},
 	)
+	// Scale rows: the adaptive task decomposition's target regime. The
+	// exact pair construction is Θ(n²) and unrunnable at these sizes, so
+	// only the approximate path is benchmarked, with its phase breakdown
+	// (kd filter, refinement, accumulator emit) exported as extra metrics
+	// for benchdiff. n=10⁶ rides only in full runs — quick keeps the suite
+	// fast — and the committed BENCH_PR9.json pins both sizes so the
+	// near-linear growth between them is checkable offline.
+	weightedScale := []int{100000, 1000000}
+	if quick {
+		weightedScale = []int{100000}
+	}
+	for _, n := range weightedScale {
+		n := n
+		specs = append(specs, benchSpec{
+			name: fmt.Sprintf("BenchmarkWeightedPrepare/approx/n=%d", n),
+			fn: func(b *testing.B) {
+				sites := weightedBenchSites(n)
+				b.ReportAllocs()
+				var st mwvd.Stats
+				var filter, refine, emit time.Duration
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var err error
+					_, st, err = mwvd.ApproxDominanceMBRs(sites, dataset.DefaultBounds, mwvd.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					filter += st.Phases.Filter
+					refine += st.Phases.Refine
+					emit += st.Phases.Emit
+				}
+				b.ReportMetric(float64(filter.Nanoseconds())/float64(b.N), "filter-ns/op")
+				b.ReportMetric(float64(refine.Nanoseconds())/float64(b.N), "refine-ns/op")
+				b.ReportMetric(float64(emit.Nanoseconds())/float64(b.N), "emit-ns/op")
+				b.ReportMetric(float64(st.Cells), "cells")
+				b.ReportMetric(float64(st.AccPeak), "acc-peak")
+			},
+		})
+	}
 	// Weighted n-sweep through the full MBRB pipeline (automatic routing
 	// picks the approximate construction at these sizes). A single weighted
 	// type isolates the prepare cost: vd-ns/op is the weighted diagram

@@ -136,6 +136,41 @@ func FromRegions(mbrs []geom.Rect, objects []Object, typeIndex int, bounds geom.
 	return m, nil
 }
 
+// CellRegion is one refined leaf cell assigned to an object: the cell's
+// rectangle plus the index (into the object set) of the object owning it.
+type CellRegion struct {
+	Rect geom.Rect
+	Obj  int
+}
+
+// FromCellRegions builds a basic RRB-mode MOVD from per-cell rectangular
+// regions — the entry point for approximate weighted diagrams serving RRB
+// (internal/mwvd's EachLeaf walk). Each cell becomes one OVR whose region is
+// the cell rectangle clipped to bounds. Cells are conservative: an object's
+// cells cover at least its true weighted dominance region, so the true
+// combination at every point survives the overlap; ambiguous cells repeat
+// under several objects and only add false-positive combinations, the same
+// contract MBRB's boxes already rely on (Groups deduplicates them before the
+// optimizer).
+func FromCellRegions(cells []CellRegion, objects []Object, typeIndex int, bounds geom.Rect) (*MOVD, error) {
+	m := &MOVD{Types: []int{typeIndex}, Bounds: bounds, Mode: RRB}
+	for _, c := range cells {
+		if c.Obj < 0 || c.Obj >= len(objects) {
+			return nil, fmt.Errorf("core: cell region references object %d of %d", c.Obj, len(objects))
+		}
+		r := c.Rect.Intersect(bounds)
+		if r.IsEmpty() {
+			continue
+		}
+		m.OVRs = append(m.OVRs, OVR{
+			Region: geom.RectPolygon(r),
+			MBR:    r,
+			POIs:   []Object{objects[c.Obj]},
+		})
+	}
+	return m, nil
+}
+
 // Len returns |MOVD|, the number of (non-empty) OVRs.
 func (m *MOVD) Len() int { return len(m.OVRs) }
 

@@ -15,7 +15,8 @@ import (
 
 // Ablations returns the extension experiments: design-choice studies beyond
 // the paper's figures (DESIGN.md calls these out). They share the molqbench
-// registry under ids ext1–ext7.
+// registry under ids ext1–ext9 (ext8, the flight-recorder overhead study,
+// is an external load measurement documented in EXPERIMENTS.md only).
 func Ablations() []Figure {
 	return []Figure{
 		{ID: "ext1", Title: "Ablation: combination pruning during overlap (Sec 8 future work)", Run: RunExt1},
@@ -25,6 +26,7 @@ func Ablations() []Figure {
 		{ID: "ext5", Title: "Ablation: Voronoi generators (incremental vs Fortune) and engine reuse", Run: RunExt5},
 		{ID: "ext6", Title: "Ablation: parallel overlap engine (sharded sweep + chain reduction)", Run: RunExt6},
 		{ID: "ext7", Title: "Ablation: exact vs approximate weighted MWVD (build time and answer quality)", Run: RunExt7},
+		{ID: "ext9", Title: "Ablation: approximate MWVD at scale (phase breakdown, heap peak, crossover)", Run: RunExt9},
 	}
 }
 

@@ -31,16 +31,16 @@ func runQuick(t *testing.T, id string) []string {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(All()) != 14 { // 7 paper figures + 7 ablations
-		t.Fatalf("expected 14 experiments, got %d", len(All()))
+	if len(All()) != 15 { // 7 paper figures + 8 ablations
+		t.Fatalf("expected 15 experiments, got %d", len(All()))
 	}
 	if _, ok := ByID("nope"); ok {
 		t.Fatal("unknown id resolved")
 	}
-	if len(IDs()) != 14 {
+	if len(IDs()) != 15 {
 		t.Fatal("IDs() incomplete")
 	}
-	for _, id := range []string{"fig8", "fig14", "ext1", "ext4", "ext7"} {
+	for _, id := range []string{"fig8", "fig14", "ext1", "ext4", "ext7", "ext9"} {
 		if _, ok := ByID(id); !ok {
 			t.Fatalf("%s missing from registry", id)
 		}
@@ -88,6 +88,21 @@ func TestExt6Quick(t *testing.T) {
 		if strings.Contains(out, "NO (") {
 			t.Fatalf("ext6 table %d reports disagreement:\n%s", i, out)
 		}
+	}
+}
+
+func TestExt9Quick(t *testing.T) {
+	outs := runQuick(t, "ext9")
+	if len(outs) != 2 {
+		t.Fatalf("ext9 should emit 2 tables, got %d", len(outs))
+	}
+	for _, want := range []string{"filter", "refine", "emit", "heap peak"} {
+		if !strings.Contains(outs[0], want) {
+			t.Fatalf("ext9a missing %q column:\n%s", want, outs[0])
+		}
+	}
+	if !strings.Contains(outs[1], "speedup") {
+		t.Fatalf("ext9b missing speedup column:\n%s", outs[1])
 	}
 }
 

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"molq/internal/dataset"
+	"molq/internal/mwvd"
+	"molq/internal/stats"
+	"molq/internal/weighted"
+)
+
+// RunExt9 studies the approximate MWVD construction at scale (10⁵–10⁶
+// sites), the regime the adaptive task decomposition and memory-bounded
+// accumulator target.
+//
+// Part A sweeps n through the full prepare with the auto ε, breaking wall
+// time into the phases the construction reports (kd filter, refinement,
+// accumulator emit) and sampling the live heap concurrently: the µs/site
+// column checks near-linearity, the heap column that the bounded
+// accumulator keeps the footprint proportional to sites + cells rather
+// than tasks × sites.
+//
+// Part B measures the exact-vs-approximate crossover that motivates the
+// automatic 2048-object threshold (query.weightedApproxMinSites): below it
+// the Θ(n²) exact pair scan is cheap enough that approximation only adds
+// candidates; above it the near-linear refinement wins and keeps widening.
+func RunExt9(o Options) ([]*stats.Table, error) {
+	// Part A: scale sweep with phase breakdown and heap peak.
+	sizes := sizesFor([]int{100000, 250000, 500000, 1000000}, []int{5000, 20000}, o)
+	tbA := stats.NewTable(
+		"Ext 9a: approximate MWVD at scale (auto ε, adaptive task grid)",
+		"sites", "ε", "grid", "prepare", "filter", "refine", "emit",
+		"cells", "acc peak", "heap peak", "µs/site")
+	for _, n := range sizes {
+		sites := weightedSites(dataset.STM, n, o.Seed+int64(n))
+		var st mwvd.Stats
+		var total time.Duration
+		heap, err := heapWatch(func() error {
+			start := time.Now()
+			var err error
+			_, st, err = mwvd.ApproxDominanceMBRs(sites, searchBounds, mwvd.Options{})
+			total = time.Since(start)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbA.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.3f", mwvd.AutoEpsilon(n)),
+			fmt.Sprintf("%dx%d", 1<<st.TaskGridLevel, 1<<st.TaskGridLevel),
+			stats.Dur(total),
+			stats.Dur(st.Phases.Filter),
+			stats.Dur(st.Phases.Refine),
+			stats.Dur(st.Phases.Emit),
+			fmt.Sprintf("%d", st.Cells),
+			fmt.Sprintf("%d", st.AccPeak),
+			fmt.Sprintf("%.0f MB", float64(heap)/(1<<20)),
+			fmt.Sprintf("%.2f", float64(total.Microseconds())/float64(n)),
+		)
+		o.logf("ext9a: n=%d done (%v, heap peak %.0f MB)", n, total, float64(heap)/(1<<20))
+	}
+
+	// Part B: exact-vs-approximate crossover around the automatic threshold.
+	sizesB := sizesFor([]int{512, 1024, 2048, 4096, 8192}, []int{256, 1024}, o)
+	tbB := stats.NewTable(
+		"Ext 9b: exact O(n²) vs approximate crossover (auto threshold = 2048)",
+		"sites", "exact", "approx", "speedup")
+	for _, n := range sizesB {
+		sites := weightedSites(dataset.STM, n, o.Seed+int64(n))
+		exStart := time.Now()
+		weighted.DominanceMBRs(sites, searchBounds)
+		exact := time.Since(exStart)
+		apStart := time.Now()
+		if _, _, err := mwvd.ApproxDominanceMBRs(sites, searchBounds, mwvd.Options{}); err != nil {
+			return nil, err
+		}
+		approx := time.Since(apStart)
+		tbB.AddRow(
+			fmt.Sprintf("%d", n),
+			stats.Dur(exact),
+			stats.Dur(approx),
+			fmt.Sprintf("%.2fx", float64(exact)/float64(approx)),
+		)
+		o.logf("ext9b: n=%d done", n)
+	}
+	return []*stats.Table{tbA, tbB}, nil
+}
+
+// heapWatch runs fn while polling the runtime heap from a sampler
+// goroutine and returns the peak live-heap growth (bytes above the
+// post-GC baseline) observed during the run. ReadMemStats briefly stops
+// the world, so the sample period is kept coarse; the peak is therefore a
+// lower bound, which is the conservative direction for a memory budget.
+func heapWatch(fn func() error) (uint64, error) {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+	var peak atomic.Uint64
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		var s runtime.MemStats
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			runtime.ReadMemStats(&s)
+			if s.HeapAlloc > base && s.HeapAlloc-base > peak.Load() {
+				peak.Store(s.HeapAlloc - base)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	err := fn()
+	close(done)
+	<-stopped
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > base && ms.HeapAlloc-base > peak.Load() {
+		peak.Store(ms.HeapAlloc - base)
+	}
+	return peak.Load(), err
+}

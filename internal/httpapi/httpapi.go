@@ -92,9 +92,11 @@ type SolveRequest struct {
 	// Epsilon for the iterative solver (default 1e-3).
 	Epsilon float64 `json:"epsilon,omitempty"`
 	// WeightedEpsilon mirrors molq.Options.WeightedEpsilon: 0 picks the
-	// weighted diagram construction automatically (approximate above 2048
-	// objects per weighted type), > 0 forces the approximate construction
-	// with that relative error bound, < 0 forces the exact one.
+	// weighted diagram construction automatically (under MBRB, approximate
+	// above 2048 objects per weighted type at a machine-derived ε; under
+	// RRB, always the approximate cell construction), > 0 forces the
+	// approximate construction with that relative error bound, < 0 forces
+	// the exact one (rejecting weighted RRB).
 	WeightedEpsilon float64 `json:"weighted_epsilon,omitempty"`
 	// Workers and PruneOverlap mirror the library options.
 	Workers      int  `json:"workers,omitempty"`

@@ -210,6 +210,71 @@ func TestFlightRecorderRetainsSolves(t *testing.T) {
 	}
 }
 
+// TestFlightRecorderWeightedPrepareSpans drives a solve over a type with
+// non-uniform object weights (forcing the approximate weighted diagram) and
+// checks the retained trace's span tree carries the weighted prepare phases
+// — filter, refine, emit — so slow weighted prepares are diagnosable from
+// /debug/traces alone.
+func TestFlightRecorderWeightedPrepareSpans(t *testing.T) {
+	ts := newTestServer(t)
+
+	types := []TypeJSON{
+		{Name: "depot", Objects: []ObjectJSON{
+			{X: 20, Y: 30, ObjWeight: fw(2)}, {X: 80, Y: 40, ObjWeight: fw(0.5)},
+			{X: 50, Y: 70, ObjWeight: fw(1.5)},
+		}},
+		{Name: "market", Objects: []ObjectJSON{{X: 10, Y: 80}, {X: 60, Y: 20}}},
+	}
+	body, _ := json.Marshal(SolveRequest{
+		Bounds: &[4]float64{0, 0, 100, 100}, Types: types,
+		Method: "mbrb", WeightedEpsilon: 0.2,
+	})
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("weighted solve: status %d", resp.StatusCode)
+	}
+	tc, ok := obs.ParseTraceparent(resp.Header.Get(obs.TraceparentHeader))
+	if !ok {
+		t.Fatal("weighted solve response missing traceparent")
+	}
+
+	tresp, err := http.Get(ts.URL + "/debug/traces/" + tc.TraceID.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full obs.RecordedTrace
+	err = json.NewDecoder(tresp.Body).Decode(&full)
+	tresp.Body.Close()
+	if err != nil || tresp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces/{id}: status %d err %v", tresp.StatusCode, err)
+	}
+	seen := map[string]bool{}
+	var walk func(*obs.SpanJSON)
+	walk = func(s *obs.SpanJSON) {
+		if s == nil {
+			return
+		}
+		seen[s.Name] = true
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(full.Root)
+	for _, name := range []string{"weighted-filter", "weighted-refine", "weighted-emit"} {
+		if !seen[name] {
+			names := make([]string, 0, len(seen))
+			for n := range seen {
+				names = append(names, n)
+			}
+			t.Errorf("retained weighted solve trace missing %q span; spans seen: %v", name, names)
+		}
+	}
+}
+
 // TestFlightRecorderDisabled checks WithRecorder(nil) turns the endpoints
 // into 404s and stops span-tree construction.
 func TestFlightRecorderDisabled(t *testing.T) {

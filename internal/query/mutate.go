@@ -136,7 +136,10 @@ func (e *Engine) InsertObject(obj core.Object) (UpdateStats, error) {
 		}
 	}
 	uniformAfter := uniformWeights(set) && obj.ObjWeight == set[0].ObjWeight
-	if !uniformAfter && e.method == RRB {
+	if !uniformAfter && e.method == RRB && e.in.WeightedEpsilon < 0 {
+		// Exact construction forced: weighted RRB has no realization. With
+		// WeightedEpsilon ≥ 0 the non-uniform insert simply falls through to
+		// a rebuild on the approximate weighted cell path.
 		engineUpdateFailuresMetric.Inc()
 		return UpdateStats{}, ErrWeightedRRB
 	}

@@ -209,8 +209,18 @@ func TestMutationValidation(t *testing.T) {
 			_, err := eng.DeleteObject(0, 12345)
 			return err
 		}},
-		{"weighted insert under RRB", ErrWeightedRRB, func() error {
-			_, err := eng.InsertObject(core.Object{Type: 0, ID: 100, Loc: geom.Pt(1, 1), ObjWeight: 2})
+		{"weighted insert under exact-forced RRB", ErrWeightedRRB, func() error {
+			// WeightedEpsilon < 0 forbids the approximate weighted cell
+			// fallback, so a non-uniform insert must be rejected. (The
+			// default engine above would instead rebuild onto approximate
+			// weighted RRB cells.)
+			exIn := in
+			exIn.WeightedEpsilon = -1
+			exactEng, err := NewEngine(exIn, RRB)
+			if err != nil {
+				return err
+			}
+			_, err = exactEng.InsertObject(core.Object{Type: 0, ID: 100, Loc: geom.Pt(1, 1), ObjWeight: 2})
 			return err
 		}},
 	}

@@ -98,7 +98,22 @@ func TestParallelRRBRejectionStillWorks(t *testing.T) {
 	r := rand.New(rand.NewSource(444))
 	in := additiveInput(r, []int{4, 4})
 	in.Workers = 4
+	in.WeightedEpsilon = -1 // force exact: the only mode weighted RRB rejects
 	if _, err := Solve(in, RRB); err == nil {
-		t.Fatal("parallel RRB with weighted objects should still be rejected")
+		t.Fatal("parallel exact-forced RRB with weighted objects should still be rejected")
+	}
+	// Auto mode must instead answer via approximate weighted cells and agree
+	// with the weighted MBRB path on the optimum.
+	in.WeightedEpsilon = 0
+	rrb, err := Solve(in, RRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbrb, err := Solve(in, MBRB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(rrb.Cost-mbrb.Cost) / math.Max(1, mbrb.Cost); rel > 1e-6 {
+		t.Fatalf("weighted RRB cost %v vs MBRB %v", rrb.Cost, mbrb.Cost)
 	}
 }

@@ -93,16 +93,24 @@ type Input struct {
 	// (default fermat.DefaultEpsilon).
 	Epsilon float64
 	// WeightedEpsilon selects how weighted (non-uniform object weight) basic
-	// diagrams are realized for MBRB:
-	//   - 0 (default): automatic — sets with at least weightedApproxMinSites
-	//     objects use the near-linear approximate MWVD refinement
-	//     (internal/mwvd) at mwvd.DefaultEpsilon, smaller sets keep the exact
-	//     O(n²) Apollonius pair construction;
+	// diagrams are realized:
+	//   - 0 (default): automatic — under MBRB, sets with at least
+	//     weightedApproxMinSites objects use the near-linear approximate MWVD
+	//     refinement (internal/mwvd) at mwvd.AutoEpsilon (DefaultEpsilon up
+	//     to 50k sites per core, loosening as √n past it), smaller sets keep
+	//     the exact O(n²) Apollonius pair construction; under RRB every
+	//     weighted set uses the approximate cell construction at
+	//     mwvd.AutoEpsilon (there is no exact polygonal realization of
+	//     curved weighted boundaries);
 	//   - > 0: always use the approximate construction with this relative
-	//     error bound ε (candidate boxes may admit sites up to (1+ε) from
+	//     error bound ε (candidate regions may admit sites up to (1+ε) from
 	//     optimal — still conservative, never false-negative);
-	//   - < 0: always use the exact pair construction.
-	// Uniform-weight types are unaffected (they use exact Voronoi diagrams).
+	//   - < 0: always use the exact pair construction. MBRB only: weighted
+	//     RRB then fails with ErrWeightedRRB.
+	// Under RRB the approximate construction serves refined leaf cells
+	// clipped into rectangular regions (mwvd.Diagram.EachLeaf →
+	// core.FromCellRegions) instead of per-site boxes. Uniform-weight types
+	// are unaffected (they use exact Voronoi diagrams).
 	WeightedEpsilon float64
 	// DisableCostBound switches the optimizer to the "Original" sequential
 	// Fermat-Weber batch (used by the Fig 10 baseline); by default the
@@ -210,7 +218,7 @@ var (
 	ErrNoSets        = errors.New("query: no object sets")
 	ErrEmptySet      = errors.New("query: empty object set")
 	ErrBadWeight     = errors.New("query: object weights must be positive")
-	ErrWeightedRRB   = errors.New("query: RRB requires uniform object weights per type (weighted Voronoi boundaries are curves; use MBRB or SSC)")
+	ErrWeightedRRB   = errors.New("query: exact RRB requires uniform object weights per type (weighted Voronoi boundaries are curves; leave WeightedEpsilon ≥ 0 for approximate weighted RRB cells, or use MBRB/SSC)")
 	ErrUnknownMethod = errors.New("query: unknown method")
 )
 
@@ -305,8 +313,10 @@ func uniformWeights(set []core.Object) bool {
 var vdBuildHook func()
 
 // constructBasic runs the actual Voronoi/dominance construction for one
-// object set — the work the diagram cache memoizes and coalesces.
-func (in *Input) constructBasic(set []core.Object, ti int, method Method, mode core.Mode) (*core.MOVD, error) {
+// object set — the work the diagram cache memoizes and coalesces. span (may
+// be nil) receives the weighted prepare-phase children so slow weighted
+// builds break down in the flight recorder.
+func (in *Input) constructBasic(set []core.Object, ti int, method Method, mode core.Mode, span *obs.Span) (*core.MOVD, error) {
 	if vdBuildHook != nil {
 		vdBuildHook()
 	}
@@ -316,9 +326,14 @@ func (in *Input) constructBasic(set []core.Object, ti int, method Method, mode c
 		return ordinaryBasic(set, ti, in.Bounds, mode)
 	}
 	if method == RRB {
-		return nil, ErrWeightedRRB
+		if in.WeightedEpsilon < 0 {
+			// The caller forced the exact construction, which has no
+			// polygonal RRB realization.
+			return nil, ErrWeightedRRB
+		}
+		return in.weightedCellBasic(set, ti, span)
 	}
-	return in.weightedBasic(set, ti)
+	return in.weightedBasic(set, ti, span)
 }
 
 // buildBasics runs Module 1 of Fig 3 (the VD Generator) for every object
@@ -348,7 +363,7 @@ func (in *Input) buildBasics(method Method, mode core.Mode, span *obs.Span) ([]*
 		}
 		set := in.Sets[ti]
 		if cache == nil {
-			m, err := in.constructBasic(set, ti, method, mode)
+			m, err := in.constructBasic(set, ti, method, mode, sp)
 			if err != nil {
 				return err
 			}
@@ -359,7 +374,7 @@ func (in *Input) buildBasics(method Method, mode core.Mode, span *obs.Span) ([]*
 		fp := fingerprintSet(set, ti, in.Bounds, mode, in.kind(ti), in.Epsilon, in.WeightedEpsilon)
 		fps[ti] = fp
 		m, outcome, err := cache.getOrBuild(fp, func() (*core.MOVD, error) {
-			return in.constructBasic(set, ti, method, mode)
+			return in.constructBasic(set, ti, method, mode, sp)
 		})
 		if err != nil {
 			return err
@@ -626,35 +641,71 @@ const weightedApproxMinSites = 2048
 // WeightedEpsilon picks the construction (see Input.WeightedEpsilon); both
 // yield conservative per-site boxes, so MBRB correctness is identical — the
 // approximate path may only admit extra Fermat-Weber candidates, bounded by ε.
-func (in *Input) weightedBasic(set []core.Object, ti int) (*core.MOVD, error) {
-	sites := make([]weighted.Site, len(set))
-	for i, o := range set {
-		sites[i] = weighted.Site{P: o.Loc, W: o.ObjWeight}
-	}
-	kind := in.kind(ti)
+func (in *Input) weightedBasic(set []core.Object, ti int, span *obs.Span) (*core.MOVD, error) {
+	sites, metric := in.weightedSites(set, ti)
 	approx := in.WeightedEpsilon > 0 ||
 		(in.WeightedEpsilon == 0 && len(set) >= weightedApproxMinSites)
 	var mbrs []geom.Rect
 	if approx {
-		metric := mwvd.Multiplicative
-		if kind == AdditiveObjWeights {
-			metric = mwvd.Additive
-		}
 		m, _, err := mwvd.ApproxDominanceMBRs(sites, in.Bounds, mwvd.Options{
-			Epsilon: in.WeightedEpsilon, // 0 → mwvd.DefaultEpsilon
+			Epsilon: in.WeightedEpsilon, // 0 → mwvd.AutoEpsilon
 			Workers: in.Workers,
 			Metric:  metric,
+			Span:    span,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("query: type %d: %w", ti, err)
 		}
 		mbrs = m
-	} else if kind == AdditiveObjWeights {
+	} else if in.kind(ti) == AdditiveObjWeights {
 		mbrs = weighted.AdditiveDominanceMBRs(sites, in.Bounds)
 	} else {
 		mbrs = weighted.DominanceMBRsParallel(sites, in.Bounds, in.Workers)
 	}
 	return core.FromRegions(mbrs, set, ti, in.Bounds)
+}
+
+// weightedCellBasic realizes the RRB basic diagram of a weighted object set:
+// the approximate MWVD is built tree-mode and its refined leaf cells —
+// sibling quartets merged — are clipped into rectangular OVR regions, one
+// per (cell, surviving object). The cells conservatively cover each object's
+// true dominance region, so the overlap keeps every true combination; extra
+// ambiguous-cell overlaps only add false-positive combinations, which the
+// optimizer already tolerates (they can never cost less than the optimum).
+// Always approximate: curved weighted boundaries have no exact polygonal
+// form, so the 2048-site MBRB crossover does not apply here.
+func (in *Input) weightedCellBasic(set []core.Object, ti int, span *obs.Span) (*core.MOVD, error) {
+	sites, metric := in.weightedSites(set, ti)
+	d, err := mwvd.Build(sites, in.Bounds, mwvd.Options{
+		Epsilon: in.WeightedEpsilon, // 0 → mwvd.AutoEpsilon
+		Workers: in.Workers,
+		Metric:  metric,
+		Span:    span,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("query: type %d: %w", ti, err)
+	}
+	var cells []core.CellRegion
+	d.EachLeaf(func(rect geom.Rect, leafSites []int32) {
+		for _, s := range leafSites {
+			cells = append(cells, core.CellRegion{Rect: rect, Obj: int(s)})
+		}
+	})
+	return core.FromCellRegions(cells, set, ti, in.Bounds)
+}
+
+// weightedSites converts an object set to weighted Voronoi generators plus
+// the mwvd metric matching the set's object-weight family.
+func (in *Input) weightedSites(set []core.Object, ti int) ([]weighted.Site, mwvd.Metric) {
+	sites := make([]weighted.Site, len(set))
+	for i, o := range set {
+		sites[i] = weighted.Site{P: o.Loc, W: o.ObjWeight}
+	}
+	metric := mwvd.Multiplicative
+	if in.kind(ti) == AdditiveObjWeights {
+		metric = mwvd.Additive
+	}
+	return sites, metric
 }
 
 // solveSSC implements Algorithm 1. The two-point prefilter uses the exact

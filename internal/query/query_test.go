@@ -169,7 +169,11 @@ func TestFourTypesAgree(t *testing.T) {
 	}
 }
 
-func TestRRBRejectsWeightedObjects(t *testing.T) {
+// TestRRBRejectsWeightedObjectsWhenExactForced: WeightedEpsilon < 0 pins the
+// exact construction, which has no polygonal RRB realization — only then is
+// a weighted RRB solve rejected. The default (auto) mode answers via the
+// approximate weighted cell path instead.
+func TestRRBRejectsWeightedObjectsWhenExactForced(t *testing.T) {
 	in := Input{
 		Sets: [][]core.Object{
 			{
@@ -177,10 +181,55 @@ func TestRRBRejectsWeightedObjects(t *testing.T) {
 				{ID: 1, Type: 0, Loc: geom.Pt(200, 200), TypeWeight: 1, ObjWeight: 2},
 			},
 		},
-		Bounds: testBounds,
+		Bounds:          testBounds,
+		WeightedEpsilon: -1,
 	}
 	if _, err := Solve(in, RRB); !errors.Is(err, ErrWeightedRRB) {
 		t.Fatalf("want ErrWeightedRRB, got %v", err)
+	}
+	in.WeightedEpsilon = 0
+	if _, err := Solve(in, RRB); err != nil {
+		t.Fatalf("auto weighted RRB should solve, got %v", err)
+	}
+}
+
+// TestWeightedObjectsViaRRBMatchesSSC: the approximate weighted RRB path —
+// refined cells clipped into rectangular OVR regions — must find the SSC
+// optimum: conservativeness guarantees the optimal combination survives the
+// overlap, and no false-positive combination can cost less than the optimum.
+func TestWeightedObjectsViaRRBMatchesSSC(t *testing.T) {
+	r := rand.New(rand.NewSource(919))
+	for trial := 0; trial < 5; trial++ {
+		sets := make([][]core.Object, 2)
+		for ti := range sets {
+			n := 3 + r.Intn(3)
+			set := make([]core.Object, n)
+			for i := range set {
+				set[i] = core.Object{
+					ID:         i,
+					Type:       ti,
+					Loc:        geom.Pt(r.Float64()*1000, r.Float64()*1000),
+					TypeWeight: 1 + 4*r.Float64(),
+					ObjWeight:  0.5 + 2*r.Float64(),
+				}
+			}
+			sets[ti] = set
+		}
+		in := Input{Sets: sets, Bounds: testBounds, Epsilon: 1e-6}
+		ssc, err := Solve(in, SSC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, weps := range []float64{0, 0.05, 0.3} {
+			in.WeightedEpsilon = weps
+			rrb, err := Solve(in, RRB)
+			if err != nil {
+				t.Fatalf("trial %d weps=%g: %v", trial, weps, err)
+			}
+			if math.Abs(rrb.Cost-ssc.Cost) > 1e-3*math.Max(1, ssc.Cost) {
+				t.Fatalf("trial %d weps=%g: weighted RRB cost %v vs SSC %v", trial, weps, rrb.Cost, ssc.Cost)
+			}
+		}
 	}
 }
 

@@ -32,10 +32,20 @@ import (
 const weightTieRel = 1e-9
 
 // Site is a weighted Voronoi generator: position plus multiplicative object
-// weight w^o (> 0). Smaller weights dominate larger regions.
+// weight w^o (> 0 and finite — see ValidWeight). Smaller weights dominate
+// larger regions.
 type Site struct {
 	P geom.Point
 	W float64
+}
+
+// ValidWeight reports whether w is a usable site weight: strictly positive
+// and finite. Zero, negative, NaN and +Inf weights all degenerate the
+// weighted distance (0·d ties everywhere, Inf·d and NaN poison every
+// comparison they touch), so both the exact realization here and the
+// approximate one in internal/mwvd reject them up front.
+func ValidWeight(w float64) bool {
+	return w > 0 && !math.IsInf(w, 1)
 }
 
 // ApolloniusDisk returns the disk {x : d(x,p) ≤ λ·d(x,q)} for λ < 1 as

@@ -80,17 +80,22 @@ type Options struct {
 	// Epsilon is the relative error bound ε of the iterative Fermat-Weber
 	// stopping rule (0 means the 1e-3 default).
 	Epsilon float64
-	// WeightedEpsilon controls how MBRB realizes basic diagrams for types
+	// WeightedEpsilon controls how basic diagrams are realized for types
 	// with non-uniform object weights, whose exact construction is O(n²)
 	// Apollonius pairs:
-	//   - 0 (default): automatic — large weighted sets (≥2048 objects) switch
-	//     to a near-linear approximate construction with relative error
-	//     bound 0.15, small sets stay exact;
+	//   - 0 (default): automatic — under MBRB, large weighted sets (≥2048
+	//     objects) switch to a near-linear approximate construction whose
+	//     relative error bound is derived from the machine (0.15 up to 50k
+	//     objects per core, loosening as √n past that, capped at 0.5) while
+	//     small sets stay exact; under RRB every weighted type uses the
+	//     approximate construction, serving its refined cells as
+	//     rectangular regions;
 	//   - > 0: always approximate, with this error bound: every candidate
 	//     the diagram admits costs at most (1+ε)× the true weighted minimum
 	//     at its location. Approximation is conservative — the true optimum
 	//     is never excluded, extra candidates only cost optimizer time;
-	//   - < 0: always exact.
+	//   - < 0: always exact. RRB queries over weighted types then fail
+	//     (curved weighted boundaries have no exact polygonal form).
 	// Types with uniform object weights use exact Voronoi diagrams and
 	// ignore this knob.
 	WeightedEpsilon float64

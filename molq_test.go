@@ -156,9 +156,16 @@ func TestErrorsPropagate(t *testing.T) {
 	q.AddType("w",
 		molq.POI(molq.Pt(0.1, 0.1), 1, 1),
 		molq.POI(molq.Pt(0.9, 0.9), 1, 2)) // non-uniform object weights
-	if _, err := q.Solve(molq.RRB); err == nil {
-		t.Fatal("RRB with weighted objects should fail")
+	if _, err := q.Solve(molq.RRB); err != nil {
+		t.Fatalf("RRB with weighted objects should answer via clipped cells: %v", err)
 	}
+	opts := q.Options()
+	opts.WeightedEpsilon = -1 // force exact: weighted regions are curves, no RRB form
+	q.SetOptions(opts)
+	if _, err := q.Solve(molq.RRB); err == nil {
+		t.Fatal("exact weighted RRB (WeightedEpsilon < 0) should fail")
+	}
+	q.SetOptions(molq.Options{})
 	if _, err := q.Solve(molq.MBRB); err != nil {
 		t.Fatalf("MBRB should handle weighted objects: %v", err)
 	}
