@@ -1,0 +1,286 @@
+// Package client is the Go client for the molqd v1 HTTP API: solve, engine
+// CRUD, prepared-engine queries, object mutations, scoring and server
+// introspection. Every method takes a context (cancelation and deadlines
+// propagate to the server, which answers 499/504 accordingly) and decodes
+// the API's JSON error envelope into *APIError, so callers branch on typed
+// fields instead of parsing message strings:
+//
+//	c := client.New("http://localhost:8080")
+//	res, err := c.Solve(ctx, client.SolveRequest{Types: sets})
+//	var apiErr *client.APIError
+//	if errors.As(err, &apiErr) && apiErr.Status == 429 { backoff() }
+//
+// The client speaks W3C trace context: when the context carries a trace
+// (server middleware puts one there, or tests inject one), the outgoing
+// request gets a `traceparent` header so a multi-hop deployment — client →
+// router → replica — correlates as one trace. The cluster router uses this
+// package for every upstream call, so it is exercised under load by
+// `molqbench -load -cluster`.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"molq/internal/obs"
+)
+
+// APIError is a non-2xx response decoded from the server's error envelope
+// {"error":{"code","message","request_id"}}.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the stable machine-readable envelope code ("not_found",
+	// "rate_limited", "unprocessable", …).
+	Code string
+	// Message is the human-readable explanation.
+	Message string
+	// RequestID echoes the X-Request-Id the server assigned, for quoting in
+	// bug reports and log searches.
+	RequestID string
+	// RetryAfterSeconds is the parsed Retry-After header on 429 responses
+	// (0 when absent).
+	RetryAfterSeconds int
+}
+
+func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("molq: %s (%d %s, request %s)", e.Message, e.Status, e.Code, e.RequestID)
+	}
+	return fmt.Sprintf("molq: %s (%d %s)", e.Message, e.Status, e.Code)
+}
+
+// IsRetryable reports whether the request may succeed verbatim on another
+// node or after a pause: admission sheds (429) and transient server-side
+// failures (5xx except 501).
+func (e *APIError) IsRetryable() bool {
+	return e.Status == http.StatusTooManyRequests ||
+		(e.Status >= 500 && e.Status != http.StatusNotImplemented)
+}
+
+// Client talks to one molqd (or one cluster router — the router serves the
+// same v1 surface). Methods are safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+	ua   string
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the underlying *http.Client (timeouts, transport
+// limits, instrumentation). The default is http.DefaultClient.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) {
+		if h != nil {
+			c.http = h
+		}
+	}
+}
+
+// WithUserAgent sets the User-Agent header on every request.
+func WithUserAgent(ua string) Option {
+	return func(c *Client) { c.ua = ua }
+}
+
+// New returns a client for the server at baseURL (scheme + host[:port],
+// with or without a trailing slash).
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		http: http.DefaultClient,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// BaseURL returns the server address the client was built with.
+func (c *Client) BaseURL() string { return c.base }
+
+// do issues one request and decodes the response into out (ignored when
+// nil). Non-2xx responses become *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("molq: encode request: %w", err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("molq: build request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.ua != "" {
+		req.Header.Set("User-Agent", c.ua)
+	}
+	// Propagate the caller's trace identity so the server joins the same
+	// trace instead of minting a fresh one.
+	if tc, ok := obs.TraceFromContext(ctx); ok {
+		req.Header.Set(obs.TraceparentHeader, tc.Traceparent())
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return decodeAPIError(resp)
+	}
+	if out == nil {
+		// Drain so the connection is reusable.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("molq: decode response: %w", err)
+	}
+	return nil
+}
+
+// decodeAPIError turns a non-2xx response into *APIError, surviving bodies
+// that are not the canonical envelope (proxies, panics mid-write).
+func decodeAPIError(resp *http.Response) error {
+	apiErr := &APIError{
+		Status:    resp.StatusCode,
+		RequestID: resp.Header.Get("X-Request-Id"),
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			apiErr.RetryAfterSeconds = secs
+		}
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env struct {
+		Error struct {
+			Code      string `json:"code"`
+			Message   string `json:"message"`
+			RequestID string `json:"request_id"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &env); err == nil && env.Error.Code != "" {
+		apiErr.Code = env.Error.Code
+		apiErr.Message = env.Error.Message
+		if env.Error.RequestID != "" {
+			apiErr.RequestID = env.Error.RequestID
+		}
+		return apiErr
+	}
+	apiErr.Code = "http_" + strconv.Itoa(resp.StatusCode)
+	apiErr.Message = strings.TrimSpace(string(raw))
+	if apiErr.Message == "" {
+		apiErr.Message = http.StatusText(resp.StatusCode)
+	}
+	return apiErr
+}
+
+// Solve evaluates one query with inline object sets (POST /v1/solve).
+func (c *Client) Solve(ctx context.Context, req SolveRequest) (SolveResponse, error) {
+	var out SolveResponse
+	err := c.do(ctx, http.MethodPost, "/v1/solve", req, &out)
+	return out, err
+}
+
+// Score returns the MWGD of each candidate location against inline sets
+// (POST /v1/score), in candidate order.
+func (c *Client) Score(ctx context.Context, req ScoreRequest) ([]float64, error) {
+	var out struct {
+		Costs []float64 `json:"costs"`
+	}
+	err := c.do(ctx, http.MethodPost, "/v1/score", req, &out)
+	return out.Costs, err
+}
+
+// CreateEngine prepares a reusable engine (POST /v1/engines). A name
+// collision returns *APIError with Code "conflict".
+func (c *Client) CreateEngine(ctx context.Context, req EngineRequest) (EngineInfo, error) {
+	var out EngineInfo
+	err := c.do(ctx, http.MethodPost, "/v1/engines", req, &out)
+	return out, err
+}
+
+// Engines lists the prepared engines (GET /v1/engines), sorted by name.
+func (c *Client) Engines(ctx context.Context) ([]EngineInfo, error) {
+	var out []EngineInfo
+	err := c.do(ctx, http.MethodGet, "/v1/engines", nil, &out)
+	return out, err
+}
+
+// Engine fetches one prepared engine's info (GET /v1/engines/{name}).
+func (c *Client) Engine(ctx context.Context, name string) (EngineInfo, error) {
+	var out EngineInfo
+	err := c.do(ctx, http.MethodGet, "/v1/engines/"+url.PathEscape(name), nil, &out)
+	return out, err
+}
+
+// DeleteEngine drops a prepared engine (DELETE /v1/engines/{name}).
+func (c *Client) DeleteEngine(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/engines/"+url.PathEscape(name), nil, nil)
+}
+
+// Query solves against a prepared engine with fresh type weights
+// (POST /v1/engines/{name}/query).
+func (c *Client) Query(ctx context.Context, name string, weights []float64) (SolveResponse, error) {
+	var out SolveResponse
+	body := struct {
+		TypeWeights []float64 `json:"type_weights"`
+	}{weights}
+	err := c.do(ctx, http.MethodPost, "/v1/engines/"+url.PathEscape(name)+"/query", body, &out)
+	return out, err
+}
+
+// QueryBatch answers every weight vector in one engine pass
+// (POST /v1/engines/{name}/query with a batched body).
+func (c *Client) QueryBatch(ctx context.Context, name string, weights [][]float64) (BatchResponse, error) {
+	var out BatchResponse
+	body := struct {
+		TypeWeights [][]float64 `json:"type_weights"`
+	}{weights}
+	err := c.do(ctx, http.MethodPost, "/v1/engines/"+url.PathEscape(name)+"/query", body, &out)
+	return out, err
+}
+
+// InsertObject inserts one object into a prepared engine
+// (POST /v1/engines/{name}/objects), bumping the engine version.
+func (c *Client) InsertObject(ctx context.Context, name string, obj ObjectUpsert) (Update, error) {
+	var out Update
+	err := c.do(ctx, http.MethodPost, "/v1/engines/"+url.PathEscape(name)+"/objects", obj, &out)
+	return out, err
+}
+
+// DeleteObject removes one object from a prepared engine
+// (DELETE /v1/engines/{name}/objects/{id}?type=N).
+func (c *Client) DeleteObject(ctx context.Context, name string, typeIndex, id int) (Update, error) {
+	var out Update
+	path := fmt.Sprintf("/v1/engines/%s/objects/%d?type=%d", url.PathEscape(name), id, typeIndex)
+	err := c.do(ctx, http.MethodDelete, path, nil, &out)
+	return out, err
+}
+
+// Stats fetches server status (GET /v1/stats).
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var out Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// Health probes liveness (GET /v1/healthz).
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var out Health
+	err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &out)
+	return out, err
+}

@@ -1,0 +1,169 @@
+package client
+
+// The wire types mirror the server's v1 JSON bodies field-for-field. They
+// are deliberately independent copies: the server's own structs live in an
+// internal package, and a public client cannot leak internal types through
+// its API surface.
+
+// Point is a location in request and response bodies.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Object is one POI in a request body. Weights are pointers so an omitted
+// weight (server default 1) is distinguishable from an explicit value; the
+// server rejects non-positive weights with 400.
+type Object struct {
+	X          float64  `json:"x"`
+	Y          float64  `json:"y"`
+	TypeWeight *float64 `json:"type_weight,omitempty"`
+	ObjWeight  *float64 `json:"obj_weight,omitempty"`
+}
+
+// Weight returns a pointer suitable for the optional weight fields.
+func Weight(v float64) *float64 { return &v }
+
+// Type is one object set in a request body. Kind selects the per-object
+// weight semantics: "multiplicative" (default) or "additive".
+type Type struct {
+	Name    string   `json:"name,omitempty"`
+	Kind    string   `json:"kind,omitempty"`
+	Objects []Object `json:"objects"`
+}
+
+// SolveRequest is the body of POST /v1/solve.
+type SolveRequest struct {
+	// Method: "ssc", "rrb" (default) or "mbrb".
+	Method string `json:"method,omitempty"`
+	// Bounds of the search space (minX, minY, maxX, maxY); omitted means
+	// the bounding box of the objects.
+	Bounds *[4]float64 `json:"bounds,omitempty"`
+	Types  []Type      `json:"types"`
+	// Epsilon for the iterative solver (server default 1e-3).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// WeightedEpsilon selects the weighted-diagram construction: 0 auto,
+	// > 0 approximate with that relative error bound, < 0 exact.
+	WeightedEpsilon float64 `json:"weighted_epsilon,omitempty"`
+	Workers         int     `json:"workers,omitempty"`
+	PruneOverlap    bool    `json:"prune_overlap,omitempty"`
+	// TopK > 1 additionally returns ranked runner-up locations.
+	TopK int `json:"top_k,omitempty"`
+}
+
+// Alternative is one ranked runner-up location.
+type Alternative struct {
+	Location Point   `json:"location"`
+	Cost     float64 `json:"cost"`
+}
+
+// CacheStats reports a solve's diagram-cache lookups.
+type CacheStats struct {
+	Hits      int     `json:"hits"`
+	Misses    int     `json:"misses"`
+	Coalesced int     `json:"coalesced"`
+	Entries   int     `json:"entries"`
+	Bytes     int64   `json:"bytes"`
+	Capacity  int64   `json:"capacity"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// SolveResponse reports an optimum.
+type SolveResponse struct {
+	Location     Point         `json:"location"`
+	Cost         float64       `json:"cost"`
+	Method       string        `json:"method"`
+	OVRs         int           `json:"ovrs,omitempty"`
+	Groups       int           `json:"fermat_weber_problems,omitempty"`
+	Micros       int64         `json:"elapsed_us"`
+	Alternatives []Alternative `json:"alternatives,omitempty"`
+	Cache        *CacheStats   `json:"cache,omitempty"`
+}
+
+// BatchResponse answers a batched engine query: one result per weight
+// vector, in request order.
+type BatchResponse struct {
+	Results []SolveResponse `json:"results"`
+	Micros  int64           `json:"elapsed_us"`
+}
+
+// EngineRequest is the body of POST /v1/engines.
+type EngineRequest struct {
+	Name   string      `json:"name"`
+	Method string      `json:"method,omitempty"` // "rrb" (default) or "mbrb"
+	Bounds *[4]float64 `json:"bounds,omitempty"`
+	Types  []Type      `json:"types"`
+	// Epsilon server default 1e-3.
+	Epsilon         float64 `json:"epsilon,omitempty"`
+	WeightedEpsilon float64 `json:"weighted_epsilon,omitempty"`
+	// Replicas: per-core read replicas of the engine's hot query state
+	// (0 = one per CPU, negative disables).
+	Replicas int `json:"replicas,omitempty"`
+}
+
+// EngineInfo describes a prepared engine.
+type EngineInfo struct {
+	Name         string   `json:"name"`
+	Method       string   `json:"method"`
+	Types        []string `json:"types"`
+	Version      int64    `json:"version"`
+	Objects      []int    `json:"objects"`
+	OVRs         int      `json:"ovrs"`
+	Combinations int      `json:"combinations"`
+	PrepMicros   int64    `json:"prepare_us"`
+	CacheHits    int      `json:"cache_hits"`
+	CacheMisses  int      `json:"cache_misses"`
+}
+
+// ObjectUpsert is the body of POST /v1/engines/{name}/objects: one object
+// to insert into the engine's set for Type.
+type ObjectUpsert struct {
+	Type int     `json:"type"`
+	ID   int     `json:"id"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+	// ObjWeight defaults to 1; explicit values must be positive.
+	ObjWeight *float64 `json:"obj_weight,omitempty"`
+}
+
+// Update reports one engine mutation (insert or delete).
+type Update struct {
+	Engine       string `json:"engine"`
+	Version      int64  `json:"version"`
+	Incremental  bool   `json:"incremental"`
+	DirtyCells   int    `json:"dirty_cells"`
+	OVRs         int    `json:"ovrs"`
+	Combinations int    `json:"combinations"`
+	Micros       int64  `json:"elapsed_us"`
+}
+
+// ScoreRequest is the body of POST /v1/score.
+type ScoreRequest struct {
+	Types      []Type  `json:"types"`
+	Candidates []Point `json:"candidates"`
+}
+
+// BuildInfo carries the server's build/version metadata.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+}
+
+// Stats is the body of GET /v1/stats.
+type Stats struct {
+	Engines       int        `json:"engines"`
+	DiagramCache  CacheStats `json:"diagram_cache"`
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	Goroutines    int        `json:"goroutines"`
+	Build         BuildInfo  `json:"build"`
+}
+
+// Health is the body of GET /v1/healthz.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Goroutines    int     `json:"goroutines"`
+	Version       string  `json:"version,omitempty"`
+}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"molq/internal/benchfmt"
+	"molq/internal/cluster"
 	"molq/internal/httpapi"
 	"molq/internal/obs"
 )
@@ -35,6 +37,8 @@ type loadOptions struct {
 	qps      float64       // target arrival rate across all classes
 	workers  int           // concurrent client connections (≤0: 2·GOMAXPROCS)
 	progress io.Writer     // optional progress/log sink
+	cluster  bool          // self-host a router + replicas instead of one server
+	replicas int           // cluster size for -cluster (≤0: 3)
 }
 
 // loadBuckets resolve sub-millisecond engine queries and multi-hundred-ms
@@ -84,7 +88,19 @@ func runLoad(opt loadOptions) ([]benchfmt.Result, error) {
 		return nil, fmt.Errorf("load: target qps must be positive, got %g", opt.qps)
 	}
 	base := opt.target
-	if base == "" {
+	switch {
+	case base == "" && opt.cluster:
+		clusterBase, cleanup, err := selfHostCluster(opt)
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+		base = clusterBase
+		if opt.progress != nil {
+			fmt.Fprintf(opt.progress, "load: self-hosted cluster (router + %d replicas) at %s\n",
+				max(opt.replicas, 1), base)
+		}
+	case base == "":
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return nil, fmt.Errorf("load: self-host listen: %v", err)
@@ -255,6 +271,74 @@ func runLoad(opt loadOptions) ([]benchfmt.Result, error) {
 		reportOutliers(client, base, opt.progress)
 	}
 	return results, nil
+}
+
+// selfHostCluster boots a router plus opt.replicas replica servers on
+// loopback ports, waits until every replica's heartbeat landed, and returns
+// the router's base URL. The load mix then exercises the full distributed
+// path: engine creation ships shards, engine queries scatter-gather, solves
+// proxy to the least-loaded replica.
+func selfHostCluster(opt loadOptions) (string, func(), error) {
+	n := opt.replicas
+	if n <= 0 {
+		n = 3
+	}
+	router := cluster.NewRouter(
+		cluster.WithShards(max(2, runtime.GOMAXPROCS(0))),
+		cluster.WithHeartbeatTimeout(2*time.Second),
+	)
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, fmt.Errorf("load: cluster router listen: %v", err)
+	}
+	rsrv := &http.Server{Handler: router}
+	go rsrv.Serve(rln)
+	base := "http://" + rln.Addr().String()
+
+	var closers []func()
+	cleanup := func() {
+		for _, c := range closers {
+			c()
+		}
+		rsrv.Close()
+	}
+	for i := 0; i < n; i++ {
+		api := httpapi.New(httpapi.WithAdmission(2*runtime.GOMAXPROCS(0), 256))
+		rep := cluster.NewReplica(cluster.NewShardStore())
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cleanup()
+			return "", nil, fmt.Errorf("load: cluster replica listen: %v", err)
+		}
+		srv := &http.Server{Handler: cluster.NewReplicaMux(api, rep)}
+		go srv.Serve(ln)
+		ctx, cancel := context.WithCancel(context.Background())
+		id := fmt.Sprintf("load-%d", i)
+		addr := "http://" + ln.Addr().String()
+		store := rep.Store()
+		agent := &cluster.Agent{
+			RouterURL: base,
+			Interval:  50 * time.Millisecond,
+			Status: func() cluster.NodeStatus {
+				return cluster.NodeStatus{
+					ID: id, Addr: addr,
+					Engines: api.Engines(), Shards: store.List(),
+					Load: runtime.NumGoroutine(),
+				}
+			},
+		}
+		go agent.Run(ctx)
+		closers = append(closers, func() { cancel(); srv.Close() })
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(router.Members().Live()) == n {
+			return base, cleanup, nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cleanup()
+	return "", nil, fmt.Errorf("load: cluster never reached %d live replicas", n)
 }
 
 // outlierReportMax bounds how many retained traces the post-run report

@@ -39,6 +39,8 @@ func main() {
 		loadDur    = flag.Duration("load-duration", 5*time.Second, "how long -load offers traffic")
 		loadQPS    = flag.Float64("load-qps", 50, "target arrival rate for -load, requests/second")
 		loadWork   = flag.Int("load-workers", 0, "concurrent -load client connections (0: 2×GOMAXPROCS)")
+		loadClus   = flag.Bool("cluster", false, "self-host a shard router plus -cluster-replicas replicas for -load instead of one server (ignored with -target)")
+		loadRepl   = flag.Int("cluster-replicas", 3, "replica count for -load -cluster")
 	)
 	flag.Parse()
 	if *benchout != "" || *load {
@@ -62,6 +64,8 @@ func main() {
 				qps:      *loadQPS,
 				workers:  *loadWork,
 				progress: os.Stderr,
+				cluster:  *loadClus,
+				replicas: *loadRepl,
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "molqbench: load: %v\n", err)

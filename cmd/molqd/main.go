@@ -6,6 +6,22 @@
 //	molqd [-addr :8080] [-log-level info] [-pprof]
 //	      [-max-concurrent 0] [-max-queue 64]
 //	      [-slow-query 0] [-trace-retain 8] [-smoke]
+//	      [-router [-shards N] [-heartbeat-timeout 3s]]
+//	      [-join URL [-advertise URL] [-node-id ID] [-heartbeat-interval 1s]]
+//
+// # Cluster mode
+//
+// -router turns the process into the cluster coordinator: it serves the
+// same v1 surface, but fans engine state out to replica molqd processes
+// (spatial shards shipped as binary snapshots, mutations as deltas) and
+// routes queries by shard with failover. -shards sets the strip count per
+// engine; -heartbeat-timeout how long a silent replica stays routable.
+//
+// -join URL makes the process a replica of the router at URL: it serves
+// v1 plus the /cluster/v1 shard surface and pushes heartbeats every
+// -heartbeat-interval. -advertise is the URL the router should reach this
+// node on (defaults to http://<addr>, which only works when -addr carries
+// a routable host); -node-id defaults to host:port of the listener.
 //
 // Structured access and error logs (log/slog, text format) go to stderr;
 // -log-level selects debug, info, warn or error. -pprof additionally
@@ -58,10 +74,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
 
+	"molq/internal/cluster"
 	"molq/internal/httpapi"
 	"molq/internal/obs"
 )
@@ -79,8 +97,20 @@ func main() {
 		slowQuery   = flag.Duration("slow-query", 0, "log solve-bearing requests at or above this duration (0: off)")
 		traceRetain = flag.Int("trace-retain", obs.DefaultTraceRetention, "slowest traces retained per route+engine by the flight recorder (0: recorder off)")
 		smoke       = flag.Bool("smoke", false, "boot, self-check /v1/healthz and one solve, then exit")
+
+		routerMode = flag.Bool("router", false, "run as cluster coordinator instead of a solve node")
+		shards     = flag.Int("shards", 0, "router: spatial strips per engine (0: one per CPU, min 2)")
+		hbTimeout  = flag.Duration("heartbeat-timeout", 3*time.Second, "router: declare a silent replica dead after this long")
+		joinURL    = flag.String("join", "", "replica: router base URL to join (empty: standalone)")
+		advertise  = flag.String("advertise", "", "replica: URL the router reaches this node on (default http://<addr>)")
+		nodeID     = flag.String("node-id", "", "replica: stable node identity (default host:port)")
+		hbInterval = flag.Duration("heartbeat-interval", time.Second, "replica: heartbeat push period")
 	)
 	flag.Parse()
+	if *routerMode && *joinURL != "" {
+		fmt.Fprintln(os.Stderr, "molqd: -router and -join are mutually exclusive")
+		os.Exit(2)
+	}
 
 	level, err := parseLevel(*logLevel)
 	if err != nil {
@@ -93,14 +123,38 @@ func main() {
 	if *traceRetain > 0 {
 		recorder = obs.NewRecorder(*traceRetain, obs.DefaultTraceWindow, 0)
 	}
-	api := httpapi.New(
-		httpapi.WithLogger(logger),
-		httpapi.WithAdmission(*maxConc, *maxQueue),
-		httpapi.WithRecorder(recorder),
-		httpapi.WithSlowQueryLog(*slowQuery),
+	// Three shapes: coordinator (-router), replica (-join), or standalone.
+	// Replicas serve the normal v1 API plus the /cluster/v1 shard surface;
+	// the coordinator serves v1 alone and owns no local engines.
+	var (
+		api     *httpapi.Server
+		replica *cluster.Replica
+		handler http.Handler
 	)
+	if *routerMode {
+		ropts := []cluster.RouterOption{
+			cluster.WithRouterLogger(logger),
+			cluster.WithHeartbeatTimeout(*hbTimeout),
+		}
+		if *shards > 0 {
+			ropts = append(ropts, cluster.WithShards(*shards))
+		}
+		handler = cluster.NewRouter(ropts...)
+	} else {
+		api = httpapi.New(
+			httpapi.WithLogger(logger),
+			httpapi.WithAdmission(*maxConc, *maxQueue),
+			httpapi.WithRecorder(recorder),
+			httpapi.WithSlowQueryLog(*slowQuery),
+		)
+		handler = api
+		if *joinURL != "" {
+			replica = cluster.NewReplica(cluster.NewShardStore())
+			handler = cluster.NewReplicaMux(api, replica)
+		}
+	}
 	mux := http.NewServeMux()
-	mux.Handle("/", api)
+	mux.Handle("/", handler)
 	if *pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -118,12 +172,56 @@ func main() {
 		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	logger.Info("molqd listening", "addr", ln.Addr().String(), "pprof", *pprofOn,
-		"log_level", level.String(), "max_concurrent", *maxConc, "max_queue", *maxQueue,
+	role := "standalone"
+	if *routerMode {
+		role = "router"
+	} else if *joinURL != "" {
+		role = "replica"
+	}
+	logger.Info("molqd listening", "addr", ln.Addr().String(), "role", role,
+		"pprof", *pprofOn, "log_level", level.String(),
+		"max_concurrent", *maxConc, "max_queue", *maxQueue,
 		"slow_query", slowQuery.String(), "trace_retain", *traceRetain)
+
+	// A replica announces itself to the router for as long as the process
+	// lives; the router pushes shards in response to the first heartbeat.
+	agentCtx, agentStop := context.WithCancel(context.Background())
+	defer agentStop()
+	if replica != nil {
+		addrURL := *advertise
+		if addrURL == "" {
+			addrURL = "http://" + ln.Addr().String()
+		}
+		id := *nodeID
+		if id == "" {
+			id = ln.Addr().String()
+		}
+		store := replica.Store()
+		agent := &cluster.Agent{
+			RouterURL: *joinURL,
+			Interval:  *hbInterval,
+			Status: func() cluster.NodeStatus {
+				return cluster.NodeStatus{
+					ID:      id,
+					Addr:    addrURL,
+					Engines: api.Engines(),
+					Shards:  store.List(),
+					Load:    runtime.NumGoroutine(),
+				}
+			},
+			OnError: func(err error) {
+				logger.Warn("heartbeat failed", "router", *joinURL, "err", err)
+			},
+		}
+		go agent.Run(agentCtx)
+		logger.Info("joined cluster", "router", *joinURL, "node_id", id, "advertise", addrURL,
+			"heartbeat_interval", hbInterval.String())
+	}
 	if *smoke {
 		go srv.Serve(ln)
-		if err := smokeCheck("http://" + ln.Addr().String()); err != nil {
+		// A coordinator with no replicas yet cannot solve; its smoke gate is
+		// liveness only.
+		if err := smokeCheck("http://"+ln.Addr().String(), !*routerMode); err != nil {
 			logger.Error("smoke check failed", "err", err)
 			os.Exit(1)
 		}
@@ -160,14 +258,17 @@ func main() {
 		}
 		// Final flush: the last retained outliers and recorder counters go
 		// to the log so a post-mortem survives the process.
-		api.Flush()
+		if api != nil {
+			api.Flush()
+		}
 		logger.Info("molqd stopped")
 	}
 }
 
-// smokeCheck exercises the booted server end to end: a liveness probe and
-// one real solve through the full middleware + admission stack.
-func smokeCheck(base string) error {
+// smokeCheck exercises the booted server end to end: a liveness probe and,
+// when solve is set, one real solve through the full middleware + admission
+// stack.
+func smokeCheck(base string, solve bool) error {
 	client := &http.Client{Timeout: 5 * time.Second}
 	var lastErr error
 	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); time.Sleep(50 * time.Millisecond) {
@@ -185,6 +286,9 @@ func smokeCheck(base string) error {
 	}
 	if lastErr != nil {
 		return fmt.Errorf("healthz: %w", lastErr)
+	}
+	if !solve {
+		return nil
 	}
 	body := `{"types":[
 		{"name":"school","objects":[{"x":20,"y":30,"type_weight":2},{"x":80,"y":40,"type_weight":2}]},

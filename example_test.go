@@ -17,7 +17,7 @@ func Example() {
 		molq.POI(molq.Pt(10, 80), 1, 1),
 		molq.POI(molq.Pt(60, 20), 1, 1),
 	)
-	q.SetEpsilon(1e-9)
+	q.SetOptions(molq.Options{Epsilon: 1e-9})
 	res, err := q.Solve(molq.RRB)
 	if err != nil {
 		panic(err)
@@ -48,7 +48,7 @@ func ExampleQuery_Prepare() {
 	q.AddType("market",
 		molq.POI(molq.Pt(90, 10), 1, 1),
 	)
-	q.SetEpsilon(1e-9)
+	q.SetOptions(molq.Options{Epsilon: 1e-9})
 	eng, err := q.Prepare(molq.RRB)
 	if err != nil {
 		panic(err)

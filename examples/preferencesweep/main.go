@@ -31,7 +31,7 @@ func main() {
 		q.AddType(name, objs...)
 		all = append(all, pts)
 	}
-	q.SetEpsilon(1e-8)
+	q.SetOptions(molq.Options{Epsilon: 1e-8})
 
 	start := time.Now()
 	eng, err := q.Prepare(molq.RRB)

@@ -28,7 +28,7 @@ func main() {
 		molq.POI(molq.Pt(40, 50), 3, 1),
 		molq.POI(molq.Pt(90, 90), 3, 1),
 	)
-	q.SetEpsilon(1e-6)
+	q.SetOptions(molq.Options{Epsilon: 1e-6})
 
 	for _, m := range []molq.Method{molq.SSC, molq.RRB, molq.MBRB} {
 		res, err := q.Solve(m)

@@ -35,7 +35,7 @@ func main() {
 		molq.POI(molq.Pt(4, 4), 1, 1.0),
 		molq.POI(molq.Pt(26, 3), 1, 0.8), // preferred market
 	)
-	q.SetEpsilon(1e-9)
+	q.SetOptions(molq.Options{Epsilon: 1e-9})
 
 	candidates := map[string]molq.Point{
 		"Community 1": molq.Pt(7, 9),

@@ -38,7 +38,7 @@ func main() {
 		molq.POI(molq.Pt(40, 15), 1.5, 1),
 		molq.POI(molq.Pt(45, 45), 1.5, 1),
 	)
-	q.SetEpsilon(1e-8)
+	q.SetOptions(molq.Options{Epsilon: 1e-8})
 
 	mbrb, err := q.Solve(molq.MBRB)
 	if err != nil {

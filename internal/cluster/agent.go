@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Agent is the replica side of the heartbeat protocol: a loop that POSTs
+// the node's status to the router at a fixed interval. The router never
+// polls — a replica that stops pushing is declared dead after the
+// membership timeout and its traffic reroutes.
+type Agent struct {
+	// RouterURL is the router's base URL.
+	RouterURL string
+	// Status produces the heartbeat payload (called once per beat, so it
+	// reflects live engine versions and shard state).
+	Status func() NodeStatus
+	// Interval between beats.
+	Interval time.Duration
+	// HTTPClient overrides http.DefaultClient.
+	HTTPClient *http.Client
+	// OnError receives transport failures (nil: dropped). Heartbeats are
+	// fire-and-forget; a beat that fails is just absent, and the next one
+	// repairs the router's view.
+	OnError func(error)
+}
+
+// Run beats until ctx is canceled. The first beat fires immediately so a
+// fresh replica joins without waiting out an interval.
+func (a *Agent) Run(ctx context.Context) {
+	client := a.HTTPClient
+	if client == nil {
+		client = http.DefaultClient
+	}
+	t := time.NewTicker(a.Interval)
+	defer t.Stop()
+	for {
+		a.beat(ctx, client)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (a *Agent) beat(ctx context.Context, client *http.Client) {
+	body, err := json.Marshal(a.Status())
+	if err != nil {
+		a.report(err)
+		return
+	}
+	// A beat must not outlive the interval, or a wedged router would pile
+	// up in-flight beats.
+	bctx, cancel := context.WithTimeout(ctx, a.Interval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(bctx, http.MethodPost,
+		a.RouterURL+"/cluster/v1/heartbeat", bytes.NewReader(body))
+	if err != nil {
+		a.report(err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		a.report(err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		a.report(fmt.Errorf("cluster: heartbeat rejected: %s", resp.Status))
+	}
+}
+
+func (a *Agent) report(err error) {
+	if a.OnError != nil {
+		a.OnError(err)
+	}
+}

@@ -1,0 +1,80 @@
+package cluster
+
+// The /cluster/v1 wire types. The shard snapshot itself travels as the
+// binary store.WriteShard stream (Content-Type application/octet-stream);
+// everything else is JSON.
+
+// Delta is one engine mutation propagated to a shard, keyed by the snapshot
+// version it applies on top of. A replica whose installed version differs
+// from FromVersion answers 409 ("stale"), and the router falls back to
+// shipping a fresh full snapshot.
+type Delta struct {
+	Engine      string `json:"engine"`
+	Shard       int    `json:"shard"`
+	FromVersion int64  `json:"from_version"`
+	ToVersion   int64  `json:"to_version"`
+	// Op is "insert" or "delete".
+	Op string `json:"op"`
+	// Type and ID identify the object; X/Y/ObjWeight describe an insert.
+	Type      int     `json:"type"`
+	ID        int     `json:"id"`
+	X         float64 `json:"x,omitempty"`
+	Y         float64 `json:"y,omitempty"`
+	ObjWeight float64 `json:"obj_weight,omitempty"`
+}
+
+// Delta op codes.
+const (
+	OpInsert = "insert"
+	OpDelete = "delete"
+)
+
+// ShardQueryRequest asks one shard for its best combination optimum under
+// the given type weights. Vectors holds a batch; a single query is a
+// one-element batch.
+type ShardQueryRequest struct {
+	Vectors [][]float64 `json:"type_weights"`
+}
+
+// ShardAnswer is one shard's winner for one weight vector.
+type ShardAnswer struct {
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Cost   float64 `json:"cost"`
+	Method string  `json:"method"`
+}
+
+// ShardQueryResponse carries one answer per request vector plus the shard's
+// installed snapshot version (diagnostic; the router's routing state is
+// authoritative).
+type ShardQueryResponse struct {
+	Answers []ShardAnswer `json:"answers"`
+	Version int64         `json:"version"`
+	Micros  int64         `json:"elapsed_us"`
+}
+
+// DeltaResponse reports an applied delta.
+type DeltaResponse struct {
+	Engine  string `json:"engine"`
+	Shard   int    `json:"shard"`
+	Version int64  `json:"version"`
+	// Rebuilt is true when the replica repaired by full strip rebuild
+	// instead of an incremental splice.
+	Rebuilt bool  `json:"rebuilt"`
+	Micros  int64 `json:"elapsed_us"`
+}
+
+// InstallResponse reports an installed shard snapshot.
+type InstallResponse struct {
+	Engine  string `json:"engine"`
+	Shard   int    `json:"shard"`
+	Version int64  `json:"version"`
+	OVRs    int    `json:"ovrs"`
+	Combos  int    `json:"combinations"`
+}
+
+// HeartbeatResponse acknowledges a heartbeat. New is true when the router
+// had no live record of the node (the node should expect snapshot pushes).
+type HeartbeatResponse struct {
+	New bool `json:"new"`
+}

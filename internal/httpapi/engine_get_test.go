@@ -1,0 +1,81 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestEngineGet covers the single-engine info route: live version/object
+// fields, the 404 envelope for unknown names, and the mux 405 envelope for a
+// disallowed method on the same path.
+func TestEngineGet(t *testing.T) {
+	ts := newTestServer(t)
+	resp, _ := postJSON(t, ts.URL+"/v1/engines", EngineRequest{
+		Name:    "city",
+		Types:   sampleTypes(),
+		Epsilon: 1e-6,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+
+	get, err := http.Get(ts.URL + "/v1/engines/city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Body.Close()
+	if get.StatusCode != http.StatusOK {
+		t.Fatalf("get: %d", get.StatusCode)
+	}
+	var info EngineInfo
+	if err := json.NewDecoder(get.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "city" || info.Version != 1 || len(info.Objects) != 2 {
+		t.Fatalf("info: %+v", info)
+	}
+	if info.Combinations == 0 || info.OVRs == 0 {
+		t.Fatalf("prepared sizes missing: %+v", info)
+	}
+
+	missing, err := http.Get(ts.URL + "/v1/engines/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing engine: %d", missing.StatusCode)
+	}
+	var env struct {
+		Error ErrorBody `json:"error"`
+	}
+	if err := json.NewDecoder(missing.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != "not_found" || env.Error.RequestID == "" {
+		t.Fatalf("envelope: %+v", env.Error)
+	}
+
+	// A method the path does not allow gets the mux fallback envelope.
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/engines/city", strings.NewReader("{}"))
+	put, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer put.Body.Close()
+	if put.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("put: %d", put.StatusCode)
+	}
+	if ct := put.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("fallback content type: %q", ct)
+	}
+	env.Error = ErrorBody{}
+	if err := json.NewDecoder(put.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != "method_not_allowed" {
+		t.Fatalf("fallback envelope: %+v", env.Error)
+	}
+}

@@ -1,0 +1,121 @@
+package httpapi
+
+import (
+	"net/http"
+
+	"molq/internal/query"
+)
+
+// This file is the surface internal/cluster builds on: the router reuses the
+// v1 wire types, the request→Input conversion, the JSON envelope writers and
+// the 404/405 fallback so a clustered deployment answers byte-compatibly
+// with a single node.
+
+// BuildInput converts v1 wire types into a query.Input, applying the same
+// validation the solve and engine-create handlers do (weight positivity,
+// kind names, bounds defaulting to the objects' bounding box).
+func BuildInput(types []TypeJSON, bounds *[4]float64, epsilon float64) (query.Input, error) {
+	return buildInput(types, bounds, epsilon)
+}
+
+// WriteJSON writes body as a JSON response with the given status.
+func WriteJSON(w http.ResponseWriter, status int, body any) {
+	writeJSON(w, status, body)
+}
+
+// WriteError writes the standard error envelope. An empty code is filled
+// from the status (the same mapping the v1 handlers use); a non-empty code
+// is preserved verbatim, which lets a proxy re-emit an upstream envelope's
+// code without re-deriving it.
+func WriteError(w http.ResponseWriter, status int, code, message string) {
+	if code == "" {
+		code = errCode(status)
+	}
+	writeJSON(w, status, errorResponse{Error: ErrorBody{
+		Code:      code,
+		Message:   message,
+		RequestID: w.Header().Get(requestIDHeader),
+	}})
+}
+
+// ErrCode maps an HTTP status to its stable envelope code ("not_found",
+// "rate_limited", …).
+func ErrCode(status int) string { return errCode(status) }
+
+// JSONFallback wraps h so plain-text 404/405 responses emitted by an
+// http.ServeMux are rewritten into the JSON error envelope. The server's own
+// mux is already wrapped; this export lets sibling routers (the cluster
+// coordinator) speak the same envelope for unmatched routes.
+func JSONFallback(h http.Handler) http.Handler { return jsonFallback(h) }
+
+// RequestIDHeader is the header carrying the per-request correlation ID.
+const RequestIDHeader = requestIDHeader
+
+// ParseMethod resolves a wire method name ("", "rrb", "mbrb", "ssc") the
+// way the v1 handlers do. allowSSC admits the sequential-scan baseline
+// (solve accepts it, engines do not).
+func ParseMethod(m string, allowSSC bool) (query.Method, error) {
+	return parseMethod(m, allowSSC)
+}
+
+// ParseEngineQueryBody accepts the three body shapes of the engine query
+// endpoint — {"type_weights":[…]}, {"type_weights":[[…],…]} and a bare
+// [[…],…] — returning the weight vectors and whether the request was a
+// batch. The cluster router shares it so a clustered engine query accepts
+// exactly what a single node does.
+func ParseEngineQueryBody(body []byte) (vecs [][]float64, batch bool, err error) {
+	return parseEngineQueryBody(body)
+}
+
+// SolveStatus maps a solve/query error to its HTTP status the way the v1
+// handlers do: canceled request 499, deadline 504, anything else 422.
+func SolveStatus(err error) int { return solveStatus(err) }
+
+// UpdateStatus maps an engine mutation error to its HTTP status the way the
+// v1 handlers do (400/404/409/422).
+func UpdateStatus(err error) int { return updateStatus(err) }
+
+// Engines returns the name → current version of every prepared engine, the
+// shape a replica heartbeat advertises.
+func (s *Server) Engines() map[string]int64 {
+	s.mux.RLock()
+	defer s.mux.RUnlock()
+	out := make(map[string]int64, len(s.eng))
+	for name, pe := range s.eng {
+		out[name] = pe.eng.Version()
+	}
+	return out
+}
+
+// Engine returns the prepared engine registered under name (nil when
+// absent). The cluster replica uses it to answer shard queries against
+// engines installed from shipped snapshots.
+func (s *Server) Engine(name string) *query.Engine {
+	s.mux.RLock()
+	defer s.mux.RUnlock()
+	if pe := s.eng[name]; pe != nil {
+		return pe.eng
+	}
+	return nil
+}
+
+// RegisterEngine installs an already-built engine under name, replacing any
+// existing registration (unlike POST /v1/engines, which refuses
+// duplicates — a replica re-installing a shipped shard snapshot is an
+// upsert, not a conflict). The info's live fields are refreshed on read.
+func (s *Server) RegisterEngine(name string, info EngineInfo, eng *query.Engine) {
+	info.Name = name
+	s.mux.Lock()
+	s.eng[name] = &preparedEngine{info: info, eng: eng}
+	s.mux.Unlock()
+}
+
+// RemoveEngine drops the engine registered under name, reporting whether it
+// existed.
+func (s *Server) RemoveEngine(name string) bool {
+	s.mux.Lock()
+	_, ok := s.eng[name]
+	delete(s.eng, name)
+	s.mux.Unlock()
+	return ok
+}

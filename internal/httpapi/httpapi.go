@@ -4,6 +4,8 @@
 //	POST /v1/solve    — evaluate one query (object sets inline)
 //	POST /v1/engines  — prepare a reusable engine from object sets
 //	GET  /v1/engines  — list prepared engines
+//	GET  /v1/engines/{name} — one prepared engine's info (404 envelope when
+//	                           absent)
 //	POST /v1/engines/{name}/query — solve against a prepared engine with
 //	                                 fresh type weights
 //	POST   /v1/engines/{name}/objects      — insert one object (incremental
@@ -372,6 +374,11 @@ type Server struct {
 	// recorderSet distinguishes WithRecorder(nil) — recorder explicitly
 	// disabled — from "no option given", which gets the default recorder.
 	recorderSet bool
+	// serviceDelay is a synthetic per-request service time added inside the
+	// admission gate on solve (0: disabled). Load tests use it to model a
+	// node's compute capacity when the real CPUs are shared or too fast to
+	// exercise admission.
+	serviceDelay time.Duration
 	// wrapped is the full middleware-wrapped handler ServeHTTP delegates to.
 	wrapped http.Handler
 }
@@ -429,6 +436,19 @@ func WithAdmission(maxConcurrent, maxQueue int) Option {
 	}
 }
 
+// WithServiceDelay adds a synthetic per-request service time on the solve
+// path, spent while the admission slot is held. Load tests use it to model
+// per-node compute capacity: in-process "nodes" share the host's CPUs, so
+// real compute cannot show capacity scaling, but time held under the gate
+// can. d ≤ 0 disables (the default).
+func WithServiceDelay(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.serviceDelay = d
+		}
+	}
+}
+
 // New returns a ready-to-serve API server.
 func New(opts ...Option) *Server {
 	s := &Server{
@@ -451,6 +471,7 @@ func New(opts ...Option) *Server {
 	s.h.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.h.HandleFunc("POST /v1/engines", s.handleEngineCreate)
 	s.h.HandleFunc("GET /v1/engines", s.handleEngineList)
+	s.h.HandleFunc("GET /v1/engines/{name}", s.handleEngineGet)
 	s.h.HandleFunc("DELETE /v1/engines/{name}", s.handleEngineDelete)
 	s.h.HandleFunc("POST /v1/engines/{name}/query", s.handleEngineQuery)
 	s.h.HandleFunc("POST /v1/engines/{name}/objects", s.handleObjectInsert)
@@ -626,6 +647,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.gate.release()
+	if s.serviceDelay > 0 {
+		select {
+		case <-time.After(s.serviceDelay):
+		case <-r.Context().Done():
+			writeErr(w, solveStatus(r.Context().Err()), "%v", r.Context().Err())
+			return
+		}
+	}
 	var req SolveRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -765,6 +794,26 @@ func (s *Server) handleEngineList(w http.ResponseWriter, _ *http.Request) {
 	s.mux.RUnlock()
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleEngineGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mux.RLock()
+	pe := s.eng[name]
+	var info EngineInfo
+	if pe != nil {
+		info = pe.info
+		info.Version = pe.eng.Version()
+		info.Objects = pe.eng.ObjectCounts()
+		info.OVRs = pe.eng.OVRs()
+		info.Combinations = pe.eng.Combinations()
+	}
+	s.mux.RUnlock()
+	if pe == nil {
+		writeErr(w, http.StatusNotFound, "engine %q not found", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleEngineDelete(w http.ResponseWriter, r *http.Request) {

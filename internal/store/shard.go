@@ -1,0 +1,239 @@
+package store
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"molq/internal/core"
+	"molq/internal/geom"
+)
+
+// A shard snapshot is the unit the cluster tier ships to replicas: one
+// spatial strip of a prepared engine, stamped with the engine version it was
+// cut from so splice deltas can be applied in order and staleness detected.
+// The format wraps the version-2 MOVD stream with a metadata preamble:
+//
+//	magic "MOVS" | version u16 | meta… | crc32(meta) u32 | MOVD stream
+//
+// The meta block carries everything a replica needs to reconstruct a
+// query.Input around the shipped diagram — the FULL object sets (a
+// mutation's Voronoi influence can cross strip boundaries, so strip-local
+// rebuilds still need every site), the strip this shard owns, and the
+// solver options. Method and weight kinds travel as raw numeric codes:
+// store stays import-free of query, and the cluster layer owns the mapping.
+// The embedded MOVD stream keeps its own checksum footer, so both halves of
+// the file are independently integrity-checked.
+
+const (
+	shardMagic   = "MOVS"
+	shardVersion = 1
+)
+
+// Shard snapshot errors.
+var (
+	ErrBadShardMagic   = errors.New("store: not a shard snapshot")
+	ErrBadShardVersion = errors.New("store: unsupported shard snapshot version")
+	ErrShardChecksum   = errors.New("store: shard metadata checksum mismatch")
+)
+
+// ShardMeta describes one shipped shard of a prepared engine.
+type ShardMeta struct {
+	// Engine is the engine name the shard belongs to.
+	Engine string
+	// Shard and NShards identify this strip in the engine's decomposition.
+	Shard   int
+	NShards int
+	// Version is the engine snapshot version the shard was cut from. Deltas
+	// are keyed by it: a replica applies a delta only when its installed
+	// version matches the delta's from-version.
+	Version int64
+	// Method is the numeric query.Method code (store does not import query).
+	Method uint8
+	// Epsilon and WeightedEpsilon are the solver options the engine was
+	// prepared with.
+	Epsilon         float64
+	WeightedEpsilon float64
+	// Strip is the spatial interval this shard owns; Bounds is the full
+	// engine search space.
+	Strip  geom.Rect
+	Bounds geom.Rect
+	// TypeNames and Kinds describe the object sets (Kinds holds numeric
+	// query.WeightKind codes).
+	TypeNames []string
+	Kinds     []uint8
+	// Sets holds the complete object sets — not just the strip's — so the
+	// replica can rebuild locally after mutations whose influence crosses
+	// the strip boundary.
+	Sets [][]core.Object
+	// Replicas is the engine's per-core read-replica count.
+	Replicas int
+}
+
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.emit([]byte(s))
+}
+
+func (r *reader) str() string {
+	n := r.u32()
+	if r.err != nil {
+		return ""
+	}
+	if n > 1<<16 {
+		r.err = fmt.Errorf("store: corrupt shard meta (string length %d)", n)
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		r.err = err
+		return ""
+	}
+	if r.crc != nil {
+		r.crc.Write(b)
+	}
+	return string(b)
+}
+
+func (w *writer) object(o core.Object) {
+	w.i32(int32(o.ID))
+	w.i32(int32(o.Type))
+	w.point(o.Loc)
+	w.f64(o.TypeWeight)
+	w.f64(o.ObjWeight)
+}
+
+func (r *reader) object() core.Object {
+	var o core.Object
+	o.ID = int(r.i32())
+	o.Type = int(r.i32())
+	o.Loc = r.point()
+	o.TypeWeight = r.f64()
+	o.ObjWeight = r.f64()
+	return o
+}
+
+// WriteShard serialises one shard: the metadata preamble followed by the
+// embedded MOVD stream.
+func WriteShard(dst io.Writer, meta ShardMeta, m *core.MOVD) error {
+	bw := bufio.NewWriterSize(dst, 1<<16)
+	w := &writer{w: bw}
+	if w.err == nil {
+		_, w.err = w.w.WriteString(shardMagic)
+	}
+	w.u16(shardVersion)
+	w.crc = crc32.NewIEEE()
+	w.str(meta.Engine)
+	w.u32(uint32(meta.Shard))
+	w.u32(uint32(meta.NShards))
+	w.i64(meta.Version)
+	w.emit([]byte{meta.Method})
+	w.f64(meta.Epsilon)
+	w.f64(meta.WeightedEpsilon)
+	w.rect(meta.Strip)
+	w.rect(meta.Bounds)
+	if len(meta.TypeNames) != len(meta.Sets) || len(meta.Kinds) != len(meta.Sets) {
+		return fmt.Errorf("store: shard meta type arity mismatch: %d names, %d kinds, %d sets",
+			len(meta.TypeNames), len(meta.Kinds), len(meta.Sets))
+	}
+	w.u32(uint32(len(meta.Sets)))
+	for ti, set := range meta.Sets {
+		w.str(meta.TypeNames[ti])
+		w.emit([]byte{meta.Kinds[ti]})
+		w.u32(uint32(len(set)))
+		for _, o := range set {
+			w.object(o)
+		}
+	}
+	w.i32(int32(meta.Replicas))
+	crc := w.crc.Sum32()
+	w.crc = nil
+	w.u32(crc)
+	if w.err != nil {
+		return w.err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return WriteMOVD(dst, m)
+}
+
+// ReadShard deserialises a shard snapshot written by WriteShard, verifying
+// both the metadata checksum and the embedded MOVD's integrity footer.
+func ReadShard(src io.Reader) (ShardMeta, *core.MOVD, error) {
+	var meta ShardMeta
+	br := bufio.NewReaderSize(src, 1<<16)
+	r := &reader{r: br}
+	mg := make([]byte, 4)
+	if _, err := io.ReadFull(br, mg); err != nil {
+		return meta, nil, err
+	}
+	if string(mg) != shardMagic {
+		return meta, nil, ErrBadShardMagic
+	}
+	if v := r.u16(); v != shardVersion {
+		if r.err != nil {
+			return meta, nil, r.err
+		}
+		return meta, nil, fmt.Errorf("%w: %d", ErrBadShardVersion, v)
+	}
+	r.crc = crc32.NewIEEE()
+	meta.Engine = r.str()
+	meta.Shard = int(r.u32())
+	meta.NShards = int(r.u32())
+	meta.Version = r.i64()
+	meta.Method = r.read(1)[0]
+	meta.Epsilon = r.f64()
+	meta.WeightedEpsilon = r.f64()
+	meta.Strip = r.rect()
+	meta.Bounds = r.rect()
+	nt := r.u32()
+	if r.err != nil {
+		return meta, nil, r.err
+	}
+	if nt > 1<<16 {
+		return meta, nil, fmt.Errorf("store: corrupt shard meta (type count %d)", nt)
+	}
+	meta.TypeNames = make([]string, nt)
+	meta.Kinds = make([]uint8, nt)
+	meta.Sets = make([][]core.Object, nt)
+	for ti := range meta.Sets {
+		meta.TypeNames[ti] = r.str()
+		meta.Kinds[ti] = r.read(1)[0]
+		no := r.u32()
+		if r.err != nil {
+			return meta, nil, r.err
+		}
+		if no > maxReasonable {
+			return meta, nil, fmt.Errorf("store: corrupt shard meta (object count %d)", no)
+		}
+		const chunk = 1 << 16
+		set := make([]core.Object, 0, min(no, chunk))
+		for i := uint32(0); i < no; i++ {
+			if r.err != nil {
+				return meta, nil, r.err
+			}
+			set = append(set, r.object())
+		}
+		meta.Sets[ti] = set
+	}
+	meta.Replicas = int(r.i32())
+	want := r.crc.Sum32()
+	r.crc = nil
+	got := r.u32()
+	if r.err != nil {
+		return meta, nil, r.err
+	}
+	if got != want {
+		return meta, nil, fmt.Errorf("%w: stored %08x, computed %08x", ErrShardChecksum, got, want)
+	}
+	// The MOVD stream continues in the same buffered reader; hand it over
+	// directly so no preamble bytes are re-read from src.
+	m, err := ReadMOVD(br)
+	if err != nil {
+		return meta, nil, err
+	}
+	return meta, m, nil
+}

@@ -1,0 +1,111 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"molq/internal/core"
+	"molq/internal/geom"
+)
+
+func sampleShardMeta(sets [][]core.Object) ShardMeta {
+	return ShardMeta{
+		Engine:          "city",
+		Shard:           1,
+		NShards:         3,
+		Version:         7,
+		Method:          2,
+		Epsilon:         1e-6,
+		WeightedEpsilon: 0.25,
+		Strip:           geom.NewRect(geom.Pt(333, 0), geom.Pt(667, 1000)),
+		Bounds:          bounds,
+		TypeNames:       make([]string, len(sets)),
+		Kinds:           make([]uint8, len(sets)),
+		Sets:            sets,
+	}
+}
+
+func TestShardRoundTrip(t *testing.T) {
+	m := buildMOVD(t, 3, 40, 0, core.RRB)
+	sets := [][]core.Object{nil, nil}
+	for i := 0; i < 10; i++ {
+		sets[0] = append(sets[0], core.Object{
+			ID: i, Type: 0, Loc: geom.Pt(float64(i)*90, 500), TypeWeight: 2, ObjWeight: 1,
+		})
+		sets[1] = append(sets[1], core.Object{
+			ID: i, Type: 1, Loc: geom.Pt(500, float64(i)*90), TypeWeight: 1, ObjWeight: 1,
+		})
+	}
+	meta := sampleShardMeta(sets)
+	meta.TypeNames = []string{"school", "market"}
+	meta.Kinds = []uint8{0, 1}
+	meta.Replicas = 4
+
+	var buf bytes.Buffer
+	if err := WriteShard(&buf, meta, m); err != nil {
+		t.Fatal(err)
+	}
+	got, gm, err := ReadShard(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Engine != meta.Engine || got.Shard != 1 || got.NShards != 3 ||
+		got.Version != 7 || got.Method != 2 || got.Replicas != 4 {
+		t.Fatalf("meta identity: %+v", got)
+	}
+	if got.Epsilon != meta.Epsilon || got.WeightedEpsilon != meta.WeightedEpsilon ||
+		got.Strip != meta.Strip || got.Bounds != meta.Bounds {
+		t.Fatalf("meta geometry/options: %+v", got)
+	}
+	if len(got.Sets) != 2 || got.TypeNames[0] != "school" || got.TypeNames[1] != "market" ||
+		got.Kinds[1] != 1 {
+		t.Fatalf("meta types: %+v", got)
+	}
+	for ti := range sets {
+		if len(got.Sets[ti]) != len(sets[ti]) {
+			t.Fatalf("set %d length %d, want %d", ti, len(got.Sets[ti]), len(sets[ti]))
+		}
+		for i := range sets[ti] {
+			if got.Sets[ti][i] != sets[ti][i] {
+				t.Fatalf("set %d object %d: %+v vs %+v", ti, i, got.Sets[ti][i], sets[ti][i])
+			}
+		}
+	}
+	if !movdEqual(m, gm) {
+		t.Fatal("embedded MOVD did not survive the round trip")
+	}
+}
+
+func TestShardDecodeErrors(t *testing.T) {
+	m := buildMOVD(t, 4, 20, 0, core.RRB)
+	meta := sampleShardMeta([][]core.Object{{{ID: 0, TypeWeight: 1, ObjWeight: 1}}})
+	var buf bytes.Buffer
+	if err := WriteShard(&buf, meta, m); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, _, err := ReadShard(bytes.NewReader([]byte("MOVDnope"))); !errors.Is(err, ErrBadShardMagic) {
+		t.Fatalf("wrong magic: %v", err)
+	}
+
+	// Flip a byte inside the metadata block (past magic+version).
+	bad := append([]byte(nil), good...)
+	bad[10] ^= 0xFF
+	if _, _, err := ReadShard(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupt meta accepted")
+	}
+
+	// Truncate before the embedded MOVD's footer.
+	if _, _, err := ReadShard(bytes.NewReader(good[:len(good)-6])); err == nil {
+		t.Fatal("truncated shard accepted")
+	}
+
+	// Arity mismatch is a writer-side error, not silent corruption.
+	badMeta := meta
+	badMeta.TypeNames = nil
+	if err := WriteShard(&bytes.Buffer{}, badMeta, m); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}

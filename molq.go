@@ -145,7 +145,7 @@ func NewQuery(bounds Rect) *Query {
 }
 
 // NewQueryWith starts a query over the given search space with the given
-// evaluation options. Prefer this over the deprecated chainable setters.
+// evaluation options.
 func NewQueryWith(bounds Rect, opts Options) *Query {
 	return &Query{bounds: bounds, opts: opts}
 }
@@ -185,55 +185,6 @@ func (q *Query) AddType(name string, objects ...Object) int {
 // a distance multiplier. Panics if typeIndex is out of range.
 func (q *Query) SetAdditiveWeights(typeIndex int) *Query {
 	q.kinds[typeIndex] = query.AdditiveObjWeights
-	return q
-}
-
-// SetEpsilon sets the relative error bound ε of the iterative Fermat-Weber
-// stopping rule (default 1e-3).
-//
-// Deprecated: set Options.Epsilon via NewQueryWith or SetOptions.
-func (q *Query) SetEpsilon(eps float64) *Query {
-	q.opts.Epsilon = eps
-	return q
-}
-
-// DisableCostBound switches the optimizer to the unpruned sequential batch.
-//
-// Deprecated: set Options.DisableCostBound via NewQueryWith or SetOptions.
-func (q *Query) DisableCostBound() *Query {
-	q.opts.DisableCostBound = true
-	return q
-}
-
-// SetWorkers evaluates the pipeline with n goroutines.
-//
-// Deprecated: set Options.Workers via NewQueryWith or SetOptions.
-func (q *Query) SetWorkers(n int) *Query {
-	q.opts.Workers = n
-	return q
-}
-
-// EnableOverlapPruning turns on the overlap-time combination filter.
-//
-// Deprecated: set Options.PruneOverlap via NewQueryWith or SetOptions.
-func (q *Query) EnableOverlapPruning() *Query {
-	q.opts.PruneOverlap = true
-	return q
-}
-
-// SetAcceleration sets the Weiszfeld over-relaxation factor λ.
-//
-// Deprecated: set Options.Acceleration via NewQueryWith or SetOptions.
-func (q *Query) SetAcceleration(lambda float64) *Query {
-	q.opts.Acceleration = lambda
-	return q
-}
-
-// SetSpillDir makes the final diagram overlap stream through dir.
-//
-// Deprecated: set Options.SpillDir via NewQueryWith or SetOptions.
-func (q *Query) SetSpillDir(dir string) *Query {
-	q.opts.SpillDir = dir
 	return q
 }
 

@@ -20,16 +20,23 @@ func buildCityQuery() *molq.Query {
 	return q
 }
 
+// withOptions sets a query's options in place and returns it, so tests can
+// build-and-configure in one expression.
+func withOptions(q *molq.Query, opts molq.Options) *molq.Query {
+	q.SetOptions(opts)
+	return q
+}
+
 func TestPruningAndWorkersPreserveFacadeResult(t *testing.T) {
-	base, err := buildCityQuery().SetEpsilon(1e-6).Solve(molq.RRB)
+	base, err := withOptions(buildCityQuery(), molq.Options{Epsilon: 1e-6}).Solve(molq.RRB)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tuned, err := buildCityQuery().
-		SetEpsilon(1e-6).
-		SetWorkers(4).
-		EnableOverlapPruning().
-		Solve(molq.RRB)
+	tuned, err := withOptions(buildCityQuery(), molq.Options{
+		Epsilon:      1e-6,
+		Workers:      4,
+		PruneOverlap: true,
+	}).Solve(molq.RRB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,11 +49,11 @@ func TestPruningAndWorkersPreserveFacadeResult(t *testing.T) {
 }
 
 func TestDisableCostBoundFacade(t *testing.T) {
-	a, err := buildCityQuery().SetEpsilon(1e-6).Solve(molq.MBRB)
+	a, err := withOptions(buildCityQuery(), molq.Options{Epsilon: 1e-6}).Solve(molq.MBRB)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := buildCityQuery().SetEpsilon(1e-6).DisableCostBound().Solve(molq.MBRB)
+	b, err := withOptions(buildCityQuery(), molq.Options{Epsilon: 1e-6, DisableCostBound: true}).Solve(molq.MBRB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +89,7 @@ func TestAdditiveWeightsFacade(t *testing.T) {
 }
 
 func TestTopKFacade(t *testing.T) {
-	q := buildCityQuery().SetEpsilon(1e-8)
+	q := withOptions(buildCityQuery(), molq.Options{Epsilon: 1e-8})
 	alts, err := q.TopK(molq.RRB, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -90,7 +97,7 @@ func TestTopKFacade(t *testing.T) {
 	if len(alts) != 4 {
 		t.Fatalf("alternatives: %d", len(alts))
 	}
-	best, err := buildCityQuery().SetEpsilon(1e-8).Solve(molq.RRB)
+	best, err := withOptions(buildCityQuery(), molq.Options{Epsilon: 1e-8}).Solve(molq.RRB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +115,7 @@ func TestTopKFacade(t *testing.T) {
 }
 
 func TestEngineFacade(t *testing.T) {
-	q := buildCityQuery().SetEpsilon(1e-6)
+	q := withOptions(buildCityQuery(), molq.Options{Epsilon: 1e-6})
 	eng, err := q.Prepare(molq.RRB)
 	if err != nil {
 		t.Fatal(err)
@@ -120,7 +127,7 @@ func TestEngineFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cold, err := buildCityQuery().SetEpsilon(1e-6).Solve(molq.RRB)
+	cold, err := withOptions(buildCityQuery(), molq.Options{Epsilon: 1e-6}).Solve(molq.RRB)
 	if err != nil {
 		t.Fatal(err)
 	}

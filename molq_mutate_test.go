@@ -21,18 +21,21 @@ func mutateQuery() *molq.Query {
 	return q
 }
 
-// TestOptionsRoundTrip checks NewQueryWith, Options/SetOptions, and that the
-// deprecated setters write through to the same struct.
+// TestOptionsRoundTrip checks NewQueryWith and the Options/SetOptions
+// round trip, including read-modify-write of a single field.
 func TestOptionsRoundTrip(t *testing.T) {
 	opts := molq.Options{Epsilon: 1e-7, Workers: 3, PruneOverlap: true}
 	q := molq.NewQueryWith(molq.NewRect(molq.Pt(0, 0), molq.Pt(10, 10)), opts)
 	if got := q.Options(); got != opts {
 		t.Fatalf("Options() = %+v, want %+v", got, opts)
 	}
-	q.SetEpsilon(1e-4).SetWorkers(2)
 	got := q.Options()
+	got.Epsilon = 1e-4
+	got.Workers = 2
+	q.SetOptions(got)
+	got = q.Options()
 	if got.Epsilon != 1e-4 || got.Workers != 2 || !got.PruneOverlap {
-		t.Fatalf("after setters: %+v", got)
+		t.Fatalf("after SetOptions: %+v", got)
 	}
 	got.DisableCostBound = true
 	q.SetOptions(got)

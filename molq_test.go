@@ -20,7 +20,8 @@ func TestQuickstartAllMethodsAgree(t *testing.T) {
 		q.AddType("busstop",
 			molq.POI(molq.Pt(40, 50), 3, 1),
 			molq.POI(molq.Pt(90, 90), 3, 1))
-		return q.SetEpsilon(1e-6)
+		q.SetOptions(molq.Options{Epsilon: 1e-6})
+		return q
 	}
 	var costs []float64
 	for _, m := range []molq.Method{molq.SSC, molq.RRB, molq.MBRB} {
